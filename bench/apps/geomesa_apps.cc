@@ -1,0 +1,283 @@
+// The Table 7 applications written against the GeoMesa-like baseline:
+// index-assisted selective loading (its strength), then grid-partitioned
+// in-memory processing over String-typed attributes with no conversion
+// optimization (its weaknesses).
+
+#include <cstdlib>
+
+#include "apps.h"
+#include "baselines/geomesa_like.h"
+#include "temporal/duration.h"
+
+namespace st4ml {
+namespace bench {
+
+namespace {
+
+Dataset<GeoObject> GeoMesaSelect(const BenchEnv& env, const std::string& dir,
+                                 const STBox& query, bool events) {
+  GeoMesaLike geomesa(env.ctx);
+  auto selected = events ? geomesa.SelectEvents(dir, query.mbr, query.time)
+                         : geomesa.SelectTrajs(dir, query.mbr, query.time);
+  ST4ML_CHECK(selected.ok()) << selected.status().ToString();
+  return *selected;
+}
+
+std::vector<std::pair<Point, int64_t>> ReformatGm(const GeoObject& o) {
+  std::vector<std::pair<Point, int64_t>> points;
+  std::vector<int64_t> times = ParseGeoObjectTimes(o);
+  const auto& pts = o.geom.AsLineString().points();
+  for (size_t i = 0; i < pts.size() && i < times.size(); ++i) {
+    points.emplace_back(pts[i], times[i]);
+  }
+  return points;
+}
+
+}  // namespace
+
+// LOC-BEGIN(anomaly)
+size_t AnomalyGeoMesa(const BenchEnv& env, int scale, const STBox& query) {
+  auto selected = GeoMesaSelect(env, env.nyc[scale].gm_dir, query, true);
+  auto anomalies = selected.Filter([](const GeoObject& o) {
+    std::vector<int64_t> times = ParseGeoObjectTimes(o);
+    if (times.empty()) return false;
+    int h = HourOfDay(times[0]);
+    return h >= 23 || h < 4;
+  });
+  return anomalies.Count();
+}
+// LOC-END(anomaly)
+
+// LOC-BEGIN(avg_speed)
+size_t AvgSpeedGeoMesa(const BenchEnv& env, int scale, const STBox& query) {
+  auto selected = GeoMesaSelect(env, env.porto[scale].gm_dir, query, false);
+  auto speeds = selected.Map([](const GeoObject& o) {
+    std::vector<std::pair<Point, int64_t>> points = ReformatGm(o);
+    if (points.size() < 2) return 0.0;
+    double meters = 0.0;
+    for (size_t i = 1; i < points.size(); ++i) {
+      meters += HaversineMeters(points[i - 1].first, points[i].first);
+    }
+    int64_t span = points.back().second - points.front().second;
+    return span > 0 ? meters / span * 3.6 : 0.0;
+  });
+  return speeds.Aggregate(
+      static_cast<size_t>(0),
+      [](size_t acc, const double& kmh) { return acc + (kmh > 1.0 ? 1 : 0); },
+      [](size_t a, size_t b) { return a + b; });
+}
+// LOC-END(avg_speed)
+
+// LOC-BEGIN(stay_point)
+size_t StayPointGeoMesa(const BenchEnv& env, int scale, const STBox& query) {
+  auto selected = GeoMesaSelect(env, env.porto[scale].gm_dir, query, false);
+  auto stays = selected.Map([](const GeoObject& o) {
+    std::vector<std::pair<Point, int64_t>> points = ReformatGm(o);
+    size_t found = 0;
+    size_t i = 0;
+    while (i < points.size()) {
+      size_t j = i + 1;
+      while (j < points.size() &&
+             HaversineMeters(points[i].first, points[j].first) <= 200.0) {
+        ++j;
+      }
+      if (j - i >= 2 && points[j - 1].second - points[i].second >= 600) {
+        ++found;
+        i = j;
+      } else {
+        ++i;
+      }
+    }
+    return found;
+  });
+  return stays.Aggregate(
+      static_cast<size_t>(0),
+      [](size_t acc, const size_t& v) { return acc + v; },
+      [](size_t a, size_t b) { return a + b; });
+}
+// LOC-END(stay_point)
+
+// LOC-BEGIN(hourly_flow)
+size_t HourlyFlowGeoMesa(const BenchEnv& env, int scale, const STBox& query) {
+  auto selected = GeoMesaSelect(env, env.nyc[scale].gm_dir, query, true);
+  std::vector<Duration> bins = TemporalSliding(query.time, 3600);
+  auto counts = selected.MapPartitions(
+      [&bins](const std::vector<GeoObject>& part) {
+        std::vector<int64_t> local(bins.size(), 0);
+        for (const GeoObject& o : part) {
+          std::vector<int64_t> times = ParseGeoObjectTimes(o);
+          if (times.empty()) continue;
+          for (size_t b = 0; b < bins.size(); ++b) {  // scan over the bins
+            if (bins[b].Contains(times[0])) {
+              ++local[b];
+              break;
+            }
+          }
+        }
+        return std::vector<std::vector<int64_t>>{local};
+      });
+  size_t total = 0;
+  for (const auto& local : counts.Collect()) {
+    for (int64_t c : local) total += c;
+  }
+  return total;
+}
+// LOC-END(hourly_flow)
+
+// LOC-BEGIN(grid_speed)
+size_t GridSpeedGeoMesa(const BenchEnv& env, int scale, const STBox& query) {
+  auto selected = GeoMesaSelect(env, env.porto[scale].gm_dir, query, false);
+  std::vector<Mbr> cells;
+  double dx = query.mbr.Width() / 48, dy = query.mbr.Height() / 48;
+  for (int iy = 0; iy < 48; ++iy) {
+    for (int ix = 0; ix < 48; ++ix) {
+      cells.push_back(Mbr(query.mbr.x_min + ix * dx, query.mbr.y_min + iy * dy,
+                          query.mbr.x_min + (ix + 1) * dx,
+                          query.mbr.y_min + (iy + 1) * dy));
+    }
+  }
+  auto sums = selected.MapPartitions(
+      [&cells](const std::vector<GeoObject>& part) {
+        std::vector<std::pair<double, int64_t>> local(cells.size(), {0.0, 0});
+        for (const GeoObject& o : part) {
+          std::vector<std::pair<Point, int64_t>> points = ReformatGm(o);
+          if (points.size() < 2) continue;
+          double meters = 0.0;
+          for (size_t i = 1; i < points.size(); ++i) {
+            meters += HaversineMeters(points[i - 1].first, points[i].first);
+          }
+          int64_t span = points.back().second - points.front().second;
+          double kmh = span > 0 ? meters / span * 3.6 : 0.0;
+          for (size_t c = 0; c < cells.size(); ++c) {  // Cartesian assignment
+            if (o.geom.IntersectsMbr(cells[c])) {
+              local[c].first += kmh;
+              local[c].second += 1;
+            }
+          }
+        }
+        return std::vector<std::vector<std::pair<double, int64_t>>>{local};
+      });
+  std::vector<std::pair<double, int64_t>> merged(cells.size(), {0.0, 0});
+  for (const auto& local : sums.Collect()) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      merged[c].first += local[c].first;
+      merged[c].second += local[c].second;
+    }
+  }
+  size_t occupied = 0;
+  for (const auto& [sum, count] : merged) {
+    if (count > 0 && sum > 0) ++occupied;
+  }
+  return occupied;
+}
+// LOC-END(grid_speed)
+
+// LOC-BEGIN(transition)
+size_t TransitionGeoMesa(const BenchEnv& env, int scale, const STBox& query) {
+  auto selected = GeoMesaSelect(env, env.porto[scale].gm_dir, query, false);
+  std::vector<Mbr> cells;
+  double dx = query.mbr.Width() / 16, dy = query.mbr.Height() / 16;
+  for (int iy = 0; iy < 16; ++iy) {
+    for (int ix = 0; ix < 16; ++ix) {
+      cells.push_back(Mbr(query.mbr.x_min + ix * dx, query.mbr.y_min + iy * dy,
+                          query.mbr.x_min + (ix + 1) * dx,
+                          query.mbr.y_min + (iy + 1) * dy));
+    }
+  }
+  std::vector<Duration> bins = TemporalSliding(query.time, 3600);
+  auto transit = selected.MapPartitions(
+      [&cells, &bins](const std::vector<GeoObject>& part) {
+        std::vector<int64_t> local(cells.size() * bins.size(), 0);
+        for (const GeoObject& o : part) {
+          std::vector<std::pair<Point, int64_t>> points = ReformatGm(o);
+          for (size_t c = 0; c < cells.size(); ++c) {
+            for (size_t b = 0; b < bins.size(); ++b) {
+              bool prev = false, first = true;
+              int64_t count = 0;
+              for (const auto& [p, t] : points) {
+                bool inside = bins[b].Contains(t) && cells[c].ContainsPoint(p);
+                if (inside && !prev && !first) ++count;
+                if (!inside && prev) ++count;
+                prev = inside;
+                first = false;
+              }
+              local[b * cells.size() + c] += count;
+            }
+          }
+        }
+        return std::vector<std::vector<int64_t>>{local};
+      });
+  size_t total = 0;
+  for (const auto& local : transit.Collect()) {
+    for (int64_t c : local) total += c;
+  }
+  return total;
+}
+// LOC-END(transition)
+
+// LOC-BEGIN(air_over_road)
+size_t AirOverRoadGeoMesa(const BenchEnv& env, int, const STBox& query) {
+  auto selected = GeoMesaSelect(env, env.air.gm_dir, query, true);
+  std::vector<Duration> days = TemporalSliding(query.time, 86400);
+  const std::vector<Polygon>& cells = env.road_cells;
+  auto sums = selected.MapPartitions(
+      [&cells, &days](const std::vector<GeoObject>& part) {
+        std::vector<std::pair<double, int64_t>> local(
+            cells.size() * days.size(), {0.0, 0});
+        for (const GeoObject& o : part) {
+          std::vector<int64_t> times = ParseGeoObjectTimes(o);
+          if (times.empty() || !o.geom.IsPoint()) continue;
+          double index = std::atof(ParseGeoObjectAux(o).c_str());
+          const Point& p = o.geom.AsPoint();
+          for (size_t c = 0; c < cells.size(); ++c) {
+            if (!cells[c].ContainsPoint(p)) continue;
+            for (size_t d = 0; d < days.size(); ++d) {
+              if (!days[d].Contains(times[0])) continue;
+              local[d * cells.size() + c].first += index;
+              local[d * cells.size() + c].second += 1;
+            }
+          }
+        }
+        return std::vector<std::vector<std::pair<double, int64_t>>>{local};
+      });
+  std::vector<int64_t> merged(cells.size() * days.size(), 0);
+  for (const auto& local : sums.Collect()) {
+    for (size_t i = 0; i < merged.size(); ++i) merged[i] += local[i].second;
+  }
+  size_t covered = 0;
+  for (int64_t c : merged) {
+    if (c > 0) ++covered;
+  }
+  return covered;
+}
+// LOC-END(air_over_road)
+
+// LOC-BEGIN(poi_count)
+size_t PoiCountGeoMesa(const BenchEnv& env, int, const STBox& query) {
+  STBox poi_query(query.mbr, Duration(-1, 1));  // POIs carry time 0
+  auto selected = GeoMesaSelect(env, env.osm.gm_dir, poi_query, true);
+  const std::vector<Polygon>& areas = env.postal_areas;
+  auto counts = selected.MapPartitions(
+      [&areas](const std::vector<GeoObject>& part) {
+        std::vector<int64_t> local(areas.size(), 0);
+        for (const GeoObject& o : part) {
+          if (!o.geom.IsPoint()) continue;
+          for (size_t a = 0; a < areas.size(); ++a) {  // Cartesian over areas
+            if (areas[a].ContainsPoint(o.geom.AsPoint())) {
+              ++local[a];
+              break;
+            }
+          }
+        }
+        return std::vector<std::vector<int64_t>>{local};
+      });
+  size_t total = 0;
+  for (const auto& local : counts.Collect()) {
+    for (int64_t c : local) total += c;
+  }
+  return total;
+}
+// LOC-END(poi_count)
+
+}  // namespace bench
+}  // namespace st4ml

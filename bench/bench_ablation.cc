@@ -1,0 +1,222 @@
+// Ablations of the design choices DESIGN.md §4 calls out (the paper argues
+// each qualitatively; here they are measured):
+//
+//  (1) §3.1  select-first-then-partition (ST4ML) vs the conventional
+//      partition-first-then-select layout — the latter shuffles ALL records
+//      before any filtering.
+//  (2) §3.2.2 broadcast-structure conversion (ST4ML, design option 2) vs
+//      shuffle-by-cell conversion (design option 1) — the latter performs a
+//      full shuffle of the (replicated) singular instances.
+//  (3) §2.2  reduceByKey (map-side combine) vs groupByKey.mapValues — the
+//      paper's own example of operator choice; both compute hourly counts.
+//
+// Each row reports wall time and, where the difference is structural, the
+// engine's shuffled-record counters — the distributed cost the design
+// choices control.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "conversion/parse.h"
+#include "conversion/shuffle_conversion.h"
+#include "conversion/singular_to_collective.h"
+#include "engine/pair_ops.h"
+#include "extraction/rdd_api.h"
+#include "partition/str_partitioner.h"
+#include "selection/selector.h"
+
+namespace st4ml {
+namespace bench {
+namespace {
+
+void AblateSelectionOrder(const BenchEnv& env) {
+  std::printf("\n--- (1) select-first vs partition-first (§3.1) ---\n");
+  TablePrinter table(
+      {"design", "time", "shuffled records", "shuffled bytes"});
+  auto queries =
+      MakeShapedQueries(env.nyc_extent, env.nyc_range, 0.4, 14 * 86400, 3, 5);
+
+  // ST4ML: load + filter, then ST-partition the selected subset.
+  env.ctx->metrics().Reset();
+  double t_select_first = TimeIt([&] {
+    for (const STBox& q : queries) {
+      SelectorOptions options;
+      options.partitioner = std::make_shared<TSTRPartitioner>(4, 8);
+      Selector<EventRecord> selector(env.ctx, q, options);
+      auto result = selector.Select(env.nyc[2].plain_dir);
+      ST4ML_CHECK(result.ok());
+    }
+  });
+  uint64_t sf_records = env.ctx->metrics().shuffle_records();
+  uint64_t sf_bytes = env.ctx->metrics().shuffle_bytes();
+  table.AddRow({"select-first (ST4ML)", FmtSeconds(t_select_first),
+                FmtCount(sf_records), FmtMb(sf_bytes)});
+
+  // Conventional: ST-partition everything, then filter.
+  env.ctx->metrics().Reset();
+  double t_partition_first = TimeIt([&] {
+    for (const STBox& q : queries) {
+      SelectorOptions load_opts;
+      load_opts.partition_after_select = false;
+      Selector<EventRecord> loader(env.ctx,
+                                   STBox(env.nyc_extent, env.nyc_range),
+                                   load_opts);
+      auto all = loader.Select(env.nyc[2].plain_dir);
+      ST4ML_CHECK(all.ok());
+      TSTRPartitioner partitioner(4, 8);
+      auto partitioned = STPartition(
+          *all, &partitioner,
+          [](const EventRecord& r) { return r.ComputeSTBox(); },
+          [](const EventRecord& r) { return static_cast<uint64_t>(r.id); });
+      partitioned
+          .Filter([&q](const EventRecord& r) {
+            return r.ComputeSTBox().Intersects(q);
+          })
+          .Count();
+    }
+  });
+  uint64_t pf_records = env.ctx->metrics().shuffle_records();
+  uint64_t pf_bytes = env.ctx->metrics().shuffle_bytes();
+  table.AddRow({"partition-first (conventional)",
+                FmtSeconds(t_partition_first), FmtCount(pf_records),
+                FmtMb(pf_bytes)});
+  table.Print();
+}
+
+void AblateConversionDesign(const BenchEnv& env) {
+  std::printf("\n--- (2) broadcast-structure vs shuffle-by-cell (§3.2.2) ---\n");
+  TablePrinter table({"design", "time", "shuffled records", "broadcasts"});
+
+  SelectorOptions options;
+  options.partitioner = std::make_shared<STRPartitioner>(16);
+  Selector<EventRecord> selector(
+      env.ctx, STBox(env.nyc_extent, env.nyc_range), options);
+  auto selected = selector.Select(env.nyc[1].plain_dir);
+  ST4ML_CHECK(selected.ok());
+  auto events = ParseEvents(*selected);
+  auto structure = std::make_shared<const SpatialStructure>(
+      SpatialStructure::Grid(env.nyc_extent, 32, 32));
+  auto count_cell = [](const std::vector<STEvent>& arr) {
+    return static_cast<int64_t>(arr.size());
+  };
+
+  env.ctx->metrics().Reset();
+  int64_t total_broadcast = 0;
+  double t_broadcast = TimeIt([&] {
+    Event2SmConverter<STEvent> converter(structure);
+    SpatialMap<int64_t> merged = CollectAndMerge(
+        MapValue(converter.Convert(events), count_cell),
+        static_cast<int64_t>(0), [](int64_t a, int64_t b) { return a + b; });
+    for (size_t i = 0; i < merged.size(); ++i) total_broadcast += merged.value(i);
+  });
+  table.AddRow({"broadcast structure (ST4ML)", FmtSeconds(t_broadcast),
+                FmtCount(env.ctx->metrics().shuffle_records()),
+                FmtCount(env.ctx->metrics().broadcasts())});
+
+  env.ctx->metrics().Reset();
+  int64_t total_shuffle = 0;
+  double t_shuffle = TimeIt([&] {
+    SpatialMap<int64_t> merged = ConvertToSpatialMapByShuffle(
+        events, structure, [](const std::vector<STEvent>& arr) {
+          return static_cast<int64_t>(arr.size());
+        });
+    for (size_t i = 0; i < merged.size(); ++i) total_shuffle += merged.value(i);
+  });
+  table.AddRow({"shuffle by cell (rejected)", FmtSeconds(t_shuffle),
+                FmtCount(env.ctx->metrics().shuffle_records()),
+                FmtCount(env.ctx->metrics().broadcasts())});
+  table.Print();
+  ST4ML_CHECK(total_broadcast == total_shuffle)
+      << "designs disagree: " << total_broadcast << " vs " << total_shuffle;
+}
+
+void AblateOperatorChoice(const BenchEnv& env) {
+  std::printf("\n--- (3) reduceByKey vs groupByKey (§2.2) ---\n");
+  TablePrinter table({"operator", "time", "shuffled records"});
+
+  SelectorOptions options;
+  options.partition_after_select = false;
+  Selector<EventRecord> selector(
+      env.ctx, STBox(env.nyc_extent, env.nyc_range), options);
+  auto events = selector.Select(env.nyc[2].plain_dir);
+  ST4ML_CHECK(events.ok());
+  auto keyed = events->Map([](const EventRecord& r) {
+    return std::pair<int64_t, int64_t>(r.time / 3600, 1);
+  });
+
+  env.ctx->metrics().Reset();
+  double t_reduce = TimeIt([&] {
+    ReduceByKey<int64_t, int64_t>(
+        keyed, [](const int64_t& a, const int64_t& b) { return a + b; })
+        .Count();
+  });
+  table.AddRow({"reduceByKey(_+_)", FmtSeconds(t_reduce),
+                FmtCount(env.ctx->metrics().shuffle_records())});
+
+  env.ctx->metrics().Reset();
+  double t_group = TimeIt([&] {
+    auto grouped = GroupByKey<int64_t, int64_t>(keyed);
+    grouped
+        .Map([](const std::pair<int64_t, std::vector<int64_t>>& kv) {
+          int64_t sum = 0;
+          for (int64_t v : kv.second) sum += v;
+          return std::pair<int64_t, int64_t>(kv.first, sum);
+        })
+        .Count();
+  });
+  table.AddRow({"groupByKey.mapValues(_.sum)", FmtSeconds(t_group),
+                FmtCount(env.ctx->metrics().shuffle_records())});
+  table.Print();
+}
+
+void AblateInMemoryIndex(const BenchEnv& env) {
+  std::printf("\n--- (4) per-partition R-tree filtering vs linear scan (§3.1) ---\n");
+  std::printf("the Selector's `index` toggle, selective queries\n");
+  TablePrinter table({"filtering", "events", "trajectories"});
+  auto run = [&](bool use_rtree) {
+    double total_e = 0, total_t = 0;
+    for (const STBox& q : MakeShapedQueries(env.nyc_extent, env.nyc_range,
+                                            0.25, 7 * 86400, 4, 21)) {
+      SelectorOptions options;
+      options.partition_after_select = false;
+      options.use_rtree = use_rtree;
+      Selector<EventRecord> selector(env.ctx, q, options);
+      total_e += TimeIt([&] {
+        auto r = selector.Select(env.nyc[2].plain_dir);
+        ST4ML_CHECK(r.ok());
+      });
+    }
+    for (const STBox& q : MakeShapedQueries(env.porto_extent, env.porto_range,
+                                            0.25, 7 * 86400, 4, 22)) {
+      SelectorOptions options;
+      options.partition_after_select = false;
+      options.use_rtree = use_rtree;
+      Selector<TrajRecord> selector(env.ctx, q, options);
+      total_t += TimeIt([&] {
+        auto r = selector.Select(env.porto[2].plain_dir);
+        ST4ML_CHECK(r.ok());
+      });
+    }
+    return std::pair<double, double>(total_e, total_t);
+  };
+  auto [rtree_e, rtree_t] = run(true);
+  auto [linear_e, linear_t] = run(false);
+  table.AddRow({"3-d R-tree (ST4ML)", FmtSeconds(rtree_e), FmtSeconds(rtree_t)});
+  table.AddRow({"linear scan", FmtSeconds(linear_e), FmtSeconds(linear_t)});
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace st4ml
+
+int main() {
+  using namespace st4ml::bench;
+  const BenchEnv& env = GetBenchEnv();
+  std::printf("== Ablations of ST4ML's design choices ==\n");
+  AblateSelectionOrder(env);
+  AblateConversionDesign(env);
+  AblateOperatorChoice(env);
+  AblateInMemoryIndex(env);
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Table 9 + Figure 10: the second Alibaba case study — road-network traffic
+// flow extraction. Sparse camera trajectories are calibrated with the
+// built-in trajectory-to-trajectory (HMM map matching) conversion, connected
+// over the road graph, and converted to a raster whose spatial cells are
+// road segments and whose temporal slots are one hour. The per-day table
+// mirrors Table 9; the per-(segment, hour) flows — Fig. 10's data — are
+// written to road_flow_day<N>.csv.
+//
+// The paper notes this application "cannot be supported by simply extending
+// GeoSpark or GeoMesa", so there is no comparative column.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/env.h"
+#include "conversion/parse.h"
+#include "engine/pair_ops.h"
+#include "mapmatching/hmm_map_matcher.h"
+#include "storage/csv.h"
+
+namespace st4ml {
+namespace bench {
+namespace {
+
+struct DayResult {
+  size_t amount = 0;
+  double avg_points = 0.0;
+  double avg_duration_min = 0.0;
+  double processing_s = 0.0;
+  size_t matched_points = 0;
+  size_t flow_rows = 0;
+};
+
+DayResult RunDay(const BenchEnv& env, const RoadNetwork& network,
+                 std::shared_ptr<const RoadNetwork> network_ptr,
+                 const Duration& day, uint64_t seed, int64_t* next_id,
+                 const std::string& flow_csv) {
+  CameraTrajOptions gen;
+  gen.seed = seed;
+  gen.day = day;
+  gen.count = static_cast<int64_t>(2000 * BenchScale());
+  auto records = GenerateCameraTrajectories(network, gen);
+  for (auto& t : records) t.id = (*next_id)++;
+
+  DayResult result;
+  result.amount = records.size();
+  for (const auto& t : records) {
+    result.avg_points += static_cast<double>(t.points.size());
+    result.avg_duration_min +=
+        static_cast<double>(t.points.back().time - t.points.front().time) / 60.0;
+  }
+  result.avg_points /= static_cast<double>(records.size());
+  result.avg_duration_min /= static_cast<double>(records.size());
+
+  Stopwatch timer;
+  auto trajs =
+      ParseTrajs(Dataset<TrajRecord>::Parallelize(env.ctx, records, 16));
+
+  // Built-in trajectory-to-trajectory conversion: HMM map matching (§3.2.2).
+  MapMatchOptions match;
+  match.sigma_z_m = 25.0;
+  match.candidate_radius_m = 150.0;
+  auto matched = MapMatchTrajectories(trajs, network_ptr, match);
+
+  // Flow per (road segment, hour): distinct trajectory visits.
+  auto keyed = matched.FlatMap(
+      [](const Trajectory<int64_t, int64_t>& t) {
+        std::vector<std::pair<std::pair<int64_t, int64_t>, int64_t>> out;
+        int64_t last_seg = 0, last_hour = -1;
+        for (const auto& e : t.entries) {
+          int64_t hour = e.time / 3600;
+          if (e.value == last_seg && hour == last_hour) continue;
+          last_seg = e.value;
+          last_hour = hour;
+          out.push_back({{std::llabs(e.value), hour}, 1});
+        }
+        return out;
+      },
+      "caseFlow/key");
+  auto flow = ReduceByKey<std::pair<int64_t, int64_t>, int64_t,
+                          std::plus<int64_t>, PairHash>(keyed,
+                                                        std::plus<int64_t>());
+  auto rows = flow.Collect();
+  result.processing_s = timer.ElapsedSeconds();
+  result.flow_rows = rows.size();
+  for (const auto& t : matched.Collect()) result.matched_points += t.entries.size();
+
+  // Fig. 10: persist the flows for visualization.
+  std::vector<std::vector<std::string>> csv_rows;
+  csv_rows.reserve(rows.size());
+  for (const auto& [key, count] : rows) {
+    csv_rows.push_back({std::to_string(key.first),
+                        std::to_string(key.second % 24),
+                        std::to_string(count)});
+  }
+  ST4ML_CHECK(WriteCsv(flow_csv, {"segment", "hour", "flow"}, csv_rows).ok());
+  return result;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace st4ml
+
+int main() {
+  using namespace st4ml::bench;
+  using namespace st4ml;
+  const BenchEnv& env = GetBenchEnv();
+  std::printf("== Table 9 / Fig. 10: road-network flow extraction ==\n\n");
+
+  RoadNetworkOptions road_gen;
+  road_gen.nx = 18;
+  road_gen.ny = 18;
+  auto network = GenerateRoadNetwork(road_gen);
+  std::printf("district road network: %zu directed segments\n\n",
+              network->num_segments());
+
+  TablePrinter table({"date", "amount", "avg points", "avg duration",
+                      "processing", "matched pts", "flow rows"});
+  int64_t next_id = 0;
+  const char* labels[2] = {"2020-08-02 (Sun)", "2020-08-03 (Mon)"};
+  for (int d = 0; d < 2; ++d) {
+    int64_t start = 1596326400 + static_cast<int64_t>(d) * 86400;
+    std::string csv = "road_flow_day" + std::to_string(d + 1) + ".csv";
+    DayResult r = RunDay(env, *network, network, Duration(start, start + 86399),
+                         500 + d, &next_id, csv);
+    char pts[16], dur[24];
+    std::snprintf(pts, sizeof(pts), "%.2f", r.avg_points);
+    std::snprintf(dur, sizeof(dur), "%.2f min", r.avg_duration_min);
+    table.AddRow({labels[d], FmtCount(r.amount), pts, dur,
+                  FmtSeconds(r.processing_s), FmtCount(r.matched_points),
+                  FmtCount(r.flow_rows)});
+    std::printf("day %d flows written to %s\n", d + 1, csv.c_str());
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\n(avg points/duration match the Table 9 data profile: ~9 points,\n"
+      "~27 min — sparse samples that force real map-matching work.)\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Figure 7: end-to-end processing time of the eight Table 7 feature
+// extraction applications on ST4ML vs the GeoSpark-like and GeoMesa-like
+// baselines, at three data scales. Each application runs a batch of
+// randomly-generated ST ranges in sequence (the paper uses 10 queries; this
+// harness defaults to 3 — set ST4ML_E2E_QUERIES to change) and reports total
+// time.
+//
+// Expected shape (paper): ST4ML fastest everywhere; the gap grows with data
+// scale and is widest for conversion-heavy apps (hourly flow, transition,
+// air over road, POI count).
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "bench_common.h"
+#include "common/env.h"
+
+namespace st4ml {
+namespace bench {
+namespace {
+
+using AppFn = std::function<size_t(const BenchEnv&, int, const STBox&)>;
+
+struct App {
+  std::string name;
+  AppFn st4ml;
+  AppFn geospark;
+  AppFn geomesa;
+  bool uses_scale;        // NYC/Porto apps sweep 25/50/100%
+  Mbr extent;             // query universe
+  Duration range;
+  double side_fraction;   // spatial query side, per axis
+  int64_t span_seconds;   // temporal query window
+};
+
+void RunApp(const BenchEnv& env, const App& app) {
+  int num_queries = static_cast<int>(GetEnvInt("ST4ML_E2E_QUERIES", 3));
+  std::printf("\n--- %s ---\n", app.name.c_str());
+  TablePrinter table({"scale", "ST4ML", "GeoSpark-like", "GeoMesa-like",
+                      "vs GeoSpark", "vs GeoMesa", "results"});
+  std::vector<int> scales =
+      app.uses_scale ? std::vector<int>{0, 1, 2} : std::vector<int>{2};
+  for (int scale : scales) {
+    auto queries = MakeShapedQueries(app.extent, app.range, app.side_fraction,
+                                     app.span_seconds, num_queries,
+                                     1234 + scale);
+
+    size_t sum_a = 0, sum_b = 0, sum_c = 0;
+    double t_st4ml = TimeIt([&] {
+      for (const auto& q : queries) sum_a += app.st4ml(env, scale, q);
+    });
+    double t_geospark = TimeIt([&] {
+      for (const auto& q : queries) sum_b += app.geospark(env, scale, q);
+    });
+    double t_geomesa = TimeIt([&] {
+      for (const auto& q : queries) sum_c += app.geomesa(env, scale, q);
+    });
+    const char* scale_name = scale == 0 ? "25%" : (scale == 1 ? "50%" : "100%");
+    char results[96];
+    std::snprintf(results, sizeof(results), "%zu/%zu/%zu", sum_a, sum_b, sum_c);
+    table.AddRow({scale_name, FmtSeconds(t_st4ml), FmtSeconds(t_geospark),
+                  FmtSeconds(t_geomesa), FmtRatio(t_geospark / t_st4ml),
+                  FmtRatio(t_geomesa / t_st4ml), results});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace st4ml
+
+int main() {
+  using namespace st4ml::bench;
+  const BenchEnv& env = GetBenchEnv();
+  std::printf("== Fig. 7: end-to-end feature extraction, 3 systems ==\n");
+  std::printf("datasets: NYC %s events, Porto %s trajs, Air %s, OSM %s POIs\n",
+              FmtCount(env.nyc_count[2]).c_str(),
+              FmtCount(env.porto_count[2]).c_str(),
+              FmtCount(env.air_count).c_str(), FmtCount(env.osm_count).c_str());
+
+  std::vector<App> apps = {
+      {"anomaly", AnomalySt4ml, AnomalyGeoSpark, AnomalyGeoMesa, true,
+       env.nyc_extent, env.nyc_range, 0.6, 60 * 86400},
+      {"average speed", AvgSpeedSt4ml, AvgSpeedGeoSpark, AvgSpeedGeoMesa, true,
+       env.porto_extent, env.porto_range, 0.6, 60 * 86400},
+      {"stay point", StayPointSt4ml, StayPointGeoSpark, StayPointGeoMesa, true,
+       env.porto_extent, env.porto_range, 0.6, 60 * 86400},
+      {"hourly flow", HourlyFlowSt4ml, HourlyFlowGeoSpark, HourlyFlowGeoMesa,
+       true, env.nyc_extent, env.nyc_range, 0.6, 14 * 86400},
+      {"grid speed", GridSpeedSt4ml, GridSpeedGeoSpark, GridSpeedGeoMesa, true,
+       env.porto_extent, env.porto_range, 0.5, 30 * 86400},
+      {"transition", TransitionSt4ml, TransitionGeoSpark, TransitionGeoMesa,
+       true, env.porto_extent, env.porto_range, 0.5, 2 * 86400},
+      {"air over road", AirOverRoadSt4ml, AirOverRoadGeoSpark,
+       AirOverRoadGeoMesa, false, env.air_extent, env.air_range, 0.8,
+       7 * 86400},
+      {"POI count", PoiCountSt4ml, PoiCountGeoSpark, PoiCountGeoMesa, false,
+       env.osm_extent, st4ml::Duration(0, 1), 0.7, 1},
+  };
+  for (const App& app : apps) RunApp(env, app);
+  std::printf(
+      "\nNote: per-system result counts can differ slightly where selection\n"
+      "semantics differ (ST4ML prunes with tight ST metadata; baselines\n"
+      "refine with their own predicates).\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Table 8: lines of code implementing the eight end-to-end applications
+// against each API. The four implementations live in bench/apps/*.cc between
+// `// LOC-BEGIN(<app>)` / `// LOC-END(<app>)` markers; this harness counts
+// the non-blank lines between the markers (glue such as environment setup
+// and data staging sits outside the markers for every system, like the
+// paper's "same glue code" rule).
+//
+// Expected shape (paper): ST4ML-B 100%, ST4ML-C ~119%, GeoMesa ~193%,
+// GeoSpark ~219%.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace st4ml {
+namespace bench {
+namespace {
+
+const char* kApps[] = {"anomaly",    "avg_speed",  "stay_point",
+                       "hourly_flow", "grid_speed", "transition",
+                       "air_over_road", "poi_count"};
+
+std::map<std::string, int> CountLoc(const std::string& path) {
+  std::map<std::string, int> counts;
+  std::ifstream in(path);
+  ST4ML_CHECK(static_cast<bool>(in)) << "cannot open " << path;
+  std::string line;
+  std::string current;
+  while (std::getline(in, line)) {
+    size_t begin = line.find("LOC-BEGIN(");
+    size_t end = line.find("LOC-END(");
+    if (begin != std::string::npos) {
+      size_t close = line.find(')', begin);
+      current = line.substr(begin + 10, close - begin - 10);
+      continue;
+    }
+    if (end != std::string::npos) {
+      current.clear();
+      continue;
+    }
+    if (current.empty()) continue;
+    // Count non-blank, non-pure-comment lines.
+    size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    if (line.compare(first, 2, "//") == 0) continue;
+    counts[current] += 1;
+  }
+  return counts;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace st4ml
+
+int main() {
+  using namespace st4ml::bench;
+#ifndef ST4ML_APPS_DIR
+#define ST4ML_APPS_DIR "bench/apps"
+#endif
+  const std::string dir = ST4ML_APPS_DIR;
+  struct System {
+    const char* name;
+    std::string file;
+  };
+  std::vector<System> systems = {
+      {"ST4ML-B", dir + "/st4ml_apps.cc"},
+      {"ST4ML-C", dir + "/st4ml_custom_apps.cc"},
+      {"GeoMesa", dir + "/geomesa_apps.cc"},
+      {"GeoSpark", dir + "/geospark_apps.cc"},
+  };
+
+  std::printf("== Table 8: lines of code per end-to-end application ==\n\n");
+  std::vector<std::string> header = {"system"};
+  for (const char* app : kApps) header.push_back(app);
+  header.push_back("average");
+  TablePrinter table(header);
+
+  double base_total = 0;
+  for (const System& sys : systems) {
+    auto counts = CountLoc(sys.file);
+    std::vector<std::string> row = {sys.name};
+    double total = 0;
+    for (const char* app : kApps) {
+      int loc = counts.count(app) ? counts[app] : 0;
+      total += loc;
+      row.push_back(std::to_string(loc));
+    }
+    if (base_total == 0) base_total = total;
+    char avg[16];
+    std::snprintf(avg, sizeof(avg), "%.0f%%", total / base_total * 100);
+    row.push_back(avg);
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("\n(average = total LoC relative to ST4ML-B)\n");
+  return 0;
+}

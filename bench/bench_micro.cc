@@ -1,0 +1,144 @@
+// Microbenchmarks (google-benchmark) for the primitives the macro benches
+// are built from: geometry predicates, R-tree build/query, partitioner
+// assignment, the engine's shuffle, and string-attribute parsing (the
+// GeoObject reformatting cost the baselines pay per record).
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/geo_object.h"
+#include "common/rng.h"
+#include "engine/pair_ops.h"
+#include "geometry/geometry.h"
+#include "index/rtree.h"
+#include "partition/str_partitioner.h"
+
+namespace st4ml {
+namespace {
+
+std::vector<STBox> RandomBoxes(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<STBox> boxes;
+  boxes.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Uniform(0, 100), y = rng.Uniform(0, 100);
+    int64_t t = rng.UniformInt(0, 86400);
+    boxes.push_back(
+        STBox(Mbr(x, y, x + 0.5, y + 0.5), Duration(t, t + 600)));
+  }
+  return boxes;
+}
+
+void BM_HaversineMeters(benchmark::State& state) {
+  Point a(-73.98, 40.75), b(-73.95, 40.78);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HaversineMeters(a, b));
+  }
+}
+BENCHMARK(BM_HaversineMeters);
+
+void BM_PolygonContainsPoint(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Point> ring;
+  int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    double angle = 2 * 3.14159265 * i / n;
+    ring.push_back(Point(std::cos(angle), std::sin(angle)));
+  }
+  Polygon poly(ring);
+  Point p(0.3, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poly.ContainsPoint(p));
+  }
+}
+BENCHMARK(BM_PolygonContainsPoint)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SegmentsIntersect(benchmark::State& state) {
+  Point a1(0, 0), a2(1, 1), b1(0, 1), b2(1, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SegmentsIntersect(a1, a2, b1, b2));
+  }
+}
+BENCHMARK(BM_SegmentsIntersect);
+
+void BM_RTreeBuild(benchmark::State& state) {
+  auto boxes = RandomBoxes(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    RTree<STBox> tree;
+    tree.Build(boxes);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RTreeQuery(benchmark::State& state) {
+  auto boxes = RandomBoxes(static_cast<int>(state.range(0)), 3);
+  RTree<STBox> tree;
+  tree.Build(boxes);
+  Rng rng(4);
+  for (auto _ : state) {
+    double x = rng.Uniform(0, 95), y = rng.Uniform(0, 95);
+    int64_t t = rng.UniformInt(0, 80000);
+    STBox query(Mbr(x, y, x + 5, y + 5), Duration(t, t + 3600));
+    benchmark::DoNotOptimize(tree.Query(query).size());
+  }
+}
+BENCHMARK(BM_RTreeQuery)->Arg(10000)->Arg(100000);
+
+void BM_TstrAssign(benchmark::State& state) {
+  auto boxes = RandomBoxes(20000, 5);
+  TSTRPartitioner partitioner(8, 8);
+  partitioner.Train(boxes);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        partitioner.Assign(boxes[i % boxes.size()], false, i));
+    ++i;
+  }
+}
+BENCHMARK(BM_TstrAssign);
+
+void BM_ShuffleReduceByKey(benchmark::State& state) {
+  auto ctx = ExecutionContext::Create(2);
+  std::vector<std::pair<int, int>> data;
+  int n = static_cast<int>(state.range(0));
+  data.reserve(n);
+  for (int i = 0; i < n; ++i) data.emplace_back(i % 128, 1);
+  auto ds = Dataset<std::pair<int, int>>::Parallelize(ctx, data, 8);
+  for (auto _ : state) {
+    auto reduced =
+        ReduceByKey<int, int>(ds, [](const int& a, const int& b) { return a + b; });
+    benchmark::DoNotOptimize(reduced.Count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ShuffleReduceByKey)->Arg(10000)->Arg(100000);
+
+void BM_GeoObjectTimeParse(benchmark::State& state) {
+  // The per-use string parsing the baselines pay (Table 1's reformatting).
+  TrajRecord record;
+  record.id = 7;
+  for (int i = 0; i < 60; ++i) {
+    record.points.push_back(TrajPointRecord{-8.6 + i * 1e-4, 41.1, 1000L + i * 15});
+  }
+  GeoObject o = GeoObjectFromTraj(record);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseGeoObjectTimes(o).size());
+  }
+}
+BENCHMARK(BM_GeoObjectTimeParse);
+
+void BM_WktRoundTrip(benchmark::State& state) {
+  Geometry g(Point(-8.618643, 41.141412));
+  std::string wkt = ToWkt(g);
+  for (auto _ : state) {
+    Geometry parsed;
+    benchmark::DoNotOptimize(FromWkt(wkt, &parsed));
+  }
+}
+BENCHMARK(BM_WktRoundTrip);
+
+}  // namespace
+}  // namespace st4ml
+
+BENCHMARK_MAIN();
