@@ -1,0 +1,39 @@
+// Map matching: snap noisy camera trajectories onto a road network with the
+// HMM matcher, then count per-segment traversals.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "st4ml.h"
+
+int main() {
+  using namespace st4ml;
+  auto ctx = ExecutionContext::Create();
+
+  RoadNetworkOptions road_gen;
+  auto network = GenerateRoadNetwork(road_gen);
+  CameraTrajOptions traj_gen;
+  traj_gen.count = 300;
+  auto records = GenerateCameraTrajectories(*network, traj_gen);
+  auto trajs = ParseTrajs(Dataset<TrajRecord>::Parallelize(ctx, records, 4));
+
+  auto matched = MapMatchTrajectories(trajs, network, MapMatchOptions{});
+
+  std::map<int64_t, int64_t> traversals;
+  for (const auto& trip : matched.Collect()) {
+    for (const auto& entry : trip.entries) {
+      ++traversals[std::llabs(entry.value)];
+    }
+  }
+  std::printf("matched %zu trajectories over %zu segments used\n",
+              matched.Count(), traversals.size());
+  int shown = 0;
+  for (const auto& [segment, count] : traversals) {
+    if (++shown > 5) break;
+    std::printf("  segment %lld: %lld samples\n",
+                static_cast<long long>(segment),
+                static_cast<long long>(count));
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Partitioner comparison (paper §5 / Table 5 in miniature): balance and
+// overlap of the ST partitioners on a skewed synthetic workload.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "st4ml.h"
+
+int main() {
+  using namespace st4ml;
+
+  NycEventOptions gen;
+  gen.count = 20000;
+  std::vector<STBox> boxes;
+  for (const EventRecord& r : GenerateNycEvents(gen)) {
+    boxes.push_back(r.ComputeSTBox());
+  }
+
+  struct Entry {
+    const char* name;
+    std::unique_ptr<STPartitioner> partitioner;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"hash", std::make_unique<HashPartitioner>(16)});
+  entries.push_back({"grid", std::make_unique<GridPartitioner>(16)});
+  entries.push_back({"kdb", std::make_unique<KDBPartitioner>(16)});
+  entries.push_back({"quadtree", std::make_unique<QuadTreePartitioner>(16)});
+  entries.push_back({"str", std::make_unique<STRPartitioner>(16)});
+  entries.push_back({"t-str", std::make_unique<TSTRPartitioner>(4, 4)});
+  entries.push_back({"t-balance", std::make_unique<TBalancePartitioner>(16)});
+
+  std::printf("%-10s %8s %8s\n", "scheme", "cv", "overlap");
+  for (Entry& e : entries) {
+    e.partitioner->Train(boxes);
+    int n = e.partitioner->num_partitions();
+    std::vector<size_t> counts(static_cast<size_t>(n), 0);
+    std::vector<int> assignment;
+    assignment.reserve(boxes.size());
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      int p = e.partitioner->Assign(boxes[i], false, i)[0];
+      ++counts[static_cast<size_t>(p)];
+      assignment.push_back(p);
+    }
+    double cv = CoefficientOfVariation(counts);
+    double overlap = OverlapRatio(PartitionContentBounds(boxes, assignment, n));
+    std::printf("%-10s %8.3f %8.3f\n", e.name, cv, overlap);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "baselines/geo_object.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace st4ml {
+namespace {
+
+std::string FormatTime(int64_t t) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, t);
+  return buf;
+}
+
+}  // namespace
+
+GeoObject GeoObjectFromEvent(const EventRecord& record) {
+  GeoObject object;
+  object.id = record.id;
+  object.geom = Geometry(Point(record.x, record.y));
+  object.times = FormatTime(record.time);
+  object.aux = record.attr;
+  return object;
+}
+
+GeoObject GeoObjectFromTraj(const TrajRecord& record) {
+  GeoObject object;
+  object.id = record.id;
+  std::vector<Point> points;
+  points.reserve(record.points.size());
+  for (const TrajPointRecord& p : record.points) {
+    points.emplace_back(p.x, p.y);
+    if (!object.times.empty()) object.times += ',';
+    object.times += FormatTime(p.time);
+  }
+  object.geom = Geometry(LineString(std::move(points)));
+  return object;
+}
+
+std::vector<int64_t> ParseGeoObjectTimes(const GeoObject& object) {
+  std::vector<int64_t> times;
+  const char* cursor = object.times.c_str();
+  while (*cursor != '\0') {
+    char* end = nullptr;
+    times.push_back(std::strtoll(cursor, &end, 10));
+    if (end == cursor) break;  // malformed tail; keep what parsed
+    cursor = *end == ',' ? end + 1 : end;
+  }
+  return times;
+}
+
+std::string ParseGeoObjectAux(const GeoObject& object) { return object.aux; }
+
+}  // namespace st4ml

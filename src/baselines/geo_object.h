@@ -1,0 +1,35 @@
+#ifndef ST4ML_BASELINES_GEO_OBJECT_H_
+#define ST4ML_BASELINES_GEO_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/geometry.h"
+#include "storage/records.h"
+
+namespace st4ml {
+
+/// How the baseline systems actually hold spatio-temporal records: a JTS-like
+/// geometry plus STRING-typed times and attributes that every operator must
+/// re-parse at every use (the paper's Table 1 cost, reproduced faithfully so
+/// the end-to-end comparison is honest).
+struct GeoObject {
+  int64_t id = 0;
+  Geometry geom;
+  std::string times;  // comma-joined epoch seconds
+  std::string aux;    // opaque attribute payload
+};
+
+GeoObject GeoObjectFromEvent(const EventRecord& record);
+GeoObject GeoObjectFromTraj(const TrajRecord& record);
+
+/// Re-parses the comma-joined time list — deliberately paid per call.
+std::vector<int64_t> ParseGeoObjectTimes(const GeoObject& object);
+
+/// "Parses" the attribute payload (a copy, like deserializing a field).
+std::string ParseGeoObjectAux(const GeoObject& object);
+
+}  // namespace st4ml
+
+#endif  // ST4ML_BASELINES_GEO_OBJECT_H_

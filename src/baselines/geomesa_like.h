@@ -1,0 +1,48 @@
+#ifndef ST4ML_BASELINES_GEOMESA_LIKE_H_
+#define ST4ML_BASELINES_GEOMESA_LIKE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/geo_object.h"
+#include "common/status.h"
+#include "engine/dataset.h"
+#include "engine/execution_context.h"
+#include "geometry/mbr.h"
+#include "storage/records.h"
+#include "temporal/duration.h"
+
+namespace st4ml {
+
+/// A faithful miniature of the GeoMesa workflow: ingestion keys records on a
+/// Z2 space-filling curve and stores them in key-ordered blocks with block
+/// envelopes, so selection can prune blocks — spatially indexed storage, but
+/// the curve is purely spatial, so long-time queries still open most blocks
+/// (the gap T-STR closes).
+class GeoMesaLike {
+ public:
+  explicit GeoMesaLike(std::shared_ptr<ExecutionContext> ctx)
+      : ctx_(std::move(ctx)) {}
+
+  Status IngestEvents(const std::vector<EventRecord>& records,
+                      const std::string& dir);
+  Status IngestTrajs(const std::vector<TrajRecord>& records,
+                     const std::string& dir);
+
+  /// Block-pruned selection, refined per object with the same envelope +
+  /// time-span predicates the other systems use.
+  StatusOr<Dataset<GeoObject>> SelectEvents(const std::string& dir,
+                                            const Mbr& range,
+                                            const Duration& time);
+  StatusOr<Dataset<GeoObject>> SelectTrajs(const std::string& dir,
+                                           const Mbr& range,
+                                           const Duration& time);
+
+ private:
+  std::shared_ptr<ExecutionContext> ctx_;
+};
+
+}  // namespace st4ml
+
+#endif  // ST4ML_BASELINES_GEOMESA_LIKE_H_

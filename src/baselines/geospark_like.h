@@ -1,0 +1,45 @@
+#ifndef ST4ML_BASELINES_GEOSPARK_LIKE_H_
+#define ST4ML_BASELINES_GEOSPARK_LIKE_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/geo_object.h"
+#include "common/status.h"
+#include "engine/dataset.h"
+#include "engine/execution_context.h"
+#include "geometry/mbr.h"
+#include "temporal/duration.h"
+
+namespace st4ml {
+
+/// A faithful miniature of the GeoSpark/Sedona workflow: load EVERYTHING
+/// into generic geometry objects, run a spatial RangeQuery, then bolt the
+/// temporal filter on afterwards by re-parsing string times — there is no
+/// temporal index and no ST-aware storage to prune with.
+class GeoSparkLike {
+ public:
+  explicit GeoSparkLike(std::shared_ptr<ExecutionContext> ctx)
+      : ctx_(std::move(ctx)) {}
+
+  /// Full-directory loads (plain STPQ dirs) — GeoSpark has no metadata to
+  /// skip files with, so every byte is read.
+  StatusOr<Dataset<GeoObject>> LoadAllEvents(const std::string& dir);
+  StatusOr<Dataset<GeoObject>> LoadAllTrajs(const std::string& dir);
+
+  /// Envelope-vs-rectangle spatial selection.
+  Dataset<GeoObject> RangeQuery(const Dataset<GeoObject>& data,
+                                const Mbr& range) const;
+
+  /// Temporal refinement over the string time lists: keeps objects whose
+  /// [first, last] time span intersects `range`.
+  static Dataset<GeoObject> TemporalFilter(const Dataset<GeoObject>& data,
+                                           const Duration& range);
+
+ private:
+  std::shared_ptr<ExecutionContext> ctx_;
+};
+
+}  // namespace st4ml
+
+#endif  // ST4ML_BASELINES_GEOSPARK_LIKE_H_

@@ -1,0 +1,30 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace st4ml {
+
+std::string GetEnvString(const char* name, const std::string& default_value) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' ? value : default_value;
+}
+
+int64_t GetEnvInt(const char* name, int64_t default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return default_value;
+  char* end = nullptr;
+  long long parsed = std::strtoll(value, &end, 10);
+  return end != value ? static_cast<int64_t>(parsed) : default_value;
+}
+
+double GetEnvDouble(const char* name, double default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return default_value;
+  char* end = nullptr;
+  double parsed = std::strtod(value, &end);
+  return end != value ? parsed : default_value;
+}
+
+double BenchScale() { return GetEnvDouble("ST4ML_SCALE", 1.0); }
+
+}  // namespace st4ml

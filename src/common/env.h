@@ -1,0 +1,21 @@
+#ifndef ST4ML_COMMON_ENV_H_
+#define ST4ML_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace st4ml {
+
+/// Environment-variable configuration knobs (EXPERIMENTS.md "reproducibility
+/// knobs"). Missing or unparsable values fall back to the default.
+std::string GetEnvString(const char* name, const std::string& default_value);
+int64_t GetEnvInt(const char* name, int64_t default_value);
+double GetEnvDouble(const char* name, double default_value);
+
+/// ST4ML_SCALE: dataset size multiplier for benches and staged data
+/// (default 1.0, tuned for a small container).
+double BenchScale();
+
+}  // namespace st4ml
+
+#endif  // ST4ML_COMMON_ENV_H_

@@ -1,0 +1,29 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace st4ml {
+namespace internal {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* expr) {
+  stream_ << file << ":" << line << " CHECK failed: " << expr << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+
+void LogInfo(const std::string& message) {
+  std::fprintf(stderr, "[st4ml] %s\n", message.c_str());
+}
+
+void LogWarn(const std::string& message) {
+  std::fprintf(stderr, "[st4ml:warn] %s\n", message.c_str());
+}
+
+}  // namespace st4ml

@@ -1,0 +1,45 @@
+#ifndef ST4ML_COMMON_LOGGING_H_
+#define ST4ML_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace st4ml {
+namespace internal {
+
+/// Accumulates the streamed message for a failed ST4ML_CHECK and aborts the
+/// process when the full expression finishes (so every `<<` has run).
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr);
+  ~CheckFailure();  // prints and aborts
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lower-precedence-than-`<<` sink so the macro can be used as a statement.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+/// Aborts with a message when `cond` is false. Streamable:
+///   ST4ML_CHECK(s.ok()) << "load failed: " << s.ToString();
+#define ST4ML_CHECK(cond)           \
+  (cond) ? (void)0                  \
+         : ::st4ml::internal::Voidify() &                                   \
+               ::st4ml::internal::CheckFailure(__FILE__, __LINE__, #cond)   \
+                   .stream()
+
+/// Minimal leveled logging to stderr (ST4ML_LOG_LEVEL gates verbosity).
+void LogInfo(const std::string& message);
+void LogWarn(const std::string& message);
+
+}  // namespace st4ml
+
+#endif  // ST4ML_COMMON_LOGGING_H_

@@ -1,0 +1,56 @@
+#ifndef ST4ML_COMMON_RNG_H_
+#define ST4ML_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace st4ml {
+
+/// Deterministic splitmix64-based RNG. Every generator, sampler and bench in
+/// the repo draws randomness through a seeded Rng so results are reproducible
+/// run-to-run and independent of the standard library's distributions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    double unit = static_cast<double>(Next() >> 11) * 0x1.0p-53;
+    return lo + unit * (hi - lo);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Standard normal via Box-Muller.
+  double Gaussian() {
+    double u1 = Uniform(1e-12, 1.0);
+    double u2 = Uniform(0.0, 1.0);
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647 * u2);
+  }
+
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return Uniform(0.0, 1.0) < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace st4ml
+
+#endif  // ST4ML_COMMON_RNG_H_

@@ -1,0 +1,32 @@
+#ifndef ST4ML_COMMON_STOPWATCH_H_
+#define ST4ML_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace st4ml {
+
+/// Wall-clock stopwatch; starts at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace st4ml
+
+#endif  // ST4ML_COMMON_STOPWATCH_H_

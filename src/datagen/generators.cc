@@ -1,0 +1,310 @@
+#include "datagen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "geometry/linestring.h"
+#include "geometry/point.h"
+
+namespace st4ml {
+namespace {
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+Point ClampToExtent(const Point& p, const Mbr& extent) {
+  return Point(Clamp(p.x, extent.x_min, extent.x_max),
+               Clamp(p.y, extent.y_min, extent.y_max));
+}
+
+}  // namespace
+
+std::vector<EventRecord> GenerateNycEvents(const NycEventOptions& options) {
+  Rng rng(options.seed);
+  const Mbr& ext = options.extent;
+
+  // A handful of pickup hotspots plus a uniform background, the classic
+  // taxi-demand shape: dense downtown clusters over a city-wide sprinkle.
+  constexpr int kHotspots = 6;
+  Point centers[kHotspots];
+  for (Point& c : centers) {
+    c = Point(rng.Uniform(ext.x_min, ext.x_max),
+              rng.Uniform(ext.y_min, ext.y_max));
+  }
+  double sx = (ext.x_max - ext.x_min) / 30.0;
+  double sy = (ext.y_max - ext.y_min) / 30.0;
+
+  std::vector<EventRecord> records;
+  records.reserve(static_cast<size_t>(std::max<int64_t>(options.count, 0)));
+  for (int64_t i = 0; i < options.count; ++i) {
+    EventRecord r;
+    r.id = i;
+    Point p;
+    if (rng.Bernoulli(0.7)) {
+      const Point& c = centers[rng.UniformInt(0, kHotspots - 1)];
+      p = Point(rng.Gaussian(c.x, sx), rng.Gaussian(c.y, sy));
+    } else {
+      p = Point(rng.Uniform(ext.x_min, ext.x_max),
+                rng.Uniform(ext.y_min, ext.y_max));
+    }
+    p = ClampToExtent(p, ext);
+    r.x = p.x;
+    r.y = p.y;
+    r.time = rng.UniformInt(options.range.start(), options.range.end());
+    char attr[48];
+    std::snprintf(attr, sizeof(attr), "fare=%.2f;passengers=%d",
+                  rng.Uniform(3.0, 60.0),
+                  static_cast<int>(rng.UniformInt(1, 4)));
+    r.attr = attr;
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+std::vector<TrajRecord> GeneratePortoTrajectories(
+    const PortoTrajOptions& options) {
+  Rng rng(options.seed);
+  const Mbr& ext = options.extent;
+  constexpr int64_t kSampleSeconds = 15;
+
+  std::vector<TrajRecord> records;
+  records.reserve(static_cast<size_t>(std::max<int64_t>(options.count, 0)));
+  for (int64_t i = 0; i < options.count; ++i) {
+    int n = static_cast<int>(rng.UniformInt(20, 80));
+    TrajRecord r;
+    r.id = i;
+    r.points.reserve(static_cast<size_t>(n));
+
+    Point p(rng.Uniform(ext.x_min, ext.x_max),
+            rng.Uniform(ext.y_min, ext.y_max));
+    double heading = rng.Uniform(0.0, 2.0 * M_PI);
+    double speed_mps = rng.Uniform(5.0, 15.0);
+    int64_t t = rng.UniformInt(
+        options.range.start(),
+        options.range.end() - static_cast<int64_t>(n) * kSampleSeconds);
+    for (int k = 0; k < n; ++k) {
+      TrajPointRecord sample;
+      sample.x = p.x;
+      sample.y = p.y;
+      sample.time = t;
+      r.points.push_back(sample);
+      t += kSampleSeconds;
+
+      // Smoothly wandering heading; step size from the speed and cadence.
+      heading += rng.Gaussian(0.0, 0.35);
+      double meters = speed_mps * static_cast<double>(kSampleSeconds);
+      double dlat = meters * std::cos(heading) / 111320.0;
+      double dlon = meters * std::sin(heading) /
+                    (111320.0 * std::max(0.1, std::cos(p.y * M_PI / 180.0)));
+      p = ClampToExtent(Point(p.x + dlon, p.y + dlat), ext);
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+std::vector<EventRecord> GenerateAirQuality(const AirQualityOptions& options) {
+  Rng rng(options.seed);
+  const Mbr& ext = options.extent;
+
+  std::vector<Point> stations;
+  std::vector<double> base_aqi;
+  stations.reserve(static_cast<size_t>(std::max(options.stations, 0)));
+  for (int s = 0; s < options.stations; ++s) {
+    stations.emplace_back(rng.Uniform(ext.x_min, ext.x_max),
+                          rng.Uniform(ext.y_min, ext.y_max));
+    base_aqi.push_back(rng.Uniform(30.0, 160.0));
+  }
+
+  std::vector<EventRecord> records;
+  int64_t next_id = 0;
+  for (int s = 0; s < options.stations; ++s) {
+    for (int replica = 0; replica < options.replicas; ++replica) {
+      for (int64_t t = options.range.start(); t <= options.range.end();
+           t += options.interval_s) {
+        EventRecord r;
+        r.id = next_id++;
+        r.x = stations[static_cast<size_t>(s)].x;
+        r.y = stations[static_cast<size_t>(s)].y;
+        r.time = t;
+        // Daily pollution rhythm around the station's base level.
+        double daily =
+            20.0 * std::sin(2.0 * M_PI *
+                            static_cast<double>(HourOfDay(t)) / 24.0);
+        double aqi = std::max(
+            1.0, base_aqi[static_cast<size_t>(s)] + daily + rng.Gaussian(0, 6));
+        char attr[24];
+        std::snprintf(attr, sizeof(attr), "%.1f", aqi);
+        r.attr = attr;
+        records.push_back(std::move(r));
+      }
+    }
+  }
+  return records;
+}
+
+OsmData GenerateOsm(const OsmOptions& options) {
+  Rng rng(options.seed);
+  const Mbr& ext = options.extent;
+  OsmData data;
+
+  data.pois.reserve(static_cast<size_t>(std::max<int64_t>(options.poi_count, 0)));
+  for (int64_t i = 0; i < options.poi_count; ++i) {
+    EventRecord r;
+    r.id = i;
+    r.x = rng.Uniform(ext.x_min, ext.x_max);
+    r.y = rng.Uniform(ext.y_min, ext.y_max);
+    r.time = 0;  // POIs carry no temporal information
+    char attr[24];
+    std::snprintf(attr, sizeof(attr), "poi:%d",
+                  static_cast<int>(rng.UniformInt(0, 9)));
+    r.attr = attr;
+    data.pois.push_back(std::move(r));
+  }
+
+  // Shared jittered corner grid, so neighbouring postal areas tile the
+  // extent exactly: no gaps, no overlap.
+  int ax = std::max(options.areas_x, 1);
+  int ay = std::max(options.areas_y, 1);
+  double w = (ext.x_max - ext.x_min) / ax;
+  double h = (ext.y_max - ext.y_min) / ay;
+  std::vector<Point> corners(static_cast<size_t>((ax + 1) * (ay + 1)));
+  for (int j = 0; j <= ay; ++j) {
+    for (int i = 0; i <= ax; ++i) {
+      double x = ext.x_min + i * w;
+      double y = ext.y_min + j * h;
+      if (i > 0 && i < ax) x += rng.Uniform(-0.25, 0.25) * w;
+      if (j > 0 && j < ay) y += rng.Uniform(-0.25, 0.25) * h;
+      corners[static_cast<size_t>(j * (ax + 1) + i)] = Point(x, y);
+    }
+  }
+  auto corner = [&](int i, int j) -> const Point& {
+    return corners[static_cast<size_t>(j * (ax + 1) + i)];
+  };
+  data.postal_areas.reserve(static_cast<size_t>(ax * ay));
+  for (int j = 0; j < ay; ++j) {
+    for (int i = 0; i < ax; ++i) {
+      data.postal_areas.push_back(Polygon(
+          {corner(i, j), corner(i + 1, j), corner(i + 1, j + 1),
+           corner(i, j + 1)}));
+    }
+  }
+  return data;
+}
+
+std::shared_ptr<RoadNetwork> GenerateRoadNetwork(
+    const RoadNetworkOptions& options) {
+  Rng rng(options.seed);
+  const Mbr& ext = options.extent;
+  int nx = std::max(options.nx, 2);
+  int ny = std::max(options.ny, 2);
+  double w = (ext.x_max - ext.x_min) / (nx - 1);
+  double h = (ext.y_max - ext.y_min) / (ny - 1);
+
+  auto network = std::make_shared<RoadNetwork>();
+  std::vector<int32_t> node_ids(static_cast<size_t>(nx * ny));
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      Point p(ext.x_min + i * w + rng.Uniform(-0.18, 0.18) * w,
+              ext.y_min + j * h + rng.Uniform(-0.18, 0.18) * h);
+      node_ids[static_cast<size_t>(j * nx + i)] =
+          network->AddNode(ClampToExtent(p, ext));
+    }
+  }
+
+  int64_t next_edge = 1;
+  auto add_edge_pair = [&](int32_t a, int32_t b) {
+    const Point& pa = network->node(a);
+    const Point& pb = network->node(b);
+    double meters = HaversineMeters(pa, pb);
+    RoadSegment forward;
+    forward.id = next_edge;
+    forward.shape = LineString({pa, pb});
+    forward.from_node = a;
+    forward.to_node = b;
+    forward.length_m = meters;
+    network->AddSegment(std::move(forward));
+    RoadSegment reverse;
+    reverse.id = -next_edge;
+    reverse.shape = LineString({pb, pa});
+    reverse.from_node = b;
+    reverse.to_node = a;
+    reverse.length_m = meters;
+    network->AddSegment(std::move(reverse));
+    ++next_edge;
+  };
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      int32_t here = node_ids[static_cast<size_t>(j * nx + i)];
+      if (i + 1 < nx) {
+        add_edge_pair(here, node_ids[static_cast<size_t>(j * nx + i + 1)]);
+      }
+      if (j + 1 < ny) {
+        add_edge_pair(here, node_ids[static_cast<size_t>((j + 1) * nx + i)]);
+      }
+    }
+  }
+  return network;
+}
+
+std::vector<TrajRecord> GenerateCameraTrajectories(
+    const RoadNetwork& network, const CameraTrajOptions& options) {
+  ST4ML_CHECK(network.num_nodes() > 0) << "camera trips need a road network";
+  Rng rng(options.seed);
+
+  std::vector<TrajRecord> records;
+  records.reserve(static_cast<size_t>(std::max<int64_t>(options.count, 0)));
+  for (int64_t i = 0; i < options.count; ++i) {
+    // Table 9 profile: ~9 camera captures over ~27 minutes.
+    int n = static_cast<int>(rng.UniformInt(6, 12));
+    int64_t total_s = rng.UniformInt(20 * 60, 34 * 60);
+    int64_t start = rng.UniformInt(options.day.start(),
+                                   std::max(options.day.start(),
+                                            options.day.end() - total_s));
+    int64_t dt = total_s / std::max(n - 1, 1);
+
+    TrajRecord r;
+    r.id = i;
+    r.points.reserve(static_cast<size_t>(n));
+    int32_t node =
+        static_cast<int32_t>(rng.UniformInt(0, static_cast<int64_t>(
+                                                   network.num_nodes()) - 1));
+    int32_t prev_segment = -1;
+    for (int k = 0; k < n; ++k) {
+      const Point& at = network.node(node);
+      TrajPointRecord sample;
+      // Cameras sit at intersections; GPS-grade jitter on the fix.
+      sample.x = at.x + rng.Gaussian(0.0, 0.0002);
+      sample.y = at.y + rng.Gaussian(0.0, 0.0002);
+      sample.time = start + static_cast<int64_t>(k) * dt;
+      r.points.push_back(sample);
+
+      const std::vector<int32_t>& out = network.outgoing(node);
+      if (out.empty()) break;
+      // Prefer not to U-turn straight back along the paired segment.
+      int32_t pick = out[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(out.size()) - 1))];
+      if (prev_segment >= 0 && out.size() > 1) {
+        int64_t prev_edge = std::llabs(network.segment(prev_segment).id);
+        for (int attempt = 0; attempt < 4; ++attempt) {
+          if (std::llabs(network.segment(pick).id) != prev_edge) break;
+          pick = out[static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(out.size()) - 1))];
+        }
+      }
+      prev_segment = pick;
+      node = network.segment(pick).to_node;
+    }
+    if (r.points.size() < 2) continue;
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace st4ml

@@ -1,0 +1,92 @@
+#ifndef ST4ML_DATAGEN_GENERATORS_H_
+#define ST4ML_DATAGEN_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geometry/mbr.h"
+#include "geometry/polygon.h"
+#include "mapmatching/road_network.h"
+#include "storage/records.h"
+#include "temporal/duration.h"
+
+namespace st4ml {
+
+/// Deterministic synthetic stand-ins for the paper's evaluation datasets
+/// (§6.1). Each generator is seeded, so any two runs — and any two systems
+/// staging from the same options — see byte-identical records.
+
+/// NYC taxi-style point events: hotspot-clustered pickups over ~90 days.
+struct NycEventOptions {
+  int64_t count = 240000;
+  Mbr extent = Mbr(-74.05, 40.60, -73.75, 40.90);
+  Duration range = Duration(1577836800, 1577836800 + 90 * 86400);
+  uint64_t seed = 1;
+};
+std::vector<EventRecord> GenerateNycEvents(const NycEventOptions& options);
+
+/// Porto-style GPS trajectories: random-walk trips at 15 s sampling.
+struct PortoTrajOptions {
+  int64_t count = 12000;
+  Mbr extent = Mbr(-8.70, 41.10, -8.52, 41.22);
+  Duration range = Duration(1577836800, 1577836800 + 90 * 86400);
+  uint64_t seed = 2;
+};
+std::vector<TrajRecord> GeneratePortoTrajectories(
+    const PortoTrajOptions& options);
+
+/// Air-quality sensor readings: fixed stations reporting on a fixed cadence,
+/// replicated `replicas` times (the paper inflates this dataset the same
+/// way). Exactly stations x replicas x (range.Seconds()/interval_s + 1)
+/// records come out — the staging cache keys on that invariant.
+struct AirQualityOptions {
+  int stations = 24;
+  int replicas = 4;
+  Mbr extent = Mbr(116.00, 39.60, 116.80, 40.20);
+  Duration range = Duration(1577836800, 1577836800 + 30 * 86400);
+  int64_t interval_s = 3600;
+  uint64_t seed = 3;
+};
+std::vector<EventRecord> GenerateAirQuality(const AirQualityOptions& options);
+
+/// OSM-style extract: timeless POI points plus a jittered postal-area mesh
+/// that tiles the extent exactly (shared cell boundaries, no gaps).
+struct OsmOptions {
+  int64_t poi_count = 40000;
+  int areas_x = 8;
+  int areas_y = 8;
+  Mbr extent = Mbr(-0.60, 51.20, 0.40, 51.80);
+  uint64_t seed = 7;
+};
+struct OsmData {
+  std::vector<EventRecord> pois;
+  std::vector<Polygon> postal_areas;
+};
+OsmData GenerateOsm(const OsmOptions& options);
+
+/// A jittered nx x ny grid road graph. Every physical edge becomes a
+/// consecutive forward/reverse segment pair sharing |id|.
+struct RoadNetworkOptions {
+  int nx = 12;
+  int ny = 12;
+  Mbr extent = Mbr(116.00, 39.60, 116.80, 40.20);
+  uint64_t seed = 11;
+};
+std::shared_ptr<RoadNetwork> GenerateRoadNetwork(
+    const RoadNetworkOptions& options);
+
+/// Sparse camera-captured trajectories for the Alibaba case studies: short
+/// intersection-to-intersection walks over a road network (~9 points,
+/// ~27 minutes — the Table 9 data profile).
+struct CameraTrajOptions {
+  int64_t count = 2000;
+  Duration day = Duration(1596240000, 1596240000 + 86399);
+  uint64_t seed = 13;
+};
+std::vector<TrajRecord> GenerateCameraTrajectories(
+    const RoadNetwork& network, const CameraTrajOptions& options);
+
+}  // namespace st4ml
+
+#endif  // ST4ML_DATAGEN_GENERATORS_H_

@@ -1,0 +1,46 @@
+#ifndef ST4ML_ENGINE_BROADCAST_H_
+#define ST4ML_ENGINE_BROADCAST_H_
+
+#include <memory>
+#include <utility>
+
+#include "engine/execution_context.h"
+
+namespace st4ml {
+
+/// A read-only value shipped once to every worker (Spark's sc.broadcast).
+/// In-process this is just a shared pointer, but creating one still bumps the
+/// broadcast counter so the ablation benchmarks can show how the R-tree
+/// conversion strategy trades one broadcast for a full shuffle.
+template <typename T>
+class Broadcast {
+ public:
+  Broadcast() = default;
+
+  const T& value() const { return *value_; }
+  const T* get() const { return value_.get(); }
+  const T& operator*() const { return *value_; }
+  const T* operator->() const { return value_.get(); }
+  explicit operator bool() const { return value_ != nullptr; }
+
+  template <typename U>
+  friend Broadcast<U> MakeBroadcast(const std::shared_ptr<ExecutionContext>&,
+                                    U value);
+
+ private:
+  explicit Broadcast(std::shared_ptr<const T> value)
+      : value_(std::move(value)) {}
+
+  std::shared_ptr<const T> value_;
+};
+
+template <typename T>
+Broadcast<T> MakeBroadcast(const std::shared_ptr<ExecutionContext>& ctx,
+                           T value) {
+  ctx->metrics().AddBroadcast();
+  return Broadcast<T>(std::make_shared<const T>(std::move(value)));
+}
+
+}  // namespace st4ml
+
+#endif  // ST4ML_ENGINE_BROADCAST_H_

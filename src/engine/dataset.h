@@ -1,0 +1,220 @@
+#ifndef ST4ML_ENGINE_DATASET_H_
+#define ST4ML_ENGINE_DATASET_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "engine/execution_context.h"
+
+namespace st4ml {
+
+/// Rough serialized size of a value, used for shuffle byte accounting.
+/// Heap-owning standard containers are charged for their payload; everything
+/// else is charged sizeof. An approximation — the benchmarks compare
+/// strategies against each other, and both sides are measured the same way.
+template <typename T>
+size_t ApproxShuffleBytes(const T& value);
+
+namespace internal {
+
+template <typename T>
+struct IsStdVector : std::false_type {};
+template <typename U, typename A>
+struct IsStdVector<std::vector<U, A>> : std::true_type {};
+
+template <typename T>
+struct IsStdPair : std::false_type {};
+template <typename A, typename B>
+struct IsStdPair<std::pair<A, B>> : std::true_type {};
+
+}  // namespace internal
+
+template <typename T>
+size_t ApproxShuffleBytes(const T& value) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return sizeof(value) + value.size();
+  } else if constexpr (internal::IsStdVector<T>::value) {
+    size_t total = sizeof(value);
+    for (const auto& element : value) total += ApproxShuffleBytes(element);
+    return total;
+  } else if constexpr (internal::IsStdPair<T>::value) {
+    return ApproxShuffleBytes(value.first) + ApproxShuffleBytes(value.second);
+  } else {
+    return sizeof(value);
+  }
+}
+
+/// An eagerly-evaluated, partitioned, immutable collection — the repo's
+/// stand-in for an RDD. Operations fan out over partitions on the context's
+/// worker pool and return a new Dataset; the partition data itself is shared
+/// and copy-on-transform, so Dataset values are cheap to copy and cache.
+template <typename T>
+class Dataset {
+ public:
+  using Partitions = std::vector<std::vector<T>>;
+
+  Dataset() = default;
+
+  /// Distributes `data` over `num_partitions` contiguous, even slices.
+  static Dataset<T> Parallelize(std::shared_ptr<ExecutionContext> ctx,
+                                std::vector<T> data, size_t num_partitions) {
+    ST4ML_CHECK(num_partitions > 0) << "num_partitions must be positive";
+    Partitions parts(num_partitions);
+    size_t n = data.size();
+    size_t base = n / num_partitions;
+    size_t extra = n % num_partitions;
+    size_t offset = 0;
+    for (size_t p = 0; p < num_partitions; ++p) {
+      size_t len = base + (p < extra ? 1 : 0);
+      parts[p].reserve(len);
+      for (size_t i = 0; i < len; ++i) {
+        parts[p].push_back(std::move(data[offset + i]));
+      }
+      offset += len;
+    }
+    return FromPartitions(std::move(ctx), std::move(parts));
+  }
+
+  /// Wraps explicit partitions (used by the shuffle paths and partitioners).
+  static Dataset<T> FromPartitions(std::shared_ptr<ExecutionContext> ctx,
+                                   Partitions parts) {
+    Dataset<T> ds;
+    ds.ctx_ = std::move(ctx);
+    ds.parts_ = std::make_shared<const Partitions>(std::move(parts));
+    return ds;
+  }
+
+  const std::shared_ptr<ExecutionContext>& context() const { return ctx_; }
+  size_t num_partitions() const { return parts_ ? parts_->size() : 0; }
+  const std::vector<T>& partition(size_t i) const { return (*parts_)[i]; }
+
+  template <typename F>
+  auto Map(F fn) const {
+    using U = std::decay_t<decltype(fn(std::declval<const T&>()))>;
+    return MapPartitions([fn](const std::vector<T>& part) {
+      std::vector<U> out;
+      out.reserve(part.size());
+      for (const T& value : part) out.push_back(fn(value));
+      return out;
+    });
+  }
+
+  template <typename F>
+  Dataset<T> Filter(F pred) const {
+    return MapPartitions([pred](const std::vector<T>& part) {
+      std::vector<T> out;
+      for (const T& value : part) {
+        if (pred(value)) out.push_back(value);
+      }
+      return out;
+    });
+  }
+
+  /// `fn` maps one element to a container of output elements.
+  template <typename F>
+  auto FlatMap(F fn) const {
+    using Container = std::decay_t<decltype(fn(std::declval<const T&>()))>;
+    using U = typename Container::value_type;
+    return MapPartitions([fn](const std::vector<T>& part) {
+      std::vector<U> out;
+      for (const T& value : part) {
+        Container produced = fn(value);
+        for (auto& element : produced) out.push_back(std::move(element));
+      }
+      return out;
+    });
+  }
+
+  /// Named variant; the name labels the stage for debugging only.
+  template <typename F>
+  auto FlatMap(F fn, const std::string& stage_name) const {
+    (void)stage_name;
+    return FlatMap(fn);
+  }
+
+  /// `fn` maps a whole partition to a vector of outputs; the workhorse every
+  /// other transform lowers to.
+  template <typename F>
+  auto MapPartitions(F fn) const {
+    using OutVec = std::decay_t<decltype(fn(std::declval<const std::vector<T>&>()))>;
+    using U = typename OutVec::value_type;
+    ST4ML_CHECK(parts_ != nullptr) << "transform on an empty Dataset";
+    typename Dataset<U>::Partitions out(parts_->size());
+    const Partitions& in = *parts_;
+    ctx_->RunParallel(in.size(),
+                      [&](size_t p) { out[p] = fn(in[p]); });
+    return Dataset<U>::FromPartitions(ctx_, std::move(out));
+  }
+
+  std::vector<T> Collect() const {
+    std::vector<T> out;
+    if (!parts_) return out;
+    size_t total = 0;
+    for (const auto& part : *parts_) total += part.size();
+    out.reserve(total);
+    for (const auto& part : *parts_) {
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+
+  size_t Count() const {
+    size_t total = 0;
+    if (!parts_) return total;
+    for (const auto& part : *parts_) total += part.size();
+    return total;
+  }
+
+  /// Folds every partition with `seq_op`, then combines the per-partition
+  /// results IN PARTITION ORDER with `comb_op` — deterministic by design.
+  template <typename Acc, typename SeqOp, typename CombOp>
+  Acc Aggregate(Acc zero, SeqOp seq_op, CombOp comb_op) const {
+    if (!parts_) return zero;
+    std::vector<Acc> partials(parts_->size(), zero);
+    const Partitions& in = *parts_;
+    ctx_->RunParallel(in.size(), [&](size_t p) {
+      Acc acc = zero;
+      for (const T& value : in[p]) acc = seq_op(std::move(acc), value);
+      partials[p] = std::move(acc);
+    });
+    Acc result = std::move(zero);
+    for (Acc& partial : partials) {
+      result = comb_op(std::move(result), std::move(partial));
+    }
+    return result;
+  }
+
+  /// Round-robin redistribution into `num_partitions` slices. A real shuffle:
+  /// every record moves, and the metrics say so.
+  Dataset<T> Repartition(size_t num_partitions) const {
+    ST4ML_CHECK(num_partitions > 0) << "num_partitions must be positive";
+    ST4ML_CHECK(parts_ != nullptr) << "transform on an empty Dataset";
+    Partitions out(num_partitions);
+    uint64_t records = 0;
+    uint64_t bytes = 0;
+    size_t next = 0;
+    for (const auto& part : *parts_) {
+      for (const T& value : part) {
+        records += 1;
+        bytes += ApproxShuffleBytes(value);
+        out[next].push_back(value);
+        next = (next + 1) % num_partitions;
+      }
+    }
+    ctx_->metrics().AddShuffle(records, bytes);
+    return FromPartitions(ctx_, std::move(out));
+  }
+
+ private:
+  std::shared_ptr<ExecutionContext> ctx_;
+  std::shared_ptr<const Partitions> parts_;
+};
+
+}  // namespace st4ml
+
+#endif  // ST4ML_ENGINE_DATASET_H_

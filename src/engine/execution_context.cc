@@ -1,0 +1,73 @@
+#include "engine/execution_context.h"
+
+#include <algorithm>
+
+namespace st4ml {
+
+std::shared_ptr<ExecutionContext> ExecutionContext::Create() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return Create(hw == 0 ? 1 : static_cast<int>(hw));
+}
+
+std::shared_ptr<ExecutionContext> ExecutionContext::Create(int num_workers) {
+  return std::shared_ptr<ExecutionContext>(
+      new ExecutionContext(std::max(1, num_workers)));
+}
+
+ExecutionContext::ExecutionContext(int num_workers)
+    : num_workers_(num_workers) {
+  workers_.reserve(num_workers_);
+  for (int i = 0; i < num_workers_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ExecutionContext::~ExecutionContext() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ExecutionContext::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown with drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --outstanding_;
+      if (outstanding_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ExecutionContext::RunParallel(size_t count,
+                                   const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1 || num_workers_ == 1) {
+    // Run inline: no handoff latency, and safe under re-entrancy.
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    outstanding_ += count;
+    for (size_t i = 0; i < count; ++i) {
+      tasks_.push([&fn, i] { fn(i); });
+    }
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+}  // namespace st4ml

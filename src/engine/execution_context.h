@@ -1,0 +1,90 @@
+#ifndef ST4ML_ENGINE_EXECUTION_CONTEXT_H_
+#define ST4ML_ENGINE_EXECUTION_CONTEXT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace st4ml {
+
+/// Counters the engine bumps on every shuffle and broadcast. The ablation
+/// benchmarks read these to show the paper's Table-6 point: conversion by
+/// broadcast R-tree moves (almost) no records, conversion by shuffle moves
+/// all of them.
+class EngineMetrics {
+ public:
+  void Reset() {
+    shuffle_records_.store(0, std::memory_order_relaxed);
+    shuffle_bytes_.store(0, std::memory_order_relaxed);
+    broadcasts_.store(0, std::memory_order_relaxed);
+  }
+
+  void AddShuffle(uint64_t records, uint64_t bytes) {
+    shuffle_records_.fetch_add(records, std::memory_order_relaxed);
+    shuffle_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  void AddBroadcast() { broadcasts_.fetch_add(1, std::memory_order_relaxed); }
+
+  uint64_t shuffle_records() const {
+    return shuffle_records_.load(std::memory_order_relaxed);
+  }
+  uint64_t shuffle_bytes() const {
+    return shuffle_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t broadcasts() const {
+    return broadcasts_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> shuffle_records_{0};
+  std::atomic<uint64_t> shuffle_bytes_{0};
+  std::atomic<uint64_t> broadcasts_{0};
+};
+
+/// A process-local stand-in for a Spark context: owns the worker pool every
+/// Dataset operation fans out on, and the engine metrics.
+class ExecutionContext : public std::enable_shared_from_this<ExecutionContext> {
+ public:
+  /// `Create()` sizes the pool to the hardware; `Create(n)` forces n workers.
+  static std::shared_ptr<ExecutionContext> Create();
+  static std::shared_ptr<ExecutionContext> Create(int num_workers);
+
+  ~ExecutionContext();
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  int num_workers() const { return num_workers_; }
+  EngineMetrics& metrics() { return metrics_; }
+
+  /// Runs `fn(0) .. fn(count - 1)` across the pool and blocks until all
+  /// finish. `fn` must not itself call RunParallel on the same context.
+  void RunParallel(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  explicit ExecutionContext(int num_workers);
+
+  void WorkerLoop();
+
+  int num_workers_;
+  EngineMetrics metrics_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::queue<std::function<void()>> tasks_;
+  size_t outstanding_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace st4ml
+
+#endif  // ST4ML_ENGINE_EXECUTION_CONTEXT_H_

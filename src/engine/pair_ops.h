@@ -1,0 +1,134 @@
+#ifndef ST4ML_ENGINE_PAIR_OPS_H_
+#define ST4ML_ENGINE_PAIR_OPS_H_
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "engine/dataset.h"
+
+namespace st4ml {
+
+/// Hash for std::pair keys (ReduceByKey over composite keys).
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    size_t h1 = std::hash<A>{}(p.first);
+    size_t h2 = std::hash<B>{}(p.second);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};
+
+namespace internal {
+
+/// Sorts a keyed partition by key when the key type is ordered, making
+/// shuffle output deterministic regardless of hash-map iteration order.
+template <typename K, typename V>
+void SortByKeyIfOrdered(std::vector<std::pair<K, V>>* part) {
+  if constexpr (requires(const K& a, const K& b) { a < b; }) {
+    std::sort(part->begin(), part->end(),
+              [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+                return a.first < b.first;
+              });
+  }
+}
+
+}  // namespace internal
+
+/// Spark's reduceByKey: map-side combine inside each partition, then a hash
+/// shuffle of the combined pairs, then a target-side reduce. Only the
+/// combined pairs cross the "network", and the metrics account for exactly
+/// those records.
+template <typename K, typename V, typename Reduce,
+          typename Hash = std::hash<K>>
+Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds,
+                                     Reduce reduce) {
+  size_t n = ds.num_partitions();
+  if (n == 0) return ds;
+  const auto& ctx = ds.context();
+
+  // Map-side combine.
+  std::vector<std::vector<std::pair<K, V>>> combined(n);
+  ctx->RunParallel(n, [&](size_t p) {
+    std::unordered_map<K, V, Hash> acc;
+    for (const auto& [key, value] : ds.partition(p)) {
+      auto it = acc.find(key);
+      if (it == acc.end()) {
+        acc.emplace(key, value);
+      } else {
+        it->second = reduce(it->second, value);
+      }
+    }
+    combined[p].assign(acc.begin(), acc.end());
+    internal::SortByKeyIfOrdered<K, V>(&combined[p]);
+  });
+
+  // Shuffle accounting: every combined pair moves to its key's target.
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  for (const auto& part : combined) {
+    records += part.size();
+    for (const auto& kv : part) bytes += ApproxShuffleBytes(kv);
+  }
+  ctx->metrics().AddShuffle(records, bytes);
+
+  // Target-side reduce.
+  typename Dataset<std::pair<K, V>>::Partitions out(n);
+  ctx->RunParallel(n, [&](size_t target) {
+    std::unordered_map<K, V, Hash> acc;
+    for (const auto& part : combined) {
+      for (const auto& [key, value] : part) {
+        if (Hash{}(key) % n != target) continue;
+        auto it = acc.find(key);
+        if (it == acc.end()) {
+          acc.emplace(key, value);
+        } else {
+          it->second = reduce(it->second, value);
+        }
+      }
+    }
+    out[target].assign(acc.begin(), acc.end());
+    internal::SortByKeyIfOrdered<K, V>(&out[target]);
+  });
+  return Dataset<std::pair<K, V>>::FromPartitions(ctx, std::move(out));
+}
+
+/// Spark's groupByKey: EVERY record crosses the shuffle — the expensive
+/// cousin ReduceByKey exists to avoid. Value order within a group follows
+/// (partition, offset) order, so results are deterministic.
+template <typename K, typename V, typename Hash = std::hash<K>>
+Dataset<std::pair<K, std::vector<V>>> GroupByKey(
+    const Dataset<std::pair<K, V>>& ds) {
+  size_t n = ds.num_partitions();
+  const auto& ctx = ds.context();
+  if (n == 0) return Dataset<std::pair<K, std::vector<V>>>();
+
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  for (size_t p = 0; p < n; ++p) {
+    records += ds.partition(p).size();
+    for (const auto& kv : ds.partition(p)) bytes += ApproxShuffleBytes(kv);
+  }
+  ctx->metrics().AddShuffle(records, bytes);
+
+  typename Dataset<std::pair<K, std::vector<V>>>::Partitions out(n);
+  ctx->RunParallel(n, [&](size_t target) {
+    std::unordered_map<K, std::vector<V>, Hash> groups;
+    for (size_t p = 0; p < n; ++p) {
+      for (const auto& [key, value] : ds.partition(p)) {
+        if (Hash{}(key) % n != target) continue;
+        groups[key].push_back(value);
+      }
+    }
+    out[target].assign(groups.begin(), groups.end());
+    internal::SortByKeyIfOrdered<K, std::vector<V>>(&out[target]);
+  });
+  return Dataset<std::pair<K, std::vector<V>>>::FromPartitions(ctx,
+                                                               std::move(out));
+}
+
+}  // namespace st4ml
+
+#endif  // ST4ML_ENGINE_PAIR_OPS_H_

@@ -1,0 +1,134 @@
+#ifndef ST4ML_EXTRACTION_COLLECTIVE_EXTRACTORS_H_
+#define ST4ML_EXTRACTION_COLLECTIVE_EXTRACTORS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "engine/dataset.h"
+#include "extraction/extractor.h"
+#include "extraction/rdd_api.h"
+#include "instances/instances.h"
+
+namespace st4ml {
+
+/// Canned extractors over converted collectives. Each one is MapValue(s)
+/// followed by CollectAndMerge — per-partition work stays cheap (counts,
+/// sums) and only the small collective values cross partitions.
+
+/// Instance count per temporal bin.
+template <typename T>
+TimeSeries<int64_t> ExtractTsFlow(
+    const Dataset<TimeSeries<std::vector<T>>>& converted) {
+  auto counts = MapValue(converted, [](const std::vector<T>& arr) {
+    return static_cast<int64_t>(arr.size());
+  });
+  return CollectAndMerge(counts, static_cast<int64_t>(0),
+                         [](int64_t a, int64_t b) { return a + b; });
+}
+
+/// Instance count per spatial cell.
+template <typename T>
+SpatialMap<int64_t> ExtractSmFlow(
+    const Dataset<SpatialMap<std::vector<T>>>& converted) {
+  auto counts = MapValue(converted, [](const std::vector<T>& arr) {
+    return static_cast<int64_t>(arr.size());
+  });
+  return CollectAndMerge(counts, static_cast<int64_t>(0),
+                         [](int64_t a, int64_t b) { return a + b; });
+}
+
+/// Mean trajectory speed per spatial cell (0 where no trajectory passed).
+inline SpatialMap<double> ExtractSmSpeed(
+    const Dataset<SpatialMap<std::vector<STTrajectory>>>& converted,
+    SpeedUnit unit = SpeedUnit::kMetersPerSecond) {
+  double factor = SpeedFactor(unit);
+  auto partial =
+      MapValue(converted, [factor](const std::vector<STTrajectory>& arr) {
+        MeanAcc acc;
+        for (const STTrajectory& t : arr) acc.Add(t.AverageSpeedMps() * factor);
+        return acc;
+      });
+  SpatialMap<MeanAcc> merged =
+      CollectAndMerge(partial, MeanAcc{},
+                      [](MeanAcc a, const MeanAcc& b) { return a + b; });
+  std::vector<double> means;
+  means.reserve(merged.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    means.push_back(merged.value(i).Mean());
+  }
+  return SpatialMap<double>(merged.structure(), std::move(means));
+}
+
+namespace extraction_internal {
+
+/// Entries and exits of one trajectory with respect to one (cell, bin): a
+/// sample is "inside" when the bin contains its instant AND the cell
+/// contains its point; transitions of that flag count as in/out moves.
+inline std::pair<int64_t, int64_t> TransitOf(const STTrajectory& t,
+                                             const Polygon& cell,
+                                             const Duration& bin) {
+  int64_t in = 0;
+  int64_t out = 0;
+  bool prev = false;
+  bool first = true;
+  for (const STEntry& e : t.entries) {
+    bool inside = bin.Contains(e.time) && cell.ContainsPoint(e.point);
+    if (inside && !prev && !first) ++in;
+    if (!inside && prev) ++out;
+    prev = inside;
+    first = false;
+  }
+  return {in, out};
+}
+
+}  // namespace extraction_internal
+
+/// (entries, exits) per raster cell: how many trajectories moved into and
+/// out of each cell during each bin.
+inline Raster<std::pair<int64_t, int64_t>> ExtractRasterTransit(
+    const Dataset<Raster<std::vector<STTrajectory>>>& converted) {
+  auto partial = MapValuePlus(
+      converted, [](const std::vector<STTrajectory>& arr, const Polygon& cell,
+                    const Duration& bin) {
+        std::pair<int64_t, int64_t> total{0, 0};
+        for (const STTrajectory& t : arr) {
+          auto [in, out] = extraction_internal::TransitOf(t, cell, bin);
+          total.first += in;
+          total.second += out;
+        }
+        return total;
+      });
+  return CollectAndMerge(
+      partial, std::pair<int64_t, int64_t>{0, 0},
+      [](std::pair<int64_t, int64_t> a, const std::pair<int64_t, int64_t>& b) {
+        return std::pair<int64_t, int64_t>{a.first + b.first,
+                                           a.second + b.second};
+      });
+}
+
+/// Mean vehicle speed plus vehicle count per raster cell.
+inline Raster<CellSpeed> ExtractRasterSpeed(
+    const Dataset<Raster<std::vector<STTrajectory>>>& converted,
+    SpeedUnit unit = SpeedUnit::kMetersPerSecond) {
+  double factor = SpeedFactor(unit);
+  auto partial =
+      MapValue(converted, [factor](const std::vector<STTrajectory>& arr) {
+        MeanAcc acc;
+        for (const STTrajectory& t : arr) acc.Add(t.AverageSpeedMps() * factor);
+        return acc;
+      });
+  Raster<MeanAcc> merged =
+      CollectAndMerge(partial, MeanAcc{},
+                      [](MeanAcc a, const MeanAcc& b) { return a + b; });
+  std::vector<CellSpeed> speeds;
+  speeds.reserve(merged.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    speeds.push_back(CellSpeed{merged.value(i).Mean(), merged.value(i).count});
+  }
+  return Raster<CellSpeed>(merged.structure(), std::move(speeds));
+}
+
+}  // namespace st4ml
+
+#endif  // ST4ML_EXTRACTION_COLLECTIVE_EXTRACTORS_H_

@@ -1,0 +1,65 @@
+#ifndef ST4ML_EXTRACTION_EVENT_EXTRACTORS_H_
+#define ST4ML_EXTRACTION_EVENT_EXTRACTORS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "engine/dataset.h"
+#include "geometry/point.h"
+#include "instances/instances.h"
+#include "temporal/duration.h"
+
+namespace st4ml {
+
+/// Events whose instant falls inside the hour-of-day window
+/// [start_hour, end_hour); a window wrapping midnight (start > end, e.g.
+/// 23..4) keeps hours >= start OR < end.
+inline Dataset<STEvent> ExtractAnomalies(const Dataset<STEvent>& events,
+                                         int start_hour, int end_hour) {
+  return events.Filter([start_hour, end_hour](const STEvent& e) {
+    int h = HourOfDay(e.temporal.start());
+    if (start_hour <= end_hour) return h >= start_hour && h < end_hour;
+    return h >= start_hour || h < end_hour;
+  });
+}
+
+/// Pairs of events that happened within `dist_m` meters and `dt_s` seconds of
+/// each other INSIDE the same engine partition — the use case that needs
+/// duplicated ST partitioning (options.duplicate) to be correct near
+/// partition borders, which is exactly what the T-STR benchmark measures.
+/// Each pair is reported as (smaller id, larger id).
+template <typename IdFn>
+Dataset<std::pair<int64_t, int64_t>> ExtractEventCompanions(
+    const Dataset<STEvent>& events, double dist_m, int64_t dt_s, IdFn id_of) {
+  return events.MapPartitions(
+      [dist_m, dt_s, id_of](const std::vector<STEvent>& part) {
+        std::vector<size_t> order(part.size());
+        std::iota(order.begin(), order.end(), size_t{0});
+        std::sort(order.begin(), order.end(), [&part](size_t a, size_t b) {
+          return part[a].temporal.start() < part[b].temporal.start();
+        });
+        std::vector<std::pair<int64_t, int64_t>> out;
+        for (size_t i = 0; i < order.size(); ++i) {
+          const STEvent& a = part[order[i]];
+          for (size_t j = i + 1; j < order.size(); ++j) {
+            const STEvent& b = part[order[j]];
+            if (b.temporal.start() - a.temporal.start() > dt_s) break;
+            int64_t ia = id_of(a);
+            int64_t ib = id_of(b);
+            if (ia == ib) continue;
+            if (HaversineMeters(a.spatial, b.spatial) <= dist_m) {
+              out.emplace_back(std::min(ia, ib), std::max(ia, ib));
+            }
+          }
+        }
+        return out;
+      });
+}
+
+}  // namespace st4ml
+
+#endif  // ST4ML_EXTRACTION_EVENT_EXTRACTORS_H_

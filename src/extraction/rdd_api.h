@@ -1,0 +1,137 @@
+#ifndef ST4ML_EXTRACTION_RDD_API_H_
+#define ST4ML_EXTRACTION_RDD_API_H_
+
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "engine/dataset.h"
+#include "instances/instances.h"
+
+namespace st4ml {
+
+/// The collective-RDD extraction vocabulary (paper §3.3): MapValue rewrites
+/// every cell value in place, MapValuePlus additionally hands the cell its
+/// own geometry/bin, and CollectAndMerge folds the per-partition collectives
+/// a converter emitted into the single result the user asked for.
+
+template <typename V, typename Fn>
+auto MapValue(const Dataset<TimeSeries<V>>& data, Fn f) {
+  using R = std::decay_t<std::invoke_result_t<Fn, const V&>>;
+  return data.Map([f](const TimeSeries<V>& ts) {
+    std::vector<R> values;
+    values.reserve(ts.size());
+    for (size_t i = 0; i < ts.size(); ++i) values.push_back(f(ts.value(i)));
+    return TimeSeries<R>(ts.structure(), std::move(values));
+  });
+}
+
+template <typename V, typename Fn>
+auto MapValue(const Dataset<SpatialMap<V>>& data, Fn f) {
+  using R = std::decay_t<std::invoke_result_t<Fn, const V&>>;
+  return data.Map([f](const SpatialMap<V>& sm) {
+    std::vector<R> values;
+    values.reserve(sm.size());
+    for (size_t i = 0; i < sm.size(); ++i) values.push_back(f(sm.value(i)));
+    return SpatialMap<R>(sm.structure(), std::move(values));
+  });
+}
+
+template <typename V, typename Fn>
+auto MapValue(const Dataset<Raster<V>>& data, Fn f) {
+  using R = std::decay_t<std::invoke_result_t<Fn, const V&>>;
+  return data.Map([f](const Raster<V>& raster) {
+    std::vector<R> values;
+    values.reserve(raster.size());
+    for (size_t i = 0; i < raster.size(); ++i) {
+      values.push_back(f(raster.value(i)));
+    }
+    return Raster<R>(raster.structure(), std::move(values));
+  });
+}
+
+template <typename V, typename Fn>
+auto MapValuePlus(const Dataset<TimeSeries<V>>& data, Fn f) {
+  using R = std::decay_t<std::invoke_result_t<Fn, const V&, const Duration&>>;
+  return data.Map([f](const TimeSeries<V>& ts) {
+    std::vector<R> values;
+    values.reserve(ts.size());
+    for (size_t i = 0; i < ts.size(); ++i) {
+      values.push_back(f(ts.value(i), ts.bin(i)));
+    }
+    return TimeSeries<R>(ts.structure(), std::move(values));
+  });
+}
+
+template <typename V, typename Fn>
+auto MapValuePlus(const Dataset<SpatialMap<V>>& data, Fn f) {
+  using R = std::decay_t<std::invoke_result_t<Fn, const V&, const Polygon&>>;
+  return data.Map([f](const SpatialMap<V>& sm) {
+    std::vector<R> values;
+    values.reserve(sm.size());
+    for (size_t i = 0; i < sm.size(); ++i) {
+      values.push_back(f(sm.value(i), sm.cell(i)));
+    }
+    return SpatialMap<R>(sm.structure(), std::move(values));
+  });
+}
+
+template <typename V, typename Fn>
+auto MapValuePlus(const Dataset<Raster<V>>& data, Fn f) {
+  using R = std::decay_t<
+      std::invoke_result_t<Fn, const V&, const Polygon&, const Duration&>>;
+  return data.Map([f](const Raster<V>& raster) {
+    std::vector<R> values;
+    values.reserve(raster.size());
+    for (size_t i = 0; i < raster.size(); ++i) {
+      values.push_back(f(raster.value(i), raster.cell(i), raster.bin(i)));
+    }
+    return Raster<R>(raster.structure(), std::move(values));
+  });
+}
+
+namespace extraction_internal {
+
+template <typename Out, typename Coll, typename R, typename MergeFn>
+Out MergeCollected(const std::vector<Coll>& parts, const R& zero,
+                   MergeFn merge) {
+  ST4ML_CHECK(!parts.empty()) << "CollectAndMerge on an empty dataset";
+  Out out(parts.front().structure(), zero);
+  for (const Coll& part : parts) {
+    ST4ML_CHECK(part.size() == out.size())
+        << "partitions disagree on structure size";
+    for (size_t i = 0; i < out.size(); ++i) {
+      out.mutable_value(i) = merge(std::move(out.mutable_value(i)),
+                                   part.value(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace extraction_internal
+
+template <typename V, typename R, typename MergeFn>
+TimeSeries<R> CollectAndMerge(const Dataset<TimeSeries<V>>& data, R zero,
+                              MergeFn merge) {
+  return extraction_internal::MergeCollected<TimeSeries<R>>(data.Collect(),
+                                                            zero, merge);
+}
+
+template <typename V, typename R, typename MergeFn>
+SpatialMap<R> CollectAndMerge(const Dataset<SpatialMap<V>>& data, R zero,
+                              MergeFn merge) {
+  return extraction_internal::MergeCollected<SpatialMap<R>>(data.Collect(),
+                                                            zero, merge);
+}
+
+template <typename V, typename R, typename MergeFn>
+Raster<R> CollectAndMerge(const Dataset<Raster<V>>& data, R zero,
+                          MergeFn merge) {
+  return extraction_internal::MergeCollected<Raster<R>>(data.Collect(), zero,
+                                                        merge);
+}
+
+}  // namespace st4ml
+
+#endif  // ST4ML_EXTRACTION_RDD_API_H_

@@ -1,0 +1,56 @@
+#ifndef ST4ML_GEOMETRY_GEOMETRY_H_
+#define ST4ML_GEOMETRY_GEOMETRY_H_
+
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+#include "geometry/linestring.h"
+#include "geometry/mbr.h"
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+
+namespace st4ml {
+
+/// A tagged union of the shapes the baselines' String-typed records carry
+/// (JTS-geometry stand-in). ST4ML's own typed instances do not need this —
+/// which is exactly the paper's Table 1 point.
+class Geometry {
+ public:
+  Geometry() : shape_(Point()) {}
+  explicit Geometry(Point p) : shape_(p) {}
+  explicit Geometry(LineString line) : shape_(std::move(line)) {}
+  explicit Geometry(Polygon polygon) : shape_(std::move(polygon)) {}
+
+  bool IsPoint() const { return std::holds_alternative<Point>(shape_); }
+  bool IsLineString() const {
+    return std::holds_alternative<LineString>(shape_);
+  }
+  bool IsPolygon() const { return std::holds_alternative<Polygon>(shape_); }
+
+  const Point& AsPoint() const { return std::get<Point>(shape_); }
+  const LineString& AsLineString() const {
+    return std::get<LineString>(shape_);
+  }
+  const Polygon& AsPolygon() const { return std::get<Polygon>(shape_); }
+
+  Mbr ComputeMbr() const;
+
+  /// Exact shape-vs-rectangle intersection (shared refinement predicate).
+  bool IntersectsMbr(const Mbr& mbr) const;
+
+  /// Exact shape-vs-polygon intersection.
+  bool IntersectsPolygon(const Polygon& polygon) const;
+
+ private:
+  std::variant<Point, LineString, Polygon> shape_;
+};
+
+/// WKT round trip for the string-typed baselines (POINT / LINESTRING /
+/// POLYGON with a single ring).
+std::string ToWkt(const Geometry& geometry);
+Status FromWkt(const std::string& wkt, Geometry* geometry);
+
+}  // namespace st4ml
+
+#endif  // ST4ML_GEOMETRY_GEOMETRY_H_

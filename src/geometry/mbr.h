@@ -1,0 +1,83 @@
+#ifndef ST4ML_GEOMETRY_MBR_H_
+#define ST4ML_GEOMETRY_MBR_H_
+
+#include <algorithm>
+
+#include "geometry/point.h"
+
+namespace st4ml {
+
+/// 2-d minimum bounding rectangle with inclusive boundaries. A
+/// default-constructed Mbr is empty (inverted bounds) and extends from
+/// nothing.
+struct Mbr {
+  double x_min = 1.0;
+  double y_min = 1.0;
+  double x_max = 0.0;
+  double y_max = 0.0;
+
+  Mbr() = default;
+  Mbr(double x_min_in, double y_min_in, double x_max_in, double y_max_in)
+      : x_min(x_min_in), y_min(y_min_in), x_max(x_max_in), y_max(y_max_in) {}
+  explicit Mbr(const Point& p) : Mbr(p.x, p.y, p.x, p.y) {}
+
+  bool IsEmpty() const { return x_min > x_max || y_min > y_max; }
+  double Width() const { return IsEmpty() ? 0.0 : x_max - x_min; }
+  double Height() const { return IsEmpty() ? 0.0 : y_max - y_min; }
+  double Area() const { return Width() * Height(); }
+  Point Center() const {
+    return Point((x_min + x_max) / 2, (y_min + y_max) / 2);
+  }
+
+  bool ContainsPoint(const Point& p) const {
+    return p.x >= x_min && p.x <= x_max && p.y >= y_min && p.y <= y_max;
+  }
+
+  bool Contains(const Mbr& other) const {
+    return !IsEmpty() && !other.IsEmpty() && other.x_min >= x_min &&
+           other.x_max <= x_max && other.y_min >= y_min && other.y_max <= y_max;
+  }
+
+  bool Intersects(const Mbr& other) const {
+    return !IsEmpty() && !other.IsEmpty() && x_min <= other.x_max &&
+           other.x_min <= x_max && y_min <= other.y_max && other.y_min <= y_max;
+  }
+
+  /// Grows (or shrinks, when empty: adopts) to cover `p` / `other`.
+  void Extend(const Point& p) {
+    if (IsEmpty()) {
+      *this = Mbr(p);
+      return;
+    }
+    x_min = std::min(x_min, p.x);
+    y_min = std::min(y_min, p.y);
+    x_max = std::max(x_max, p.x);
+    y_max = std::max(y_max, p.y);
+  }
+
+  void Extend(const Mbr& other) {
+    if (other.IsEmpty()) return;
+    if (IsEmpty()) {
+      *this = other;
+      return;
+    }
+    x_min = std::min(x_min, other.x_min);
+    y_min = std::min(y_min, other.y_min);
+    x_max = std::max(x_max, other.x_max);
+    y_max = std::max(y_max, other.y_max);
+  }
+
+  /// A copy grown by `margin` on every side.
+  Mbr Buffered(double margin) const {
+    return Mbr(x_min - margin, y_min - margin, x_max + margin, y_max + margin);
+  }
+
+  bool operator==(const Mbr& other) const {
+    return x_min == other.x_min && y_min == other.y_min &&
+           x_max == other.x_max && y_max == other.y_max;
+  }
+};
+
+}  // namespace st4ml
+
+#endif  // ST4ML_GEOMETRY_MBR_H_

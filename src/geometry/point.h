@@ -1,0 +1,50 @@
+#ifndef ST4ML_GEOMETRY_POINT_H_
+#define ST4ML_GEOMETRY_POINT_H_
+
+#include <algorithm>
+#include <cmath>
+
+namespace st4ml {
+
+/// A 2-d point; by convention x = longitude, y = latitude for geographic data.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point() = default;
+  Point(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  bool operator==(const Point& other) const {
+    return x == other.x && y == other.y;
+  }
+};
+
+/// Planar Euclidean distance in coordinate units.
+inline double EuclideanDistance(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Great-circle distance in meters between two (lon, lat) points.
+inline double HaversineMeters(const Point& a, const Point& b) {
+  constexpr double kEarthRadiusM = 6371000.0;
+  constexpr double kDegToRad = 0.017453292519943295;
+  double lat1 = a.y * kDegToRad;
+  double lat2 = b.y * kDegToRad;
+  double dlat = (b.y - a.y) * kDegToRad;
+  double dlon = (b.x - a.x) * kDegToRad;
+  double sin_dlat = std::sin(dlat / 2);
+  double sin_dlon = std::sin(dlon / 2);
+  double h = sin_dlat * sin_dlat +
+             std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  return 2 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+/// True when segments [a1,a2] and [b1,b2] intersect (touching counts).
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2);
+
+}  // namespace st4ml
+
+#endif  // ST4ML_GEOMETRY_POINT_H_

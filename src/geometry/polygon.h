@@ -1,0 +1,53 @@
+#ifndef ST4ML_GEOMETRY_POLYGON_H_
+#define ST4ML_GEOMETRY_POLYGON_H_
+
+#include <utility>
+#include <vector>
+
+#include "geometry/linestring.h"
+#include "geometry/mbr.h"
+#include "geometry/point.h"
+
+namespace st4ml {
+
+/// A simple polygon given by its outer ring (not closed; the edge from the
+/// last vertex back to the first is implicit). Containment is ray casting
+/// with an MBR fast path.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> ring)
+      : ring_(std::move(ring)), mbr_(ComputeRingMbr(ring_)) {}
+
+  static Polygon FromMbr(const Mbr& mbr) {
+    return Polygon({Point(mbr.x_min, mbr.y_min), Point(mbr.x_max, mbr.y_min),
+                    Point(mbr.x_max, mbr.y_max), Point(mbr.x_min, mbr.y_max)});
+  }
+
+  const std::vector<Point>& ring() const { return ring_; }
+  const Mbr& mbr() const { return mbr_; }
+  size_t size() const { return ring_.size(); }
+
+  bool ContainsPoint(const Point& p) const;
+
+  /// Exact polygon-polyline intersection: a vertex of the line inside, or an
+  /// edge crossing.
+  bool IntersectsLineString(const LineString& line) const;
+
+  /// Exact polygon-rectangle intersection.
+  bool IntersectsMbr(const Mbr& mbr) const;
+
+ private:
+  static Mbr ComputeRingMbr(const std::vector<Point>& ring) {
+    Mbr mbr;
+    for (const Point& p : ring) mbr.Extend(p);
+    return mbr;
+  }
+
+  std::vector<Point> ring_;
+  Mbr mbr_;
+};
+
+}  // namespace st4ml
+
+#endif  // ST4ML_GEOMETRY_POLYGON_H_

@@ -1,0 +1,162 @@
+#ifndef ST4ML_INDEX_RTREE_H_
+#define ST4ML_INDEX_RTREE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "index/stbox.h"
+
+namespace st4ml {
+
+/// A 3-d (x, y, t) R-tree bulk-loaded with Sort-Tile-Recursive packing.
+///
+/// The payload type `T` is stored by value; `Build` takes a function mapping
+/// each item to its STBox envelope (defaulted to identity when T is STBox).
+/// `Query` returns the ORIGINAL indices of matching items, so callers can
+/// join results back against side arrays — this is what the conversion
+/// stage's broadcast R-tree over structure cells relies on.
+template <typename T>
+class RTree {
+ public:
+  static constexpr size_t kNodeCapacity = 16;
+
+  RTree() = default;
+
+  /// Bulk load from items that are themselves STBoxes.
+  void Build(const std::vector<T>& items) {
+    Build(items, [](const T& item) -> const STBox& { return item; });
+  }
+
+  template <typename BoxFn>
+  void Build(const std::vector<T>& items, BoxFn box_of) {
+    items_ = items;
+    boxes_.clear();
+    boxes_.reserve(items_.size());
+    for (const T& item : items_) boxes_.push_back(box_of(item));
+    Pack();
+  }
+
+  size_t size() const { return items_.size(); }
+  const T& item(size_t i) const { return items_[i]; }
+  const STBox& box(size_t i) const { return boxes_[i]; }
+
+  /// Original indices of every item whose envelope intersects `query`.
+  std::vector<size_t> Query(const STBox& query) const {
+    std::vector<size_t> out;
+    QueryVisit(query, [&out](size_t i) { out.push_back(i); });
+    return out;
+  }
+
+  /// Calls `visit(original_index)` for every match; avoids the result vector.
+  template <typename Visit>
+  void QueryVisit(const STBox& query, Visit visit) const {
+    if (nodes_.empty()) return;
+    QueryNode(nodes_.size() - 1, query, visit);
+  }
+
+ private:
+  struct Node {
+    STBox box;
+    uint32_t first = 0;  // entry index (leaf) or node index (internal)
+    uint32_t count = 0;
+    bool leaf = true;
+  };
+
+  void Pack() {
+    order_.resize(boxes_.size());
+    std::iota(order_.begin(), order_.end(), size_t{0});
+    nodes_.clear();
+    if (order_.empty()) return;
+
+    // 3-d STR: slabs by x, sub-slabs by y, runs by t, then pack leaves of
+    // kNodeCapacity consecutive entries.
+    size_t n = order_.size();
+    size_t leaves = (n + kNodeCapacity - 1) / kNodeCapacity;
+    size_t s = static_cast<size_t>(
+        std::ceil(std::cbrt(static_cast<double>(leaves))));
+    size_t slab = s * s * kNodeCapacity;
+    size_t subslab = s * kNodeCapacity;
+
+    auto center_x = [this](size_t i) {
+      return boxes_[i].mbr.x_min + boxes_[i].mbr.x_max;
+    };
+    auto center_y = [this](size_t i) {
+      return boxes_[i].mbr.y_min + boxes_[i].mbr.y_max;
+    };
+    auto center_t = [this](size_t i) {
+      return boxes_[i].time.start() + boxes_[i].time.end();
+    };
+
+    std::sort(order_.begin(), order_.end(),
+              [&](size_t a, size_t b) { return center_x(a) < center_x(b); });
+    for (size_t lo = 0; lo < n; lo += slab) {
+      size_t hi = std::min(lo + slab, n);
+      std::sort(order_.begin() + lo, order_.begin() + hi,
+                [&](size_t a, size_t b) { return center_y(a) < center_y(b); });
+      for (size_t slo = lo; slo < hi; slo += subslab) {
+        size_t shi = std::min(slo + subslab, hi);
+        std::sort(
+            order_.begin() + slo, order_.begin() + shi,
+            [&](size_t a, size_t b) { return center_t(a) < center_t(b); });
+      }
+    }
+
+    // Leaf level over consecutive runs of the STR ordering.
+    size_t level_begin = nodes_.size();
+    for (size_t lo = 0; lo < n; lo += kNodeCapacity) {
+      Node node;
+      node.leaf = true;
+      node.first = static_cast<uint32_t>(lo);
+      node.count = static_cast<uint32_t>(std::min(kNodeCapacity, n - lo));
+      for (size_t i = 0; i < node.count; ++i) {
+        node.box.Extend(boxes_[order_[lo + i]]);
+      }
+      nodes_.push_back(node);
+    }
+
+    // Internal levels: group consecutive child nodes until a single root.
+    while (nodes_.size() - level_begin > 1) {
+      size_t level_end = nodes_.size();
+      for (size_t lo = level_begin; lo < level_end; lo += kNodeCapacity) {
+        Node node;
+        node.leaf = false;
+        node.first = static_cast<uint32_t>(lo);
+        node.count = static_cast<uint32_t>(
+            std::min(kNodeCapacity, level_end - lo));
+        for (size_t i = 0; i < node.count; ++i) {
+          node.box.Extend(nodes_[lo + i].box);
+        }
+        nodes_.push_back(node);
+      }
+      level_begin = level_end;
+    }
+  }
+
+  template <typename Visit>
+  void QueryNode(size_t node_idx, const STBox& query, Visit& visit) const {
+    const Node& node = nodes_[node_idx];
+    if (!node.box.Intersects(query)) return;
+    if (node.leaf) {
+      for (size_t i = 0; i < node.count; ++i) {
+        size_t entry = order_[node.first + i];
+        if (boxes_[entry].Intersects(query)) visit(entry);
+      }
+      return;
+    }
+    for (size_t i = 0; i < node.count; ++i) {
+      QueryNode(node.first + i, query, visit);
+    }
+  }
+
+  std::vector<T> items_;
+  std::vector<STBox> boxes_;
+  std::vector<size_t> order_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace st4ml
+
+#endif  // ST4ML_INDEX_RTREE_H_

@@ -1,0 +1,58 @@
+#ifndef ST4ML_INDEX_ZCURVE_H_
+#define ST4ML_INDEX_ZCURVE_H_
+
+#include <cstdint>
+
+#include "geometry/mbr.h"
+#include "geometry/point.h"
+
+namespace st4ml {
+
+/// Interleaves the low 16 bits of x and y into a 32-bit Morton code.
+inline uint32_t MortonInterleave16(uint32_t x, uint32_t y) {
+  auto spread = [](uint32_t v) {
+    v &= 0xFFFF;
+    v = (v | (v << 8)) & 0x00FF00FF;
+    v = (v | (v << 4)) & 0x0F0F0F0F;
+    v = (v | (v << 2)) & 0x33333333;
+    v = (v | (v << 1)) & 0x55555555;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+/// The Z2 space-filling curve GeoMesa keys points with: a point in `extent`
+/// maps to the Morton code of its cell in a 2^bits x 2^bits grid.
+class Z2Curve {
+ public:
+  Z2Curve() = default;
+  Z2Curve(const Mbr& extent, int bits) : extent_(extent), bits_(bits) {}
+
+  uint32_t Encode(const Point& p) const {
+    uint32_t max_cell = (1u << bits_) - 1;
+    double fx = extent_.Width() > 0 ? (p.x - extent_.x_min) / extent_.Width()
+                                    : 0.0;
+    double fy = extent_.Height() > 0 ? (p.y - extent_.y_min) / extent_.Height()
+                                     : 0.0;
+    uint32_t cx = ClampCell(fx, max_cell);
+    uint32_t cy = ClampCell(fy, max_cell);
+    return MortonInterleave16(cx, cy);
+  }
+
+  int bits() const { return bits_; }
+  const Mbr& extent() const { return extent_; }
+
+ private:
+  static uint32_t ClampCell(double frac, uint32_t max_cell) {
+    if (frac <= 0.0) return 0;
+    if (frac >= 1.0) return max_cell;
+    return static_cast<uint32_t>(frac * (max_cell + 1));
+  }
+
+  Mbr extent_;
+  int bits_ = 8;
+};
+
+}  // namespace st4ml
+
+#endif  // ST4ML_INDEX_ZCURVE_H_

@@ -1,0 +1,191 @@
+#ifndef ST4ML_INSTANCES_INSTANCES_H_
+#define ST4ML_INSTANCES_INSTANCES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "geometry/linestring.h"
+#include "geometry/point.h"
+#include "index/stbox.h"
+#include "instances/structures.h"
+
+namespace st4ml {
+
+/// Empty payload for instances whose mere presence is the signal.
+struct Unit {};
+
+/// One (value, time) sample of a typed trajectory.
+template <typename V>
+struct TimedValue {
+  V value{};
+  int64_t time = 0;
+};
+
+/// A generic typed trajectory: per-object data plus timed entries. The
+/// output of trajectory-to-trajectory conversions like map matching
+/// (Trajectory<int64_t, int64_t>: trip id + per-sample road-segment ids).
+template <typename DataT, typename ValueT>
+struct Trajectory {
+  DataT data{};
+  std::vector<TimedValue<ValueT>> entries;
+};
+
+/// One spatial sample of an ST trajectory.
+struct STEntry {
+  Point point;
+  int64_t time = 0;
+};
+
+/// Typed data carried by an STEvent.
+struct EventData {
+  int64_t id = 0;
+  std::string attr;
+};
+
+/// The singular "event" instance: one location, one (possibly degenerate)
+/// time interval, typed data — no string parsing at use sites (Table 1).
+struct STEvent {
+  Point spatial;
+  Duration temporal;
+  EventData data;
+
+  STBox ComputeSTBox() const { return STBox(Mbr(spatial), temporal); }
+};
+
+/// The singular "trajectory" instance: id plus time-ordered spatial entries.
+struct STTrajectory {
+  int64_t data = 0;
+  std::vector<STEntry> entries;
+
+  Duration TemporalExtent() const {
+    if (entries.empty()) return Duration();
+    return Duration(entries.front().time, entries.back().time);
+  }
+
+  LineString Shape() const {
+    std::vector<Point> points;
+    points.reserve(entries.size());
+    for (const STEntry& e : entries) points.push_back(e.point);
+    return LineString(std::move(points));
+  }
+
+  /// Whole-trajectory mean speed: great-circle length over elapsed time.
+  double AverageSpeedMps() const {
+    double meters = 0.0;
+    for (size_t i = 1; i < entries.size(); ++i) {
+      meters += HaversineMeters(entries[i - 1].point, entries[i].point);
+    }
+    int64_t span = TemporalExtent().Seconds();
+    return span > 0 ? meters / static_cast<double>(span) : 0.0;
+  }
+
+  STBox ComputeSTBox() const {
+    Mbr mbr;
+    for (const STEntry& e : entries) mbr.Extend(e.point);
+    return STBox(mbr, TemporalExtent());
+  }
+};
+
+/// A detected stay: the visited region's representative point and dwell.
+struct StayPoint {
+  Point center;
+  Duration duration;
+  int64_t num_points = 0;
+};
+
+/// Collective instances: a structure shared across partitions plus one value
+/// per structure cell. Conversion emits one per engine partition holding
+/// that partition's contribution; CollectAndMerge folds them into one.
+
+template <typename V>
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  TimeSeries(std::shared_ptr<const TemporalStructure> structure,
+             std::vector<V> values)
+      : structure_(std::move(structure)), values_(std::move(values)) {
+    ST4ML_CHECK(values_.size() == structure_->size())
+        << "value count must match bin count";
+  }
+  TimeSeries(std::shared_ptr<const TemporalStructure> structure, const V& init)
+      : TimeSeries(structure,
+                   std::vector<V>(structure ? structure->size() : 0, init)) {}
+
+  size_t size() const { return values_.size(); }
+  const V& value(size_t i) const { return values_[i]; }
+  V& mutable_value(size_t i) { return values_[i]; }
+  const std::vector<V>& values() const { return values_; }
+  const Duration& bin(size_t i) const { return structure_->bin(i); }
+  const std::shared_ptr<const TemporalStructure>& structure() const {
+    return structure_;
+  }
+
+ private:
+  std::shared_ptr<const TemporalStructure> structure_;
+  std::vector<V> values_;
+};
+
+template <typename V>
+class SpatialMap {
+ public:
+  SpatialMap() = default;
+  SpatialMap(std::shared_ptr<const SpatialStructure> structure,
+             std::vector<V> values)
+      : structure_(std::move(structure)), values_(std::move(values)) {
+    ST4ML_CHECK(values_.size() == structure_->size())
+        << "value count must match cell count";
+  }
+  SpatialMap(std::shared_ptr<const SpatialStructure> structure, const V& init)
+      : SpatialMap(structure,
+                   std::vector<V>(structure ? structure->size() : 0, init)) {}
+
+  size_t size() const { return values_.size(); }
+  const V& value(size_t i) const { return values_[i]; }
+  V& mutable_value(size_t i) { return values_[i]; }
+  const std::vector<V>& values() const { return values_; }
+  const Polygon& cell(size_t i) const { return structure_->cell(i); }
+  const std::shared_ptr<const SpatialStructure>& structure() const {
+    return structure_;
+  }
+
+ private:
+  std::shared_ptr<const SpatialStructure> structure_;
+  std::vector<V> values_;
+};
+
+template <typename V>
+class Raster {
+ public:
+  Raster() = default;
+  Raster(std::shared_ptr<const RasterStructure> structure,
+         std::vector<V> values)
+      : structure_(std::move(structure)), values_(std::move(values)) {
+    ST4ML_CHECK(values_.size() == structure_->size())
+        << "value count must match cell x bin count";
+  }
+  Raster(std::shared_ptr<const RasterStructure> structure, const V& init)
+      : Raster(structure,
+               std::vector<V>(structure ? structure->size() : 0, init)) {}
+
+  size_t size() const { return values_.size(); }
+  const V& value(size_t i) const { return values_[i]; }
+  V& mutable_value(size_t i) { return values_[i]; }
+  const std::vector<V>& values() const { return values_; }
+  const Polygon& cell(size_t i) const { return structure_->cell(i); }
+  const Duration& bin(size_t i) const { return structure_->bin(i); }
+  const std::shared_ptr<const RasterStructure>& structure() const {
+    return structure_;
+  }
+
+ private:
+  std::shared_ptr<const RasterStructure> structure_;
+  std::vector<V> values_;
+};
+
+}  // namespace st4ml
+
+#endif  // ST4ML_INSTANCES_INSTANCES_H_

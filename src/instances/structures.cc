@@ -1,0 +1,161 @@
+#include "instances/structures.h"
+
+namespace st4ml {
+
+TemporalStructure TemporalStructure::Regular(const Duration& range,
+                                             int num_bins) {
+  TemporalStructure structure;
+  structure.range_ = range;
+  if (num_bins <= 0) return structure;
+  int64_t seconds = range.Seconds();
+  structure.bins_.reserve(num_bins);
+  for (int i = 0; i < num_bins; ++i) {
+    int64_t lo = range.start() + seconds * i / num_bins;
+    int64_t hi = range.start() + seconds * (i + 1) / num_bins;
+    structure.bins_.push_back(Duration(lo, hi));
+  }
+  if (seconds % num_bins == 0) {
+    structure.regular_ = true;
+    structure.width_ = seconds / num_bins;
+  }
+  return structure;
+}
+
+TemporalStructure TemporalStructure::RegularByInterval(const Duration& range,
+                                                       int64_t interval_s) {
+  TemporalStructure structure;
+  structure.range_ = range;
+  structure.bins_ = TemporalSliding(range, interval_s);
+  structure.regular_ = !structure.bins_.empty();
+  structure.width_ = interval_s;
+  return structure;
+}
+
+TemporalStructure TemporalStructure::Irregular(std::vector<Duration> bins) {
+  TemporalStructure structure;
+  structure.bins_ = std::move(bins);
+  if (!structure.bins_.empty()) {
+    structure.range_ = structure.bins_.front();
+    for (const Duration& bin : structure.bins_) structure.range_.Extend(bin);
+  }
+  return structure;
+}
+
+size_t TemporalStructure::FindBin(int64_t t) const {
+  if (bins_.empty()) return kNoBin;
+  if (regular_ && width_ > 0) {
+    if (t < bins_.front().start() || t > bins_.back().end()) return kNoBin;
+    size_t idx = static_cast<size_t>((t - bins_.front().start()) / width_);
+    if (idx >= bins_.size()) idx = bins_.size() - 1;
+    // Closed bins share boundaries: step back to the FIRST containing bin so
+    // arithmetic lookup agrees with a front-to-back scan.
+    while (idx > 0 && bins_[idx - 1].Contains(t)) --idx;
+    return bins_[idx].Contains(t) ? idx : kNoBin;
+  }
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i].Contains(t)) return i;
+  }
+  return kNoBin;
+}
+
+std::vector<size_t> TemporalStructure::IntersectingBins(
+    const Duration& d) const {
+  std::vector<size_t> out;
+  if (regular_ && width_ > 0 && !bins_.empty()) {
+    if (d.end() < bins_.front().start() || d.start() > bins_.back().end()) {
+      return out;
+    }
+    int64_t base = bins_.front().start();
+    int64_t lo_raw = d.start() < base ? 0 : (d.start() - base) / width_;
+    size_t lo = static_cast<size_t>(lo_raw);
+    if (lo >= bins_.size()) lo = bins_.size() - 1;
+    while (lo > 0 && bins_[lo - 1].Intersects(d)) --lo;
+    for (size_t i = lo; i < bins_.size() && bins_[i].start() <= d.end(); ++i) {
+      if (bins_[i].Intersects(d)) out.push_back(i);
+    }
+    return out;
+  }
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i].Intersects(d)) out.push_back(i);
+  }
+  return out;
+}
+
+SpatialStructure SpatialStructure::Grid(const Mbr& extent, int nx, int ny) {
+  SpatialStructure structure;
+  structure.extent_ = extent;
+  structure.grid_ = true;
+  structure.nx_ = nx;
+  structure.ny_ = ny;
+  // Row-major, y outer — and the same arithmetic as the baselines' loops, so
+  // cell boundaries are bitwise identical.
+  double dx = extent.Width() / nx;
+  double dy = extent.Height() / ny;
+  structure.cells_.reserve(static_cast<size_t>(nx) * ny);
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      Mbr cell(extent.x_min + ix * dx, extent.y_min + iy * dy,
+               extent.x_min + (ix + 1) * dx, extent.y_min + (iy + 1) * dy);
+      structure.mbrs_.push_back(cell);
+      structure.cells_.push_back(Polygon::FromMbr(cell));
+    }
+  }
+  return structure;
+}
+
+SpatialStructure SpatialStructure::Irregular(std::vector<Polygon> cells) {
+  SpatialStructure structure;
+  structure.cells_ = std::move(cells);
+  structure.mbrs_.reserve(structure.cells_.size());
+  for (const Polygon& cell : structure.cells_) {
+    structure.mbrs_.push_back(cell.mbr());
+    structure.extent_.Extend(cell.mbr());
+  }
+  return structure;
+}
+
+size_t SpatialStructure::FindCell(const Point& p) const {
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].ContainsPoint(p)) return i;
+  }
+  return kNoCell;
+}
+
+std::vector<size_t> SpatialStructure::IntersectingCells(
+    const LineString& line) const {
+  std::vector<size_t> out;
+  Mbr line_mbr = line.ComputeMbr();
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (!line_mbr.Intersects(mbrs_[i])) continue;
+    bool hit = grid_ ? line.IntersectsMbr(mbrs_[i])
+                     : cells_[i].IntersectsLineString(line);
+    if (hit) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> SpatialStructure::ContainingCells(const Point& p) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].ContainsPoint(p)) out.push_back(i);
+  }
+  return out;
+}
+
+RasterStructure RasterStructure::Regular(const Mbr& extent, int nx, int ny,
+                                         const Duration& range, int num_bins) {
+  RasterStructure structure;
+  structure.spatial_ = SpatialStructure::Grid(extent, nx, ny);
+  structure.temporal_ = TemporalStructure::Regular(range, num_bins);
+  return structure;
+}
+
+RasterStructure RasterStructure::CrossProduct(std::vector<Polygon> cells,
+                                              std::vector<Duration> bins) {
+  RasterStructure structure;
+  structure.spatial_ = SpatialStructure::Irregular(std::move(cells));
+  structure.temporal_ = TemporalStructure::Irregular(std::move(bins));
+  return structure;
+}
+
+}  // namespace st4ml

@@ -1,0 +1,170 @@
+#include "mapmatching/hmm_map_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "index/rtree.h"
+#include "index/stbox.h"
+
+namespace st4ml {
+namespace {
+
+constexpr double kMetersPerDegree = 111320.0;
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Great-circle-ish distance from a sample to a segment, via a local
+/// equirectangular projection around the sample (fine at snap scales).
+double MetersToSegment(const Point& p, const Point& a, const Point& b) {
+  double kx = kMetersPerDegree * std::cos(p.y * M_PI / 180.0);
+  double ky = kMetersPerDegree;
+  Point pm(p.x * kx, p.y * ky);
+  Point am(a.x * kx, a.y * ky);
+  Point bm(b.x * kx, b.y * ky);
+  Point closest;
+  return std::sqrt(PointToSegmentDistanceSq(pm, am, bm, &closest));
+}
+
+double MetersToShape(const Point& p, const LineString& shape) {
+  const std::vector<Point>& pts = shape.points();
+  if (pts.empty()) return std::numeric_limits<double>::infinity();
+  if (pts.size() == 1) return MetersToSegment(p, pts[0], pts[0]);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 1; i < pts.size(); ++i) {
+    best = std::min(best, MetersToSegment(p, pts[i - 1], pts[i]));
+  }
+  return best;
+}
+
+struct Candidate {
+  int32_t segment = 0;
+  double emission_log = 0.0;  // Gaussian in the snap distance
+};
+
+/// Transition plausibility between consecutive snaps: staying put beats a
+/// U-turn onto the paired reverse segment, which beats rolling onto an
+/// adjacent segment, which beats teleporting across the graph.
+double TransitionLog(const RoadNetwork& network, int32_t from, int32_t to) {
+  if (from == to) return 0.0;
+  const RoadSegment& a = network.segment(from);
+  const RoadSegment& b = network.segment(to);
+  if (std::llabs(a.id) == std::llabs(b.id)) return -0.7;
+  if (a.to_node == b.from_node || a.from_node == b.from_node ||
+      a.to_node == b.to_node || a.from_node == b.to_node) {
+    return -1.2;
+  }
+  return -4.0;
+}
+
+Trajectory<int64_t, int64_t> MatchOne(const STTrajectory& traj,
+                                      const RoadNetwork& network,
+                                      const RTree<int32_t>& index,
+                                      const MapMatchOptions& options) {
+  Trajectory<int64_t, int64_t> out;
+  out.data = traj.data;
+
+  // Per-sample candidate sets: segments within the search radius.
+  std::vector<std::vector<Candidate>> layers;
+  std::vector<size_t> layer_entry;  // index into traj.entries
+  for (size_t i = 0; i < traj.entries.size(); ++i) {
+    const STEntry& e = traj.entries[i];
+    double lat_scale = std::max(0.1, std::cos(e.point.y * M_PI / 180.0));
+    double radius_deg = options.candidate_radius_m / (kMetersPerDegree * lat_scale);
+    STBox probe(Mbr(e.point).Buffered(radius_deg),
+                Duration(std::numeric_limits<int64_t>::min() / 4,
+                         std::numeric_limits<int64_t>::max() / 4));
+    std::vector<size_t> hits = index.Query(probe);
+    std::sort(hits.begin(), hits.end());
+    std::vector<Candidate> layer;
+    for (size_t h : hits) {
+      int32_t seg = index.item(h);
+      double d = MetersToShape(e.point, network.segment(seg).shape);
+      if (d > options.candidate_radius_m) continue;
+      double z = d / options.sigma_z_m;
+      layer.push_back(Candidate{seg, -0.5 * z * z});
+    }
+    if (layer.empty()) continue;  // unreachable sample: dropped
+    layers.push_back(std::move(layer));
+    layer_entry.push_back(i);
+  }
+  if (layers.empty()) return out;
+
+  // Viterbi over the candidate layers.
+  std::vector<std::vector<double>> score(layers.size());
+  std::vector<std::vector<int>> parent(layers.size());
+  for (size_t t = 0; t < layers.size(); ++t) {
+    score[t].assign(layers[t].size(), kNegInf);
+    parent[t].assign(layers[t].size(), -1);
+    for (size_t c = 0; c < layers[t].size(); ++c) {
+      if (t == 0) {
+        score[t][c] = layers[t][c].emission_log;
+        continue;
+      }
+      double best = kNegInf;
+      int best_prev = -1;
+      for (size_t p = 0; p < layers[t - 1].size(); ++p) {
+        double s = score[t - 1][p] + TransitionLog(network,
+                                                   layers[t - 1][p].segment,
+                                                   layers[t][c].segment);
+        if (s > best) {
+          best = s;
+          best_prev = static_cast<int>(p);
+        }
+      }
+      score[t][c] = best + layers[t][c].emission_log;
+      parent[t][c] = best_prev;
+    }
+  }
+
+  size_t last = layers.size() - 1;
+  int cursor = 0;
+  for (size_t c = 1; c < score[last].size(); ++c) {
+    if (score[last][c] > score[last][static_cast<size_t>(cursor)]) {
+      cursor = static_cast<int>(c);
+    }
+  }
+  std::vector<int> path(layers.size(), 0);
+  for (size_t t = last;; --t) {
+    path[t] = cursor;
+    if (t == 0) break;
+    cursor = parent[t][static_cast<size_t>(cursor)];
+  }
+
+  out.entries.reserve(layers.size());
+  for (size_t t = 0; t < layers.size(); ++t) {
+    const Candidate& c = layers[t][static_cast<size_t>(path[t])];
+    TimedValue<int64_t> entry;
+    entry.value = network.segment(c.segment).id;
+    entry.time = traj.entries[layer_entry[t]].time;
+    out.entries.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace
+
+Dataset<Trajectory<int64_t, int64_t>> MapMatchTrajectories(
+    const Dataset<STTrajectory>& trajs,
+    std::shared_ptr<const RoadNetwork> network,
+    const MapMatchOptions& options) {
+  ST4ML_CHECK(network != nullptr) << "map matching needs a road network";
+
+  // One shared snap index over every segment envelope (time axis is inert).
+  auto index = std::make_shared<RTree<int32_t>>();
+  std::vector<int32_t> ids(network->num_segments());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int32_t>(i);
+  Duration all_time(std::numeric_limits<int64_t>::min() / 4,
+                    std::numeric_limits<int64_t>::max() / 4);
+  index->Build(ids, [&](int32_t seg) {
+    return STBox(network->segment(seg).shape.ComputeMbr(), all_time);
+  });
+
+  return trajs.Map([network, index, options](const STTrajectory& t) {
+    return MatchOne(t, *network, *index, options);
+  });
+}
+
+}  // namespace st4ml

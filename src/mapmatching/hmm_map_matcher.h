@@ -1,0 +1,32 @@
+#ifndef ST4ML_MAPMATCHING_HMM_MAP_MATCHER_H_
+#define ST4ML_MAPMATCHING_HMM_MAP_MATCHER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "engine/dataset.h"
+#include "instances/instances.h"
+#include "mapmatching/road_network.h"
+
+namespace st4ml {
+
+/// Knobs for the HMM map matcher (Newson-Krumm style): `sigma_z_m` is the
+/// GPS noise deviation behind the Gaussian emission, `candidate_radius_m`
+/// caps the snap-candidate search around each sample.
+struct MapMatchOptions {
+  double sigma_z_m = 25.0;
+  double candidate_radius_m = 150.0;
+};
+
+/// The built-in trajectory-to-trajectory conversion (paper §3.2.2): snaps
+/// each trajectory sample to a road segment with a per-trajectory Viterbi
+/// pass over the candidate segments. The result keeps the trip id as `data`
+/// and carries one (segment id, time) entry per input sample; samples with
+/// no segment within reach are dropped.
+Dataset<Trajectory<int64_t, int64_t>> MapMatchTrajectories(
+    const Dataset<STTrajectory>& trajs,
+    std::shared_ptr<const RoadNetwork> network, const MapMatchOptions& options);
+
+}  // namespace st4ml
+
+#endif  // ST4ML_MAPMATCHING_HMM_MAP_MATCHER_H_

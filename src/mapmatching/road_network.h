@@ -1,0 +1,80 @@
+#ifndef ST4ML_MAPMATCHING_ROAD_NETWORK_H_
+#define ST4ML_MAPMATCHING_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "geometry/linestring.h"
+#include "geometry/mbr.h"
+#include "geometry/point.h"
+
+namespace st4ml {
+
+/// One directed road segment. Every physical edge appears twice, as a
+/// forward/reverse pair stored consecutively; the pair shares |id|, with the
+/// reverse direction carrying the negated id (so consumers can collapse the
+/// two with llabs, and iterate physical edges with a stride of 2).
+struct RoadSegment {
+  int64_t id = 0;
+  LineString shape;
+  int32_t from_node = 0;
+  int32_t to_node = 0;
+  double length_m = 0.0;
+};
+
+/// An in-memory directed road graph: nodes, segments, and per-node outgoing
+/// adjacency. Map matching snaps trajectory samples onto segments; the flow
+/// case study uses segments as raster "cells".
+class RoadNetwork {
+ public:
+  size_t num_nodes() const { return nodes_.size(); }
+  const Point& node(int32_t index) const {
+    return nodes_[static_cast<size_t>(index)];
+  }
+
+  size_t num_segments() const { return segments_.size(); }
+  const RoadSegment& segment(int32_t index) const {
+    return segments_[static_cast<size_t>(index)];
+  }
+
+  /// Indices of segments leaving `node`.
+  const std::vector<int32_t>& outgoing(int32_t node) const {
+    return outgoing_[static_cast<size_t>(node)];
+  }
+
+  /// Bounding box over every node.
+  const Mbr& extent() const { return extent_; }
+
+  int32_t AddNode(const Point& p) {
+    nodes_.push_back(p);
+    outgoing_.emplace_back();
+    extent_.Extend(p);
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+
+  /// Appends a segment and wires it into the adjacency lists.
+  int32_t AddSegment(RoadSegment segment) {
+    ST4ML_CHECK(segment.from_node >= 0 &&
+                static_cast<size_t>(segment.from_node) < nodes_.size())
+        << "bad from_node";
+    ST4ML_CHECK(segment.to_node >= 0 &&
+                static_cast<size_t>(segment.to_node) < nodes_.size())
+        << "bad to_node";
+    int32_t index = static_cast<int32_t>(segments_.size());
+    outgoing_[static_cast<size_t>(segment.from_node)].push_back(index);
+    segments_.push_back(std::move(segment));
+    return index;
+  }
+
+ private:
+  std::vector<Point> nodes_;
+  std::vector<RoadSegment> segments_;
+  std::vector<std::vector<int32_t>> outgoing_;
+  Mbr extent_;
+};
+
+}  // namespace st4ml
+
+#endif  // ST4ML_MAPMATCHING_ROAD_NETWORK_H_

@@ -1,0 +1,51 @@
+#include "partition/balance.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace st4ml {
+
+double CoefficientOfVariation(const std::vector<size_t>& sizes) {
+  if (sizes.empty()) return 0.0;
+  double n = static_cast<double>(sizes.size());
+  double mean = 0.0;
+  for (size_t s : sizes) mean += static_cast<double>(s);
+  mean /= n;
+  if (mean <= 0.0) return 0.0;
+  double var = 0.0;
+  for (size_t s : sizes) {
+    double d = static_cast<double>(s) - mean;
+    var += d * d;
+  }
+  return std::sqrt(var / n) / mean;
+}
+
+std::vector<STBox> PartitionContentBounds(const std::vector<STBox>& boxes,
+                                          const std::vector<int>& assignment,
+                                          int num_partitions) {
+  ST4ML_CHECK(boxes.size() == assignment.size())
+      << "one assignment per box required";
+  std::vector<STBox> bounds(static_cast<size_t>(num_partitions));
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    int p = assignment[i];
+    ST4ML_CHECK(p >= 0 && p < num_partitions) << "assignment out of range";
+    bounds[static_cast<size_t>(p)].Extend(boxes[i]);
+  }
+  return bounds;
+}
+
+double OverlapRatio(const std::vector<STBox>& bounds) {
+  double total = 0.0;
+  STBox hull;
+  for (const STBox& b : bounds) {
+    if (b.mbr.IsEmpty()) continue;  // partition received nothing
+    total += b.Volume();
+    hull.Extend(b);
+  }
+  if (hull.mbr.IsEmpty()) return 0.0;
+  double union_volume = hull.Volume();
+  return union_volume > 0.0 ? total / union_volume : 0.0;
+}
+
+}  // namespace st4ml

@@ -1,0 +1,31 @@
+#ifndef ST4ML_PARTITION_BALANCE_H_
+#define ST4ML_PARTITION_BALANCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "index/stbox.h"
+
+namespace st4ml {
+
+/// Partition-quality metrics (the paper's Table 6 axes): how even are the
+/// partition sizes, and how much do partition envelopes overlap — overlap is
+/// what forces a query to touch multiple partitions.
+
+/// Standard deviation over mean of the partition sizes; 0 when perfectly
+/// balanced or when there is no data.
+double CoefficientOfVariation(const std::vector<size_t>& sizes);
+
+/// Tight ST bounds of each partition's actual content. `assignment[i]` is the
+/// partition of `boxes[i]`; partitions that received nothing stay empty.
+std::vector<STBox> PartitionContentBounds(const std::vector<STBox>& boxes,
+                                          const std::vector<int>& assignment,
+                                          int num_partitions);
+
+/// Sum of per-partition ST volumes over the volume of their union; 1.0 means
+/// disjoint partitions, larger means overlap. 0 when nothing has volume.
+double OverlapRatio(const std::vector<STBox>& bounds);
+
+}  // namespace st4ml
+
+#endif  // ST4ML_PARTITION_BALANCE_H_

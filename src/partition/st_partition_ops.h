@@ -1,0 +1,56 @@
+#ifndef ST4ML_PARTITION_ST_PARTITION_OPS_H_
+#define ST4ML_PARTITION_ST_PARTITION_OPS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "engine/dataset.h"
+#include "partition/partitioner.h"
+
+namespace st4ml {
+
+struct STPartitionOptions {
+  /// Replicate each record into EVERY partition its envelope intersects
+  /// instead of only its primary. Needed by partition-local operators
+  /// (companion detection) that must see boundary-crossing neighbors.
+  bool duplicate = false;
+};
+
+/// Repartitions a dataset by spatio-temporal locality: trains `partitioner`
+/// on every record envelope, then moves each record to its assigned
+/// partition(s). A full shuffle — each placed record is charged to the
+/// engine metrics, which is exactly the cost the T-STR experiments weigh
+/// against the locality it buys.
+template <typename T, typename BoxFn, typename IdFn>
+Dataset<T> STPartition(const Dataset<T>& data, STPartitioner* partitioner,
+                       BoxFn box_of, IdFn id_of,
+                       STPartitionOptions options = {}) {
+  ST4ML_CHECK(partitioner != nullptr) << "null partitioner";
+  std::vector<T> records = data.Collect();
+  std::vector<STBox> boxes;
+  boxes.reserve(records.size());
+  for (const T& r : records) boxes.push_back(box_of(r));
+  partitioner->Train(boxes);
+
+  int n = partitioner->num_partitions();
+  ST4ML_CHECK(n > 0) << "partitioner produced no partitions";
+  typename Dataset<T>::Partitions parts(static_cast<size_t>(n));
+  uint64_t moved = 0;
+  uint64_t bytes = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    uint64_t id = static_cast<uint64_t>(id_of(records[i]));
+    for (int p : partitioner->Assign(boxes[i], options.duplicate, id)) {
+      ST4ML_CHECK(p >= 0 && p < n) << "assignment out of range";
+      parts[static_cast<size_t>(p)].push_back(records[i]);
+      moved += 1;
+      bytes += ApproxShuffleBytes(records[i]);
+    }
+  }
+  data.context()->metrics().AddShuffle(moved, bytes);
+  return Dataset<T>::FromPartitions(data.context(), std::move(parts));
+}
+
+}  // namespace st4ml
+
+#endif  // ST4ML_PARTITION_ST_PARTITION_OPS_H_

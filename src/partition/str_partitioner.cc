@@ -1,0 +1,204 @@
+#include "partition/str_partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace st4ml {
+namespace partition_internal {
+
+namespace {
+
+double CenterX(const STBox& b) { return (b.mbr.x_min + b.mbr.x_max) / 2.0; }
+double CenterY(const STBox& b) { return (b.mbr.y_min + b.mbr.y_max) / 2.0; }
+
+int64_t CenterT(const STBox& b) {
+  return b.time.start() / 2 + b.time.end() / 2;
+}
+
+/// `count - 1` equal-count cuts of a sorted value list.
+template <typename V>
+std::vector<V> QuantileCuts(std::vector<V> sorted, int count) {
+  std::vector<V> cuts;
+  if (sorted.empty() || count <= 1) return cuts;
+  cuts.reserve(count - 1);
+  for (int k = 1; k < count; ++k) {
+    size_t idx = sorted.size() * static_cast<size_t>(k) / count;
+    cuts.push_back(sorted[idx]);
+  }
+  return cuts;
+}
+
+}  // namespace
+
+int StrTiling::TileOf(double x, double y) const {
+  int slab = static_cast<int>(
+      std::upper_bound(x_splits.begin(), x_splits.end(), x) -
+      x_splits.begin());
+  const std::vector<double>& cuts = y_splits[slab];
+  int tile = static_cast<int>(std::upper_bound(cuts.begin(), cuts.end(), y) -
+                              cuts.begin());
+  return slab * gy + tile;
+}
+
+void StrTiling::IntersectingTiles(const Mbr& mbr, int base,
+                                  std::vector<int>* out) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (int slab = 0; slab < gx; ++slab) {
+    double x_lo = slab == 0 ? -kInf : x_splits[slab - 1];
+    double x_hi = slab == gx - 1 ? kInf : x_splits[slab];
+    if (mbr.x_min > x_hi || mbr.x_max < x_lo) continue;
+    const std::vector<double>& cuts = y_splits[slab];
+    for (int tile = 0; tile < gy; ++tile) {
+      double y_lo = tile == 0 ? -kInf : cuts[tile - 1];
+      double y_hi = tile == gy - 1 ? kInf : cuts[tile];
+      if (mbr.y_min > y_hi || mbr.y_max < y_lo) continue;
+      out->push_back(base + slab * gy + tile);
+    }
+  }
+}
+
+StrTiling BuildStrTiling(const std::vector<const STBox*>& boxes, int gx,
+                         int gy) {
+  StrTiling tiling;
+  tiling.gx = gx;
+  tiling.gy = gy;
+
+  std::vector<double> xs;
+  xs.reserve(boxes.size());
+  for (const STBox* b : boxes) xs.push_back(CenterX(*b));
+  std::sort(xs.begin(), xs.end());
+  tiling.x_splits = QuantileCuts(xs, gx);
+
+  // Slab membership by sort rank (not by re-applying the cuts): ties on the
+  // cut value do not matter for split QUALITY, only for balance, and ranks
+  // keep the per-slab counts exactly even.
+  std::vector<const STBox*> by_x = boxes;
+  std::sort(by_x.begin(), by_x.end(), [](const STBox* a, const STBox* b) {
+    return CenterX(*a) < CenterX(*b);
+  });
+  tiling.y_splits.resize(gx);
+  for (int slab = 0; slab < gx; ++slab) {
+    size_t lo = by_x.size() * static_cast<size_t>(slab) / gx;
+    size_t hi = by_x.size() * static_cast<size_t>(slab + 1) / gx;
+    std::vector<double> ys;
+    ys.reserve(hi - lo);
+    for (size_t i = lo; i < hi; ++i) ys.push_back(CenterY(*by_x[i]));
+    std::sort(ys.begin(), ys.end());
+    tiling.y_splits[slab] = QuantileCuts(ys, gy);
+  }
+  return tiling;
+}
+
+}  // namespace partition_internal
+
+namespace {
+
+/// Splits ~n tiles into gx x gy with gx = ceil(sqrt(n)).
+void GridShape(int n, int* gx, int* gy) {
+  *gx = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+  if (*gx < 1) *gx = 1;
+  *gy = (n + *gx - 1) / *gx;
+  if (*gy < 1) *gy = 1;
+}
+
+}  // namespace
+
+STRPartitioner::STRPartitioner(int num_partitions) {
+  ST4ML_CHECK(num_partitions > 0) << "num_partitions must be positive";
+  GridShape(num_partitions, &tiling_.gx, &tiling_.gy);
+  tiling_.y_splits.resize(tiling_.gx);
+}
+
+void STRPartitioner::Train(const std::vector<STBox>& boxes) {
+  std::vector<const STBox*> ptrs;
+  ptrs.reserve(boxes.size());
+  for (const STBox& b : boxes) ptrs.push_back(&b);
+  int gx = tiling_.gx;
+  int gy = tiling_.gy;
+  tiling_ = partition_internal::BuildStrTiling(ptrs, gx, gy);
+}
+
+std::vector<int> STRPartitioner::Assign(const STBox& box, bool duplicate,
+                                        uint64_t record_id) const {
+  (void)record_id;
+  if (!duplicate) {
+    return {tiling_.TileOf(partition_internal::CenterX(box),
+                           partition_internal::CenterY(box))};
+  }
+  std::vector<int> out;
+  tiling_.IntersectingTiles(box.mbr, 0, &out);
+  return out;
+}
+
+TSTRPartitioner::TSTRPartitioner(int temporal_slices, int spatial_tiles)
+    : temporal_slices_(temporal_slices) {
+  ST4ML_CHECK(temporal_slices > 0 && spatial_tiles > 0)
+      << "slice and tile counts must be positive";
+  GridShape(spatial_tiles, &gsx_, &gsy_);
+  tiles_per_slice_ = gsx_ * gsy_;
+  tilings_.resize(temporal_slices_);
+  for (auto& tiling : tilings_) {
+    tiling.gx = gsx_;
+    tiling.gy = gsy_;
+    tiling.y_splits.resize(gsx_);
+  }
+}
+
+void TSTRPartitioner::Train(const std::vector<STBox>& boxes) {
+  std::vector<int64_t> ts;
+  ts.reserve(boxes.size());
+  for (const STBox& b : boxes) ts.push_back(partition_internal::CenterT(b));
+  std::sort(ts.begin(), ts.end());
+  t_splits_.clear();
+  for (int k = 1; k < temporal_slices_; ++k) {
+    if (ts.empty()) break;
+    t_splits_.push_back(ts[ts.size() * static_cast<size_t>(k) /
+                           temporal_slices_]);
+  }
+
+  // Slice membership by time-center rank, then an independent 2-d STR
+  // tiling per slice — this is what lets spatial boundaries adapt to where
+  // the data actually was during each time slice.
+  std::vector<const STBox*> by_t;
+  by_t.reserve(boxes.size());
+  for (const STBox& b : boxes) by_t.push_back(&b);
+  std::sort(by_t.begin(), by_t.end(), [](const STBox* a, const STBox* b) {
+    return partition_internal::CenterT(*a) < partition_internal::CenterT(*b);
+  });
+  tilings_.assign(temporal_slices_, partition_internal::StrTiling{});
+  for (int s = 0; s < temporal_slices_; ++s) {
+    size_t lo = by_t.size() * static_cast<size_t>(s) / temporal_slices_;
+    size_t hi = by_t.size() * static_cast<size_t>(s + 1) / temporal_slices_;
+    std::vector<const STBox*> slice(by_t.begin() + lo, by_t.begin() + hi);
+    tilings_[s] = partition_internal::BuildStrTiling(slice, gsx_, gsy_);
+  }
+}
+
+std::vector<int> TSTRPartitioner::Assign(const STBox& box, bool duplicate,
+                                         uint64_t record_id) const {
+  (void)record_id;
+  if (!duplicate) {
+    int slice = static_cast<int>(
+        std::upper_bound(t_splits_.begin(), t_splits_.end(),
+                         partition_internal::CenterT(box)) -
+        t_splits_.begin());
+    int tile = tilings_[slice].TileOf(partition_internal::CenterX(box),
+                                      partition_internal::CenterY(box));
+    return {slice * tiles_per_slice_ + tile};
+  }
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  std::vector<int> out;
+  for (int s = 0; s < temporal_slices_; ++s) {
+    int64_t t_lo = s == 0 ? kMin : t_splits_[s - 1];
+    int64_t t_hi = s == temporal_slices_ - 1 ? kMax : t_splits_[s];
+    if (box.time.start() > t_hi || box.time.end() < t_lo) continue;
+    tilings_[s].IntersectingTiles(box.mbr, s * tiles_per_slice_, &out);
+  }
+  return out;
+}
+
+}  // namespace st4ml

@@ -1,0 +1,129 @@
+#ifndef ST4ML_SELECTION_SELECTOR_H_
+#define ST4ML_SELECTION_SELECTOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/dataset.h"
+#include "index/rtree.h"
+#include "partition/partitioner.h"
+#include "partition/st_partition_ops.h"
+#include "partition/str_partitioner.h"
+#include "storage/stpq.h"
+
+namespace st4ml {
+
+struct SelectorOptions {
+  /// When set (and partition_after_select is true), the selected records are
+  /// ST-partitioned for the downstream stages — select FIRST, partition the
+  /// small result, not the other way around (the paper's ordering).
+  std::shared_ptr<STPartitioner> partitioner;
+  bool partition_after_select = true;
+  /// Refine loaded files through a per-file R-tree instead of a linear scan.
+  /// Same records either way; this is the in-memory half of the index.
+  bool use_rtree = true;
+};
+
+/// I/O accounting, accumulated across Select calls: how many file bytes were
+/// read, and how many bytes of records survived the ST predicate. The gap
+/// between the two is what metadata pruning saves.
+struct SelectorStats {
+  uint64_t bytes_loaded = 0;
+  uint64_t bytes_selected = 0;
+};
+
+/// The selection stage (paper §3.1): load persisted records intersecting an
+/// ST query. One-argument Select scans a plain directory end to end; the
+/// two-argument form prunes whole files through the on-disk metadata first
+/// and only opens survivors.
+template <typename RecordT>
+class Selector {
+ public:
+  Selector(std::shared_ptr<ExecutionContext> ctx, const STBox& query,
+           SelectorOptions options = {})
+      : ctx_(std::move(ctx)), query_(query), options_(std::move(options)) {}
+
+  /// Full scan of every STPQ file in `dir`.
+  StatusOr<Dataset<RecordT>> Select(const std::string& dir) {
+    std::vector<std::string> paths = ListStpqFiles(dir);
+    if (paths.empty()) {
+      return Status::NotFound("no STPQ files under " + dir);
+    }
+    return LoadAndFilter(paths);
+  }
+
+  /// Metadata-pruned selection over a directory written by BuildOnDiskIndex.
+  StatusOr<Dataset<RecordT>> Select(const std::string& dir,
+                                    const std::string& meta_path) {
+    auto meta = ReadStpqMeta(meta_path);
+    if (!meta.ok()) return meta.status();
+    std::vector<std::string> paths;
+    for (const StpqPartMeta& part : *meta) {
+      // Empty partitions have inverted envelopes and never match.
+      if (part.box.Intersects(query_)) {
+        paths.push_back(dir + "/" + part.file);
+      }
+    }
+    return LoadAndFilter(paths);
+  }
+
+  const SelectorStats& stats() const { return stats_; }
+
+ private:
+  StatusOr<Dataset<RecordT>> LoadAndFilter(
+      const std::vector<std::string>& paths) {
+    typename Dataset<RecordT>::Partitions parts;
+    parts.reserve(paths.size());
+    for (const std::string& path : paths) {
+      stats_.bytes_loaded += FileSizeBytes(path);
+      auto records = ReadStpqFile<RecordT>(path);
+      if (!records.ok()) return records.status();
+      parts.push_back(FilterRecords(std::move(records).value()));
+    }
+    auto selected = Dataset<RecordT>::FromPartitions(ctx_, std::move(parts));
+    if (options_.partitioner != nullptr && options_.partition_after_select) {
+      selected = STPartition(
+          selected, options_.partitioner.get(),
+          [](const RecordT& r) { return r.ComputeSTBox(); },
+          [](const RecordT& r) { return static_cast<uint64_t>(r.id); });
+    }
+    return selected;
+  }
+
+  std::vector<RecordT> FilterRecords(std::vector<RecordT> records) {
+    std::vector<RecordT> kept;
+    if (options_.use_rtree) {
+      std::vector<STBox> boxes;
+      boxes.reserve(records.size());
+      for (const RecordT& r : records) boxes.push_back(r.ComputeSTBox());
+      RTree<STBox> tree;
+      tree.Build(boxes);
+      std::vector<size_t> hits = tree.Query(query_);
+      // The tree reports leaf order; restore record order so both refine
+      // paths return identical datasets.
+      std::sort(hits.begin(), hits.end());
+      kept.reserve(hits.size());
+      for (size_t i : hits) kept.push_back(std::move(records[i]));
+    } else {
+      for (RecordT& r : records) {
+        if (r.ComputeSTBox().Intersects(query_)) kept.push_back(std::move(r));
+      }
+    }
+    for (const RecordT& r : kept) stats_.bytes_selected += StpqRecordBytes(r);
+    return kept;
+  }
+
+  std::shared_ptr<ExecutionContext> ctx_;
+  STBox query_;
+  SelectorOptions options_;
+  SelectorStats stats_;
+};
+
+}  // namespace st4ml
+
+#endif  // ST4ML_SELECTION_SELECTOR_H_

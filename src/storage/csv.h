@@ -1,0 +1,23 @@
+#ifndef ST4ML_STORAGE_CSV_H_
+#define ST4ML_STORAGE_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace st4ml {
+
+/// Writes one CSV file: a header row then `rows`, quoting any field that
+/// needs it. Every row must match the header's column count.
+Status WriteCsv(const std::string& path, const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+/// Reads a CSV file written by WriteCsv (or any simple comma-separated file
+/// with double-quote quoting). Returns all rows including the header.
+StatusOr<std::vector<std::vector<std::string>>> ReadCsv(
+    const std::string& path);
+
+}  // namespace st4ml
+
+#endif  // ST4ML_STORAGE_CSV_H_

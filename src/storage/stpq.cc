@@ -1,0 +1,223 @@
+#include "storage/stpq.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace st4ml {
+namespace {
+
+namespace fs = std::filesystem;
+
+template <typename T>
+void WriteRaw(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadRaw(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return in.gcount() == static_cast<std::streamsize>(sizeof(*value));
+}
+
+Status OpenForWrite(const std::string& path, uint8_t kind, uint64_t count,
+                    std::ofstream* out) {
+  std::error_code ec;
+  fs::path parent = fs::path(path).parent_path();
+  if (!parent.empty()) fs::create_directories(parent, ec);
+  out->open(path, std::ios::binary | std::ios::trunc);
+  if (!out->is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  out->write(kStpqMagic, sizeof(kStpqMagic));
+  WriteRaw(*out, kind);
+  WriteRaw(*out, count);
+  return Status::Ok();
+}
+
+Status CheckHeader(std::ifstream& in, const std::string& path,
+                   uint8_t expected_kind, uint64_t* count) {
+  char magic[sizeof(kStpqMagic)];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(magic)) ||
+      std::memcmp(magic, kStpqMagic, sizeof(magic)) != 0) {
+    return Status::Corruption("bad STPQ magic in " + path);
+  }
+  uint8_t kind = 0;
+  if (!ReadRaw(in, &kind)) {
+    return Status::Corruption("truncated STPQ header in " + path);
+  }
+  if (kind != expected_kind) {
+    return Status::Corruption("STPQ record kind mismatch in " + path);
+  }
+  if (!ReadRaw(in, count)) {
+    return Status::Corruption("truncated STPQ header in " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteStpqFile(const std::string& path,
+                     const std::vector<EventRecord>& records) {
+  std::ofstream out;
+  ST4ML_RETURN_IF_ERROR(
+      OpenForWrite(path, kStpqKindEvent, records.size(), &out));
+  for (const EventRecord& r : records) {
+    WriteRaw(out, r.id);
+    WriteRaw(out, r.x);
+    WriteRaw(out, r.y);
+    WriteRaw(out, r.time);
+    uint32_t len = static_cast<uint32_t>(r.attr.size());
+    WriteRaw(out, len);
+    out.write(r.attr.data(), len);
+  }
+  if (!out.good()) return Status::IOError("short write to " + path);
+  return Status::Ok();
+}
+
+Status WriteStpqFile(const std::string& path,
+                     const std::vector<TrajRecord>& records) {
+  std::ofstream out;
+  ST4ML_RETURN_IF_ERROR(OpenForWrite(path, kStpqKindTraj, records.size(), &out));
+  for (const TrajRecord& r : records) {
+    WriteRaw(out, r.id);
+    uint64_t n = r.points.size();
+    WriteRaw(out, n);
+    for (const TrajPointRecord& p : r.points) {
+      WriteRaw(out, p.x);
+      WriteRaw(out, p.y);
+      WriteRaw(out, p.time);
+    }
+  }
+  if (!out.good()) return Status::IOError("short write to " + path);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<EventRecord>> ReadStpqEvents(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("no such STPQ file: " + path);
+  uint64_t count = 0;
+  ST4ML_RETURN_IF_ERROR(CheckHeader(in, path, kStpqKindEvent, &count));
+  uint64_t file_bytes = FileSizeBytes(path);
+  std::vector<EventRecord> records;
+  records.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    EventRecord r;
+    uint32_t len = 0;
+    if (!ReadRaw(in, &r.id) || !ReadRaw(in, &r.x) || !ReadRaw(in, &r.y) ||
+        !ReadRaw(in, &r.time) || !ReadRaw(in, &len)) {
+      return Status::Corruption("truncated STPQ record in " + path);
+    }
+    if (len > file_bytes) {
+      return Status::Corruption("implausible attr length in " + path);
+    }
+    r.attr.resize(len);
+    in.read(r.attr.data(), len);
+    if (in.gcount() != static_cast<std::streamsize>(len)) {
+      return Status::Corruption("truncated STPQ record in " + path);
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+StatusOr<std::vector<TrajRecord>> ReadStpqTrajs(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("no such STPQ file: " + path);
+  uint64_t count = 0;
+  ST4ML_RETURN_IF_ERROR(CheckHeader(in, path, kStpqKindTraj, &count));
+  uint64_t file_bytes = FileSizeBytes(path);
+  std::vector<TrajRecord> records;
+  records.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    TrajRecord r;
+    uint64_t n = 0;
+    if (!ReadRaw(in, &r.id) || !ReadRaw(in, &n)) {
+      return Status::Corruption("truncated STPQ record in " + path);
+    }
+    if (n * 24 > file_bytes) {
+      return Status::Corruption("implausible point count in " + path);
+    }
+    r.points.resize(static_cast<size_t>(n));
+    for (TrajPointRecord& p : r.points) {
+      if (!ReadRaw(in, &p.x) || !ReadRaw(in, &p.y) || !ReadRaw(in, &p.time)) {
+        return Status::Corruption("truncated STPQ record in " + path);
+      }
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+std::vector<std::string> ListStpqFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".stpq") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+uint64_t FileSizeBytes(const std::string& path) {
+  std::error_code ec;
+  uint64_t size = fs::file_size(path, ec);
+  return ec ? 0 : size;
+}
+
+Status WriteStpqMeta(const std::string& path,
+                     const std::vector<StpqPartMeta>& parts) {
+  std::error_code ec;
+  fs::path parent = fs::path(path).parent_path();
+  if (!parent.empty()) fs::create_directories(parent, ec);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("cannot open for writing: " + path);
+  out << "stpq-meta v1\n";
+  char line[512];
+  for (const StpqPartMeta& p : parts) {
+    std::snprintf(line, sizeof(line),
+                  "%s %.17g %.17g %.17g %.17g %" PRId64 " %" PRId64
+                  " %" PRIu64 "\n",
+                  p.file.c_str(), p.box.mbr.x_min, p.box.mbr.y_min,
+                  p.box.mbr.x_max, p.box.mbr.y_max, p.box.time.start(),
+                  p.box.time.end(), p.count);
+    out << line;
+  }
+  if (!out.good()) return Status::IOError("short write to " + path);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<StpqPartMeta>> ReadStpqMeta(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("no such meta file: " + path);
+  std::string header;
+  std::getline(in, header);
+  if (header != "stpq-meta v1") {
+    return Status::Corruption("bad meta header in " + path);
+  }
+  std::vector<StpqPartMeta> parts;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    StpqPartMeta p;
+    double x_min, y_min, x_max, y_max;
+    int64_t t_start, t_end;
+    if (!(fields >> p.file >> x_min >> y_min >> x_max >> y_max >> t_start >>
+          t_end >> p.count)) {
+      return Status::Corruption("bad meta line in " + path + ": " + line);
+    }
+    p.box = STBox(Mbr(x_min, y_min, x_max, y_max), Duration(t_start, t_end));
+    parts.push_back(std::move(p));
+  }
+  return parts;
+}
+
+}  // namespace st4ml

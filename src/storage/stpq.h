@@ -1,0 +1,79 @@
+#ifndef ST4ML_STORAGE_STPQ_H_
+#define ST4ML_STORAGE_STPQ_H_
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+#include "index/stbox.h"
+#include "storage/records.h"
+
+namespace st4ml {
+
+/// STPQ ("spatio-temporal parquet") — the repo's columnar-file stand-in: a
+/// flat binary file of records with a magic header and a record-kind tag.
+/// One file per engine partition; a sidecar text file carries per-file ST
+/// envelopes so the selection stage can prune whole files without opening
+/// them (the paper's on-disk metadata).
+///
+/// Layout: "STPQ1" | kind u8 (0 events, 1 trajectories) | count u64 | records.
+///   EventRecord: id i64, x f64, y f64, time i64, attr_len u32, attr bytes.
+///   TrajRecord:  id i64, npoints u64, npoints x (x f64, y f64, time i64).
+/// Native-endian: these files never leave the machine that wrote them.
+
+inline constexpr char kStpqMagic[5] = {'S', 'T', 'P', 'Q', '1'};
+inline constexpr uint8_t kStpqKindEvent = 0;
+inline constexpr uint8_t kStpqKindTraj = 1;
+
+/// Serialized size of one record — the unit `bytes_selected` counts in.
+inline uint64_t StpqRecordBytes(const EventRecord& r) {
+  return 8 + 8 + 8 + 8 + 4 + r.attr.size();
+}
+inline uint64_t StpqRecordBytes(const TrajRecord& r) {
+  return 8 + 8 + static_cast<uint64_t>(r.points.size()) * 24;
+}
+
+Status WriteStpqFile(const std::string& path,
+                     const std::vector<EventRecord>& records);
+Status WriteStpqFile(const std::string& path,
+                     const std::vector<TrajRecord>& records);
+
+StatusOr<std::vector<EventRecord>> ReadStpqEvents(const std::string& path);
+StatusOr<std::vector<TrajRecord>> ReadStpqTrajs(const std::string& path);
+
+/// Record-type-generic read, for templated callers like the selector.
+template <typename RecordT>
+StatusOr<std::vector<RecordT>> ReadStpqFile(const std::string& path) {
+  if constexpr (std::is_same_v<RecordT, EventRecord>) {
+    return ReadStpqEvents(path);
+  } else {
+    static_assert(std::is_same_v<RecordT, TrajRecord>,
+                  "STPQ stores EventRecord or TrajRecord");
+    return ReadStpqTrajs(path);
+  }
+}
+
+/// Paths of every *.stpq file directly inside `dir`, sorted by name.
+std::vector<std::string> ListStpqFiles(const std::string& dir);
+
+/// Size in bytes of one file, for load accounting; 0 if unreadable.
+uint64_t FileSizeBytes(const std::string& path);
+
+/// One line of an STPQ directory's metadata sidecar: which file, the tight
+/// ST envelope of its content, and how many records it holds.
+struct StpqPartMeta {
+  std::string file;  // name relative to the data directory
+  STBox box;
+  uint64_t count = 0;
+};
+
+Status WriteStpqMeta(const std::string& path,
+                     const std::vector<StpqPartMeta>& parts);
+StatusOr<std::vector<StpqPartMeta>> ReadStpqMeta(const std::string& path);
+
+}  // namespace st4ml
+
+#endif  // ST4ML_STORAGE_STPQ_H_

@@ -1,0 +1,94 @@
+#include "storage/text_import.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "storage/csv.h"
+
+namespace st4ml {
+namespace {
+
+Status ParseNumericFields(const std::vector<std::string>& row,
+                          const std::string& path, int64_t* id, double* x,
+                          double* y, int64_t* time) {
+  char* end = nullptr;
+  *id = std::strtoll(row[0].c_str(), &end, 10);
+  if (end == row[0].c_str()) {
+    return Status::Corruption("bad id field in " + path + ": " + row[0]);
+  }
+  *x = std::strtod(row[1].c_str(), &end);
+  if (end == row[1].c_str()) {
+    return Status::Corruption("bad x field in " + path + ": " + row[1]);
+  }
+  *y = std::strtod(row[2].c_str(), &end);
+  if (end == row[2].c_str()) {
+    return Status::Corruption("bad y field in " + path + ": " + row[2]);
+  }
+  *time = std::strtoll(row[3].c_str(), &end, 10);
+  if (end == row[3].c_str()) {
+    return Status::Corruption("bad time field in " + path + ": " + row[3]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::vector<EventRecord>> ImportEventsCsv(const std::string& path) {
+  auto rows = ReadCsv(path);
+  if (!rows.ok()) return rows.status();
+  std::vector<EventRecord> records;
+  bool first = true;
+  for (const auto& row : *rows) {
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    if (row.size() < 4) {
+      return Status::Corruption("event row needs id,x,y,time in " + path);
+    }
+    EventRecord r;
+    ST4ML_RETURN_IF_ERROR(
+        ParseNumericFields(row, path, &r.id, &r.x, &r.y, &r.time));
+    if (row.size() > 4) r.attr = row[4];
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+StatusOr<std::vector<TrajRecord>> ImportTrajsCsv(const std::string& path) {
+  auto rows = ReadCsv(path);
+  if (!rows.ok()) return rows.status();
+  std::map<int64_t, std::vector<TrajPointRecord>> by_id;
+  bool first = true;
+  for (const auto& row : *rows) {
+    if (first) {
+      first = false;
+      continue;
+    }
+    if (row.size() < 4) {
+      return Status::Corruption("trajectory row needs id,x,y,time in " + path);
+    }
+    int64_t id;
+    double x, y;
+    int64_t time;
+    ST4ML_RETURN_IF_ERROR(ParseNumericFields(row, path, &id, &x, &y, &time));
+    by_id[id].push_back(TrajPointRecord{x, y, time});
+  }
+  std::vector<TrajRecord> records;
+  records.reserve(by_id.size());
+  for (auto& [id, points] : by_id) {
+    std::stable_sort(points.begin(), points.end(),
+                     [](const TrajPointRecord& a, const TrajPointRecord& b) {
+                       return a.time < b.time;
+                     });
+    TrajRecord r;
+    r.id = id;
+    r.points = std::move(points);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace st4ml

@@ -1,0 +1,23 @@
+#ifndef ST4ML_STORAGE_TEXT_IMPORT_H_
+#define ST4ML_STORAGE_TEXT_IMPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/records.h"
+
+namespace st4ml {
+
+/// CSV ingestion for the CLI tools — the path raw datasets take into STPQ.
+
+/// Expects header `id,x,y,time,attr` (attr optional), one event per row.
+StatusOr<std::vector<EventRecord>> ImportEventsCsv(const std::string& path);
+
+/// Expects header `id,x,y,time`, one trajectory POINT per row; rows are
+/// grouped by id and time-sorted into one TrajRecord per id.
+StatusOr<std::vector<TrajRecord>> ImportTrajsCsv(const std::string& path);
+
+}  // namespace st4ml
+
+#endif  // ST4ML_STORAGE_TEXT_IMPORT_H_

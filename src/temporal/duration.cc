@@ -1,0 +1,16 @@
+#include "temporal/duration.h"
+
+namespace st4ml {
+
+std::vector<Duration> TemporalSliding(const Duration& range, int64_t step_s) {
+  std::vector<Duration> windows;
+  if (step_s <= 0 || range.Seconds() < 0) return windows;
+  for (int64_t t = range.start(); t <= range.end(); t += step_s) {
+    windows.push_back(Duration(t, std::min(t + step_s, range.end())));
+    if (t + step_s >= range.end()) break;
+  }
+  if (windows.empty()) windows.push_back(range);
+  return windows;
+}
+
+}  // namespace st4ml

@@ -1,0 +1,60 @@
+#ifndef ST4ML_TEMPORAL_DURATION_H_
+#define ST4ML_TEMPORAL_DURATION_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace st4ml {
+
+/// A closed time interval [start, end] in epoch seconds. An instant is an
+/// interval with start == end.
+class Duration {
+ public:
+  Duration() = default;
+  explicit Duration(int64_t instant) : start_(instant), end_(instant) {}
+  Duration(int64_t start, int64_t end) : start_(start), end_(end) {}
+
+  int64_t start() const { return start_; }
+  int64_t end() const { return end_; }
+  int64_t Seconds() const { return end_ - start_; }
+  bool IsInstant() const { return start_ == end_; }
+
+  bool Contains(int64_t t) const { return t >= start_ && t <= end_; }
+  bool Contains(const Duration& other) const {
+    return other.start_ >= start_ && other.end_ <= end_;
+  }
+  bool Intersects(const Duration& other) const {
+    return start_ <= other.end_ && other.start_ <= end_;
+  }
+
+  void Extend(const Duration& other) {
+    start_ = std::min(start_, other.start_);
+    end_ = std::max(end_, other.end_);
+  }
+
+  bool operator==(const Duration& other) const {
+    return start_ == other.start_ && end_ == other.end_;
+  }
+
+ private:
+  int64_t start_ = 0;
+  int64_t end_ = 0;
+};
+
+/// Hour of day [0, 23] of an epoch-seconds instant, in UTC.
+inline int HourOfDay(int64_t epoch_seconds) {
+  int64_t sec = ((epoch_seconds % 86400) + 86400) % 86400;
+  return static_cast<int>(sec / 3600);
+}
+
+/// Splits `range` into consecutive windows of `step_s` seconds. Every window
+/// is [t, t + step_s); the last window is clipped to the range end so the
+/// full range is covered. This is THE temporal binning used across the repo:
+/// TemporalStructure::RegularByInterval must produce identical bins so that
+/// ST4ML converters and the hand-rolled baseline loops agree.
+std::vector<Duration> TemporalSliding(const Duration& range, int64_t step_s);
+
+}  // namespace st4ml
+
+#endif  // ST4ML_TEMPORAL_DURATION_H_

@@ -1,0 +1,192 @@
+#include "baselines/geospark_like.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/geomesa_like.h"
+#include "common/rng.h"
+#include "selection/on_disk_index.h"
+#include "selection/selector.h"
+
+namespace st4ml {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  fs::path dir = fs::temp_directory_path() / ("st4ml_baselines_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::vector<EventRecord> RandomEvents(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EventRecord> events;
+  events.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    EventRecord r;
+    r.id = i;
+    r.x = rng.Uniform(0, 50);
+    r.y = rng.Uniform(0, 50);
+    r.time = rng.UniformInt(0, 50000);
+    r.attr = "a";
+    events.push_back(r);
+  }
+  return events;
+}
+
+std::vector<int64_t> SortedIds(const std::vector<GeoObject>& objects) {
+  std::vector<int64_t> ids;
+  for (const GeoObject& o : objects) ids.push_back(o.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(GeoObjectTest, EventRoundTripKeepsStringTimes) {
+  EventRecord r;
+  r.id = 12;
+  r.x = 1.5;
+  r.y = 2.5;
+  r.time = 777;
+  r.attr = "fare=3";
+  GeoObject o = GeoObjectFromEvent(r);
+  EXPECT_EQ(o.id, 12);
+  EXPECT_EQ(ParseGeoObjectTimes(o), (std::vector<int64_t>{777}));
+  EXPECT_EQ(ParseGeoObjectAux(o), "fare=3");
+}
+
+TEST(GeoObjectTest, TrajTimesAreCommaJoined) {
+  TrajRecord t;
+  t.id = 3;
+  t.points = {{0.0, 0.0, 10}, {1.0, 1.0, 20}, {2.0, 2.0, 30}};
+  GeoObject o = GeoObjectFromTraj(t);
+  EXPECT_EQ(ParseGeoObjectTimes(o), (std::vector<int64_t>{10, 20, 30}));
+}
+
+class BaselineEqualityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ctx_ = ExecutionContext::Create(2);
+    events_ = RandomEvents(2000, 51);
+    auto data = Dataset<EventRecord>::Parallelize(ctx_, events_, 4);
+
+    plain_dir_ = TempDir("plain");
+    ASSERT_TRUE(PersistDataset(data, plain_dir_).ok());
+
+    st4ml_dir_ = TempDir("st4ml");
+    meta_ = st4ml_dir_ + "/index.meta";
+    TSTRPartitioner partitioner(4, 4);
+    ASSERT_TRUE(BuildOnDiskIndex(data, &partitioner, st4ml_dir_, meta_).ok());
+
+    geomesa_dir_ = TempDir("geomesa");
+    GeoMesaLike geomesa(ctx_);
+    ASSERT_TRUE(geomesa.IngestEvents(events_, geomesa_dir_).ok());
+  }
+
+  std::shared_ptr<ExecutionContext> ctx_;
+  std::vector<EventRecord> events_;
+  std::string plain_dir_;
+  std::string st4ml_dir_;
+  std::string meta_;
+  std::string geomesa_dir_;
+};
+
+TEST_F(BaselineEqualityTest, AllThreeSystemsSelectTheSameRecords) {
+  std::vector<STBox> queries = {
+      STBox(Mbr(5, 5, 20, 20), Duration(0, 25000)),
+      STBox(Mbr(0, 0, 50, 50), Duration(0, 50000)),
+      STBox(Mbr(30, 10, 45, 18), Duration(40000, 48000)),
+  };
+  for (const STBox& query : queries) {
+    // ST4ML: metadata-pruned selection.
+    Selector<EventRecord> selector(ctx_, query);
+    auto st4ml_result = selector.Select(st4ml_dir_, meta_);
+    ASSERT_TRUE(st4ml_result.ok());
+    std::vector<int64_t> st4ml_ids;
+    for (const EventRecord& r : st4ml_result->Collect()) {
+      st4ml_ids.push_back(r.id);
+    }
+    std::sort(st4ml_ids.begin(), st4ml_ids.end());
+
+    // GeoSpark: load everything, spatial range query, temporal afterthought.
+    GeoSparkLike geospark(ctx_);
+    auto loaded = geospark.LoadAllEvents(plain_dir_);
+    ASSERT_TRUE(loaded.ok());
+    auto spatial = geospark.RangeQuery(*loaded, query.mbr);
+    auto both = GeoSparkLike::TemporalFilter(spatial, query.time);
+    std::vector<int64_t> geospark_ids = SortedIds(both.Collect());
+
+    // GeoMesa: Z2-block-pruned selection with the same refine predicates.
+    GeoMesaLike geomesa(ctx_);
+    auto mesa = geomesa.SelectEvents(geomesa_dir_, query.mbr, query.time);
+    ASSERT_TRUE(mesa.ok()) << mesa.status().ToString();
+    std::vector<int64_t> geomesa_ids = SortedIds(mesa->Collect());
+
+    EXPECT_EQ(geospark_ids, st4ml_ids);
+    EXPECT_EQ(geomesa_ids, st4ml_ids);
+  }
+}
+
+TEST_F(BaselineEqualityTest, GeoMesaIngestWritesPrunableBlocks) {
+  size_t total_blocks = ListStpqFiles(geomesa_dir_).size();
+  EXPECT_GT(total_blocks, 1u);
+  // A tiny spatial query must not need every block: compare bytes loaded by
+  // an exhaustive GeoSpark scan vs the GeoMesa selection path indirectly, by
+  // asserting the pruned record superset matches after refine (above) while
+  // the block count exceeds one, i.e. pruning is at least possible.
+  GeoMesaLike geomesa(ctx_);
+  auto tiny = geomesa.SelectEvents(geomesa_dir_, Mbr(1, 1, 2, 2),
+                                   Duration(0, 50000));
+  ASSERT_TRUE(tiny.ok());
+  std::vector<int64_t> expected;
+  for (const EventRecord& r : events_) {
+    if (Mbr(1, 1, 2, 2).ContainsPoint(Point(r.x, r.y))) {
+      expected.push_back(r.id);
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(SortedIds(tiny->Collect()), expected);
+}
+
+TEST(GeoSparkTrajTest, TrajSpanPredicateMatchesStpqBoxes) {
+  auto ctx = ExecutionContext::Create(2);
+  Rng rng(52);
+  std::vector<TrajRecord> trajs;
+  for (int i = 0; i < 300; ++i) {
+    TrajRecord t;
+    t.id = i;
+    int64_t start = rng.UniformInt(0, 40000);
+    int points = static_cast<int>(rng.UniformInt(2, 10));
+    double x = rng.Uniform(0, 50), y = rng.Uniform(0, 50);
+    for (int k = 0; k < points; ++k) {
+      t.points.push_back({x + k * 0.01, y, start + k * 15});
+    }
+    trajs.push_back(t);
+  }
+  std::string dir = TempDir("trajs");
+  auto data = Dataset<TrajRecord>::Parallelize(ctx, trajs, 3);
+  ASSERT_TRUE(PersistDataset(data, dir).ok());
+
+  STBox query(Mbr(10, 10, 35, 35), Duration(10000, 30000));
+  GeoSparkLike geospark(ctx);
+  auto loaded = geospark.LoadAllTrajs(dir);
+  ASSERT_TRUE(loaded.ok());
+  auto selected = GeoSparkLike::TemporalFilter(
+      geospark.RangeQuery(*loaded, query.mbr), query.time);
+  std::vector<int64_t> expected;
+  for (const TrajRecord& t : trajs) {
+    if (t.ComputeSTBox().Intersects(query)) expected.push_back(t.id);
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(SortedIds(selected.Collect()), expected);
+}
+
+}  // namespace
+}  // namespace st4ml

@@ -1,0 +1,96 @@
+#include "engine/pair_ops.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/dataset.h"
+#include "engine/execution_context.h"
+
+namespace st4ml {
+namespace {
+
+std::vector<std::pair<int64_t, int64_t>> RandomPairs(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  pairs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    pairs.emplace_back(rng.UniformInt(0, 40), rng.UniformInt(-5, 5));
+  }
+  return pairs;
+}
+
+TEST(ReduceByKeyTest, MatchesReferenceMap) {
+  auto ctx = ExecutionContext::Create(3);
+  auto pairs = RandomPairs(5000, 17);
+  std::map<int64_t, int64_t> expected;
+  for (const auto& [k, v] : pairs) expected[k] += v;
+
+  auto data = Dataset<std::pair<int64_t, int64_t>>::Parallelize(ctx, pairs, 8);
+  auto reduced = ReduceByKey<int64_t, int64_t>(data, std::plus<int64_t>());
+  auto collected = reduced.Collect();
+  EXPECT_EQ(collected.size(), expected.size());
+  for (const auto& [k, v] : collected) {
+    EXPECT_EQ(v, expected.at(k)) << "key " << k;
+  }
+}
+
+TEST(ReduceByKeyTest, CompositeKeysWithPairHash) {
+  auto ctx = ExecutionContext::Create(2);
+  using Key = std::pair<int64_t, int64_t>;
+  std::vector<std::pair<Key, int64_t>> pairs = {
+      {{1, 2}, 10}, {{1, 2}, 5}, {{3, 4}, 1}, {{1, 3}, 7}};
+  auto data =
+      Dataset<std::pair<Key, int64_t>>::Parallelize(ctx, pairs, 2);
+  auto reduced = ReduceByKey<Key, int64_t, std::plus<int64_t>, PairHash>(
+      data, std::plus<int64_t>());
+  std::map<Key, int64_t> result;
+  for (const auto& [k, v] : reduced.Collect()) result[k] = v;
+  EXPECT_EQ(result.at(Key(1, 2)), 15);
+  EXPECT_EQ(result.at(Key(3, 4)), 1);
+  EXPECT_EQ(result.at(Key(1, 3)), 7);
+}
+
+TEST(GroupByKeyTest, GroupsEveryValue) {
+  auto ctx = ExecutionContext::Create(3);
+  auto pairs = RandomPairs(2000, 23);
+  std::map<int64_t, std::vector<int64_t>> expected;
+  for (const auto& [k, v] : pairs) expected[k].push_back(v);
+  for (auto& [k, vs] : expected) std::sort(vs.begin(), vs.end());
+
+  auto data = Dataset<std::pair<int64_t, int64_t>>::Parallelize(ctx, pairs, 8);
+  auto grouped = GroupByKey<int64_t, int64_t>(data);
+  auto collected = grouped.Collect();
+  EXPECT_EQ(collected.size(), expected.size());
+  for (auto& [k, vs] : collected) {
+    std::sort(vs.begin(), vs.end());
+    EXPECT_EQ(vs, expected.at(k)) << "key " << k;
+  }
+}
+
+TEST(GroupByKeyTest, CollectedGroupsAreNotGloballySorted) {
+  // Keys land on hash-assigned partitions; consumers that need key order
+  // must sort. This pins the contract the shuffle conversion relies on.
+  auto ctx = ExecutionContext::Create(2);
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  for (int64_t k = 0; k < 100; ++k) pairs.emplace_back(k, k);
+  auto data = Dataset<std::pair<int64_t, int64_t>>::Parallelize(ctx, pairs, 4);
+  auto keys_seen = GroupByKey<int64_t, int64_t>(data).Collect();
+  ASSERT_EQ(keys_seen.size(), 100u);
+  std::vector<int64_t> keys;
+  for (const auto& [k, vs] : keys_seen) keys.push_back(k);
+  std::vector<int64_t> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted.front(), 0);
+  EXPECT_EQ(sorted.back(), 99);
+}
+
+}  // namespace
+}  // namespace st4ml

@@ -1,0 +1,181 @@
+#include "extraction/collective_extractors.h"
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "conversion/singular_to_collective.h"
+#include "engine/execution_context.h"
+#include "extraction/event_extractors.h"
+#include "extraction/traj_extractors.h"
+
+namespace st4ml {
+namespace {
+
+STEvent EventAt(int64_t id, double x, double y, int64_t time) {
+  STEvent e;
+  e.spatial = Point(x, y);
+  e.temporal = Duration(time);
+  e.data.id = id;
+  return e;
+}
+
+STEntry EntryAt(double x, double y, int64_t time) {
+  STEntry e;
+  e.point = Point(x, y);
+  e.time = time;
+  return e;
+}
+
+TEST(AnomalyTest, WrappingHourWindowKeepsNightEvents) {
+  auto ctx = ExecutionContext::Create(2);
+  // Hours of day (UTC): 0, 3, 4, 12, 23.
+  std::vector<STEvent> events = {
+      EventAt(0, 0, 0, 0),          EventAt(1, 0, 0, 3 * 3600),
+      EventAt(2, 0, 0, 4 * 3600),   EventAt(3, 0, 0, 12 * 3600),
+      EventAt(4, 0, 0, 23 * 3600),
+  };
+  auto data = Dataset<STEvent>::Parallelize(ctx, events, 2);
+  auto night = ExtractAnomalies(data, 23, 4).Collect();  // [23, 4) wraps
+  std::vector<int64_t> ids;
+  for (const STEvent& e : night) ids.push_back(e.data.id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<int64_t>{0, 1, 4}));
+
+  auto midday = ExtractAnomalies(data, 4, 13).Collect();  // plain window
+  EXPECT_EQ(midday.size(), 2u);  // hours 4 and 12
+}
+
+TEST(StayPointTest, DetectsKnownStay) {
+  // ~111m per 0.001 degrees of latitude. Points 0-3 cluster within ~40m for
+  // 900 seconds, then the trajectory leaves.
+  std::vector<STEntry> entries = {
+      EntryAt(10.0000, 50.0000, 0),   EntryAt(10.0002, 50.0001, 300),
+      EntryAt(10.0001, 50.0002, 600), EntryAt(10.0002, 50.0000, 900),
+      EntryAt(10.0500, 50.0500, 1200),
+  };
+  auto stays = StayPointsOf(entries, /*dist_m=*/100, /*min_duration_s=*/600);
+  ASSERT_EQ(stays.size(), 1u);
+  EXPECT_EQ(stays[0].num_points, 4);
+  EXPECT_EQ(stays[0].duration.start(), 0);
+  EXPECT_EQ(stays[0].duration.end(), 900);
+  EXPECT_NEAR(stays[0].center.x, 10.000125, 1e-9);
+
+  // Too-short dwell yields no stay.
+  EXPECT_TRUE(StayPointsOf(entries, 100, 1000).empty());
+}
+
+TEST(CompanionTest, FindsPairsWithinDistanceAndTime) {
+  auto ctx = ExecutionContext::Create(1);
+  std::vector<STEvent> events = {
+      EventAt(1, 10.0, 50.0, 100),
+      EventAt(2, 10.0001, 50.0001, 150),   // ~13m, 50s from id 1
+      EventAt(3, 10.1, 50.1, 160),         // far away
+      EventAt(4, 10.0, 50.0, 5000),        // right spot, much later
+  };
+  auto data = Dataset<STEvent>::Parallelize(ctx, events, 1);
+  auto pairs = ExtractEventCompanions(data, /*dist_m=*/50, /*dt_s=*/120,
+                                      [](const STEvent& e) { return e.data.id; })
+                   .Collect();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], std::make_pair(int64_t{1}, int64_t{2}));
+}
+
+TEST(TsFlowTest, CountsPerBinAcrossPartitions) {
+  auto ctx = ExecutionContext::Create(2);
+  std::vector<STEvent> events;
+  for (int i = 0; i < 60; ++i) {
+    events.push_back(EventAt(i, 0, 0, (i % 3) * 3600 + 10));
+  }
+  auto data = Dataset<STEvent>::Parallelize(ctx, events, 4);
+  auto structure = std::make_shared<TemporalStructure>(
+      TemporalStructure::Regular(Duration(0, 3 * 3600), 3));
+  TimeSeriesConverter<STEvent> converter(structure);
+  TimeSeries<int64_t> flow = ExtractTsFlow(converter.Convert(data));
+  ASSERT_EQ(flow.size(), 3u);
+  EXPECT_EQ(flow.value(0), 20);
+  EXPECT_EQ(flow.value(1), 20);
+  EXPECT_EQ(flow.value(2), 20);
+}
+
+TEST(SmSpeedTest, MeanSpeedPerCell) {
+  auto ctx = ExecutionContext::Create(2);
+  // Two trajectories inside cell 0, with speeds ~1 m/s and ~3 m/s along
+  // latitude (y) so Haversine distance is exact.
+  double dy1 = 100.0 / 111194.926644559;  // 100 m in degrees of latitude
+  STTrajectory slow;
+  slow.data = 1;
+  slow.entries = {EntryAt(0.1, 0.1, 0), EntryAt(0.1, 0.1 + dy1, 100)};
+  STTrajectory fast;
+  fast.data = 2;
+  fast.entries = {EntryAt(0.2, 0.2, 0), EntryAt(0.2, 0.2 + 3 * dy1, 100)};
+  auto data =
+      Dataset<STTrajectory>::Parallelize(ctx, {slow, fast}, 2);
+  auto grid = std::make_shared<SpatialStructure>(
+      SpatialStructure::Grid(Mbr(0, 0, 2, 1), 2, 1));
+  SpatialMapConverter<STTrajectory> converter(grid);
+  SpatialMap<double> speed = ExtractSmSpeed(converter.Convert(data));
+  ASSERT_EQ(speed.size(), 2u);
+  EXPECT_NEAR(speed.value(0), 2.0, 0.01);  // mean of ~1 and ~3
+  EXPECT_DOUBLE_EQ(speed.value(1), 0.0);   // empty cell reports 0
+}
+
+TEST(RasterTransitTest, CountsEntriesAndExitsOnCraftedTrajectory) {
+  auto ctx = ExecutionContext::Create(1);
+  // One cell (0,0)-(1,1), one bin [0,1000]. The trajectory starts OUTSIDE,
+  // moves in (1 entry), leaves (1 exit), returns (2nd entry), stays.
+  STTrajectory t;
+  t.data = 7;
+  t.entries = {EntryAt(5.0, 5.0, 0),   EntryAt(0.5, 0.5, 100),
+               EntryAt(5.0, 5.0, 200), EntryAt(0.4, 0.4, 300),
+               EntryAt(0.6, 0.6, 400)};
+  auto data = Dataset<STTrajectory>::Parallelize(ctx, {t}, 1);
+  auto raster = std::make_shared<RasterStructure>(
+      RasterStructure::Regular(Mbr(0, 0, 10, 10), 1, 1, Duration(0, 1000), 1));
+  RasterConverter<STTrajectory> converter(raster);
+  Raster<std::pair<int64_t, int64_t>> transit =
+      ExtractRasterTransit(converter.Convert(data));
+  ASSERT_EQ(transit.size(), 1u);
+  // The raster cell covers the whole extent, so "inside" tracks the bin and
+  // full-extent cell: every sample is inside -> 0 transitions for cell 0 of
+  // a 1x1 grid over (0,0)-(10,10). Use a finer raster for the real check.
+  auto fine = std::make_shared<RasterStructure>(
+      RasterStructure::Regular(Mbr(0, 0, 10, 10), 10, 10, Duration(0, 1000), 1));
+  RasterConverter<STTrajectory> fine_converter(fine);
+  Raster<std::pair<int64_t, int64_t>> fine_transit =
+      ExtractRasterTransit(fine_converter.Convert(data));
+  size_t cell00 = fine->spatial().FindCell(Point(0.5, 0.5));
+  ASSERT_NE(cell00, SpatialStructure::kNoCell);
+  auto [in, out] = fine_transit.value(fine->FlatIndex(cell00, 0));
+  EXPECT_EQ(in, 2);
+  EXPECT_EQ(out, 1);
+}
+
+TEST(TrajSpeedTest, UnitConversion) {
+  auto ctx = ExecutionContext::Create(1);
+  double dy = 100.0 / 111194.926644559;
+  STTrajectory t;
+  t.data = 3;
+  t.entries = {EntryAt(0, 0, 0), EntryAt(0, dy, 100)};
+  auto data = Dataset<STTrajectory>::Parallelize(ctx, {t}, 1);
+  auto mps = ExtractTrajSpeeds(data, SpeedUnit::kMetersPerSecond).Collect();
+  auto kmh = ExtractTrajSpeeds(data, SpeedUnit::kKilometersPerHour).Collect();
+  ASSERT_EQ(mps.size(), 1u);
+  EXPECT_NEAR(mps[0].second, 1.0, 0.01);
+  EXPECT_NEAR(kmh[0].second, 3.6, 0.05);
+}
+
+TEST(FunctionExtractorTest, WrapsLambdaUnderExtractInterface) {
+  auto ctx = ExecutionContext::Create(1);
+  std::vector<STEvent> events = {EventAt(1, 0, 0, 0), EventAt(2, 0, 0, 10)};
+  auto data = Dataset<STEvent>::Parallelize(ctx, events, 1);
+  auto counter = MakeExtractor(
+      [](const Dataset<STEvent>& d) { return d.Count(); });
+  EXPECT_EQ(counter.Extract(data), 2u);
+}
+
+}  // namespace
+}  // namespace st4ml

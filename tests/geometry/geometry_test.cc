@@ -1,0 +1,106 @@
+#include "geometry/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/linestring.h"
+#include "geometry/mbr.h"
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+
+namespace st4ml {
+namespace {
+
+TEST(MbrTest, InclusivePredicates) {
+  Mbr box(0, 0, 10, 10);
+  EXPECT_TRUE(box.ContainsPoint(Point(0, 0)));
+  EXPECT_TRUE(box.ContainsPoint(Point(10, 10)));
+  EXPECT_FALSE(box.ContainsPoint(Point(10.001, 5)));
+  EXPECT_TRUE(box.Intersects(Mbr(10, 10, 20, 20)));  // edge touch counts
+  EXPECT_FALSE(box.Intersects(Mbr(11, 11, 20, 20)));
+}
+
+TEST(MbrTest, EmptyAndExtend) {
+  Mbr box;
+  EXPECT_TRUE(box.IsEmpty());
+  box.Extend(Point(3, 4));
+  EXPECT_FALSE(box.IsEmpty());
+  box.Extend(Point(-1, 7));
+  EXPECT_EQ(box.x_min, -1);
+  EXPECT_EQ(box.y_max, 7);
+  Mbr buffered = box.Buffered(0.5);
+  EXPECT_EQ(buffered.x_min, -1.5);
+  EXPECT_EQ(buffered.y_max, 7.5);
+}
+
+TEST(PointTest, Distances) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance(Point(0, 0), Point(3, 4)), 5.0);
+  // One degree of latitude is ~111 km.
+  double meters = HaversineMeters(Point(0, 0), Point(0, 1));
+  EXPECT_NEAR(meters, 111195.0, 500.0);
+}
+
+TEST(PointTest, SegmentsIntersect) {
+  EXPECT_TRUE(SegmentsIntersect(Point(0, 0), Point(2, 2),
+                                Point(0, 2), Point(2, 0)));
+  EXPECT_FALSE(SegmentsIntersect(Point(0, 0), Point(1, 0),
+                                 Point(0, 1), Point(1, 1)));
+}
+
+TEST(LineStringTest, IntersectsMbr) {
+  // A segment that crosses the box without any vertex inside.
+  LineString crossing({Point(-1, 5), Point(11, 5)});
+  EXPECT_TRUE(crossing.IntersectsMbr(Mbr(0, 0, 10, 10)));
+  LineString outside({Point(-5, -5), Point(-1, -1)});
+  EXPECT_FALSE(outside.IntersectsMbr(Mbr(0, 0, 10, 10)));
+}
+
+TEST(PolygonTest, ContainsPointMatchesMbrOnRectangles) {
+  // FromMbr rectangles must agree with Mbr::ContainsPoint everywhere,
+  // boundary included — the irregular-cell and grid-cell code paths rely on
+  // this to produce identical assignments.
+  Mbr box(1, 2, 5, 6);
+  Polygon rect = Polygon::FromMbr(box);
+  Point probes[] = {Point(1, 2), Point(5, 6),   Point(3, 4), Point(1, 6),
+                    Point(0.9, 4), Point(5.1, 4), Point(3, 1.9)};
+  for (const Point& p : probes) {
+    EXPECT_EQ(rect.ContainsPoint(p), box.ContainsPoint(p))
+        << "(" << p.x << ", " << p.y << ")";
+  }
+}
+
+TEST(PolygonTest, IntersectsLineString) {
+  Polygon rect = Polygon::FromMbr(Mbr(0, 0, 10, 10));
+  EXPECT_TRUE(rect.IntersectsLineString(LineString({Point(5, 5), Point(6, 6)})));
+  EXPECT_TRUE(
+      rect.IntersectsLineString(LineString({Point(-1, 5), Point(11, 5)})));
+  EXPECT_FALSE(
+      rect.IntersectsLineString(LineString({Point(20, 20), Point(30, 30)})));
+}
+
+TEST(GeometryTest, MbrOfEachShape) {
+  EXPECT_EQ(Geometry(Point(2, 3)).ComputeMbr().x_min, 2);
+  Geometry line(LineString({Point(0, 1), Point(4, -1)}));
+  Mbr box = line.ComputeMbr();
+  EXPECT_EQ(box.x_max, 4);
+  EXPECT_EQ(box.y_min, -1);
+}
+
+TEST(GeometryTest, WktRoundTrip) {
+  Geometry point(Point(1.5, -2.25));
+  Geometry line(LineString({Point(0, 0), Point(1, 1), Point(2, 0)}));
+  Geometry polygon(Polygon::FromMbr(Mbr(0, 0, 3, 3)));
+  for (const Geometry& g : {point, line, polygon}) {
+    std::string wkt = ToWkt(g);
+    Geometry parsed;
+    ASSERT_TRUE(FromWkt(wkt, &parsed).ok()) << wkt;
+    EXPECT_EQ(ToWkt(parsed), wkt);
+  }
+}
+
+TEST(GeometryTest, FromWktRejectsGarbage) {
+  Geometry parsed;
+  EXPECT_FALSE(FromWkt("CIRCLE (1 2)", &parsed).ok());
+}
+
+}  // namespace
+}  // namespace st4ml

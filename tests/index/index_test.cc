@@ -1,0 +1,110 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "index/stbox.h"
+#include "index/zcurve.h"
+
+namespace st4ml {
+namespace {
+
+std::vector<STBox> RandomBoxes(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<STBox> boxes;
+  boxes.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Uniform(0, 100), y = rng.Uniform(0, 100);
+    int64_t t = rng.UniformInt(0, 10000);
+    boxes.push_back(STBox(Mbr(x, y, x + rng.Uniform(0, 5), y + rng.Uniform(0, 5)),
+                          Duration(t, t + rng.UniformInt(0, 500))));
+  }
+  return boxes;
+}
+
+TEST(STBoxTest, IntersectsNeedsAllThreeAxes) {
+  STBox a(Mbr(0, 0, 10, 10), Duration(0, 100));
+  EXPECT_TRUE(a.Intersects(STBox(Mbr(5, 5, 15, 15), Duration(50, 150))));
+  EXPECT_FALSE(a.Intersects(STBox(Mbr(5, 5, 15, 15), Duration(101, 150))));
+  EXPECT_FALSE(a.Intersects(STBox(Mbr(11, 5, 15, 15), Duration(50, 150))));
+}
+
+TEST(STBoxTest, ExtendFromEmpty) {
+  STBox box;
+  box.Extend(STBox(Mbr(1, 1, 2, 2), Duration(10, 20)));
+  box.Extend(STBox(Mbr(5, 0, 6, 1), Duration(5, 12)));
+  EXPECT_EQ(box.mbr.x_max, 6);
+  EXPECT_EQ(box.time.start(), 5);
+  EXPECT_EQ(box.time.end(), 20);
+}
+
+TEST(RTreeTest, QueryMatchesLinearScan) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    std::vector<STBox> boxes = RandomBoxes(500, seed);
+    RTree<STBox> tree;
+    tree.Build(boxes);
+    std::vector<STBox> queries = RandomBoxes(25, seed + 100);
+    for (const STBox& q : queries) {
+      std::vector<size_t> hits = tree.Query(q);
+      std::sort(hits.begin(), hits.end());
+      std::vector<size_t> expected;
+      for (size_t i = 0; i < boxes.size(); ++i) {
+        if (boxes[i].Intersects(q)) expected.push_back(i);
+      }
+      EXPECT_EQ(hits, expected);
+    }
+  }
+}
+
+TEST(RTreeTest, EmptyAndSingleton) {
+  RTree<STBox> tree;
+  tree.Build({});
+  EXPECT_TRUE(tree.Query(STBox(Mbr(0, 0, 1, 1), Duration(0, 1))).empty());
+
+  tree.Build({STBox(Mbr(0, 0, 1, 1), Duration(0, 10))});
+  EXPECT_EQ(tree.Query(STBox(Mbr(0.5, 0.5, 2, 2), Duration(5, 6))).size(), 1u);
+  EXPECT_TRUE(tree.Query(STBox(Mbr(2, 2, 3, 3), Duration(5, 6))).empty());
+}
+
+TEST(RTreeTest, BoxFnOverloadKeepsOriginalIndices) {
+  struct Item {
+    int payload;
+    STBox box;
+  };
+  std::vector<Item> items;
+  for (int i = 0; i < 50; ++i) {
+    double x = static_cast<double>(i);
+    items.push_back({i, STBox(Mbr(x, 0, x + 0.5, 1), Duration(i, i + 1))});
+  }
+  RTree<Item> tree;
+  tree.Build(items, [](const Item& it) { return it.box; });
+  std::vector<size_t> hits =
+      tree.Query(STBox(Mbr(10.2, 0, 12.4, 1), Duration(0, 100)));
+  std::sort(hits.begin(), hits.end());
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(tree.item(hits[0]).payload, 10);
+  EXPECT_EQ(tree.item(hits[2]).payload, 12);
+}
+
+TEST(ZCurveTest, MortonBasics) {
+  EXPECT_EQ(MortonInterleave16(0, 0), 0u);
+  EXPECT_EQ(MortonInterleave16(1, 0), 1u);
+  EXPECT_EQ(MortonInterleave16(0, 1), 2u);
+  EXPECT_EQ(MortonInterleave16(1, 1), 3u);
+}
+
+TEST(ZCurveTest, EncodeIsMonotoneWithinCell) {
+  Z2Curve curve(Mbr(0, 0, 100, 100), 8);
+  // Nearby points share a prefix far more often than far-apart ones do.
+  uint32_t a = curve.Encode(Point(10, 10));
+  uint32_t b = curve.Encode(Point(10.01, 10.01));
+  uint32_t c = curve.Encode(Point(90, 90));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace st4ml

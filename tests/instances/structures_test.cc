@@ -1,0 +1,110 @@
+#include "instances/structures.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/polygon.h"
+
+namespace st4ml {
+namespace {
+
+TEST(TemporalStructureTest, RegularSplitsEvenly) {
+  TemporalStructure ts = TemporalStructure::Regular(Duration(0, 7200), 2);
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.bin(0).start(), 0);
+  EXPECT_EQ(ts.bin(1).start(), 3600);
+}
+
+TEST(TemporalStructureTest, FindBinReturnsFirstContaining) {
+  TemporalStructure ts = TemporalStructure::Regular(Duration(0, 7200), 2);
+  EXPECT_EQ(ts.FindBin(0), 0u);
+  EXPECT_EQ(ts.FindBin(3599), 0u);
+  EXPECT_EQ(ts.FindBin(3600), 0u);  // boundary: FIRST containing bin wins
+  EXPECT_EQ(ts.FindBin(3601), 1u);
+  EXPECT_EQ(ts.FindBin(7200), 1u);
+  EXPECT_EQ(ts.FindBin(9999), TemporalStructure::kNoBin);
+  EXPECT_EQ(ts.FindBin(-1), TemporalStructure::kNoBin);
+}
+
+TEST(TemporalStructureTest, IntersectingBinsByExtentOverlap) {
+  TemporalStructure ts = TemporalStructure::Regular(Duration(0, 10800), 3);
+  std::vector<size_t> bins = ts.IntersectingBins(Duration(3000, 7300));
+  EXPECT_EQ(bins, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(ts.IntersectingBins(Duration(100, 200)),
+            (std::vector<size_t>{0}));
+  EXPECT_TRUE(ts.IntersectingBins(Duration(20000, 20001)).empty());
+}
+
+TEST(TemporalStructureTest, IrregularKeepsGivenBins) {
+  TemporalStructure ts = TemporalStructure::Irregular(
+      {Duration(0, 10), Duration(100, 200), Duration(150, 300)});
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.FindBin(160), 1u);  // first containing, despite overlap
+}
+
+TEST(SpatialStructureTest, GridRowMajorLayout) {
+  SpatialStructure grid = SpatialStructure::Grid(Mbr(0, 0, 4, 2), 4, 2);
+  ASSERT_EQ(grid.size(), 8u);
+  EXPECT_TRUE(grid.is_grid());
+  // y-outer, x-inner: cell 0 at (x=[0,1], y=[0,1]), cell 1 at x=[1,2] ...
+  EXPECT_DOUBLE_EQ(grid.cell_mbr(0).x_min, 0.0);
+  EXPECT_DOUBLE_EQ(grid.cell_mbr(1).x_min, 1.0);
+  EXPECT_DOUBLE_EQ(grid.cell_mbr(4).y_min, 1.0);
+  EXPECT_DOUBLE_EQ(grid.cell_mbr(7).x_max, 4.0);
+  EXPECT_DOUBLE_EQ(grid.cell_mbr(7).y_max, 2.0);
+}
+
+TEST(SpatialStructureTest, FindCellFirstMatchOnSharedEdges) {
+  SpatialStructure grid = SpatialStructure::Grid(Mbr(0, 0, 2, 2), 2, 2);
+  // The shared edge x=1 belongs to BOTH cells 0 and 1; first match wins.
+  EXPECT_EQ(grid.FindCell(Point(1.0, 0.5)), 0u);
+  EXPECT_EQ(grid.FindCell(Point(1.5, 0.5)), 1u);
+  EXPECT_EQ(grid.FindCell(Point(0.5, 1.5)), 2u);
+  EXPECT_EQ(grid.FindCell(Point(3.0, 0.5)), SpatialStructure::kNoCell);
+}
+
+TEST(SpatialStructureTest, ContainingCellsListsAllOnBoundary) {
+  SpatialStructure grid = SpatialStructure::Grid(Mbr(0, 0, 2, 2), 2, 2);
+  std::vector<size_t> cells = grid.ContainingCells(Point(1.0, 1.0));
+  EXPECT_EQ(cells, (std::vector<size_t>{0, 1, 2, 3}));  // corner of all four
+  EXPECT_EQ(grid.ContainingCells(Point(0.5, 0.5)), (std::vector<size_t>{0}));
+}
+
+TEST(SpatialStructureTest, IntersectingCellsForLine) {
+  SpatialStructure grid = SpatialStructure::Grid(Mbr(0, 0, 4, 4), 4, 4);
+  // A diagonal crossing the lower-left quadrant.
+  LineString diag({Point(0.5, 0.5), Point(1.5, 1.5)});
+  std::vector<size_t> cells = grid.IntersectingCells(diag);
+  // Crosses cells (0,0), (1,0)?, (0,1)?, (1,1): the exact rectangle predicate
+  // counts edge touches, so at least the two diagonal cells appear.
+  EXPECT_NE(std::find(cells.begin(), cells.end(), 0u), cells.end());
+  EXPECT_NE(std::find(cells.begin(), cells.end(), 5u), cells.end());
+}
+
+TEST(SpatialStructureTest, IrregularUsesPolygonPredicates) {
+  std::vector<Polygon> cells = {Polygon::FromMbr(Mbr(0, 0, 1, 1)),
+                                Polygon::FromMbr(Mbr(2, 2, 3, 3))};
+  SpatialStructure irregular = SpatialStructure::Irregular(cells);
+  EXPECT_FALSE(irregular.is_grid());
+  EXPECT_EQ(irregular.FindCell(Point(0.5, 0.5)), 0u);
+  EXPECT_EQ(irregular.FindCell(Point(2.5, 2.5)), 1u);
+  EXPECT_EQ(irregular.FindCell(Point(1.5, 1.5)), SpatialStructure::kNoCell);
+  LineString through({Point(-1, 0.5), Point(5, 0.5)});
+  EXPECT_EQ(irregular.IntersectingCells(through), (std::vector<size_t>{0}));
+}
+
+TEST(RasterStructureTest, BinMajorFlatLayout) {
+  RasterStructure raster =
+      RasterStructure::Regular(Mbr(0, 0, 2, 2), 2, 2, Duration(0, 7200), 2);
+  EXPECT_EQ(raster.num_cells(), 4u);
+  EXPECT_EQ(raster.num_bins(), 2u);
+  EXPECT_EQ(raster.size(), 8u);
+  EXPECT_EQ(raster.FlatIndex(3, 1), 1u * 4u + 3u);
+  EXPECT_EQ(raster.bin(5).start(), 3600);   // flat 5 -> bin 1
+  EXPECT_DOUBLE_EQ(raster.cell(5).mbr().x_min, 1.0);  // flat 5 -> cell 1
+}
+
+}  // namespace
+}  // namespace st4ml

@@ -1,0 +1,132 @@
+// Cross-system result-equality harness: every Table-7 application must
+// produce the SAME checksum on ST4ML (built-in), ST4ML (customized),
+// GeoSpark-like, and GeoMesa-like — the property that makes the Table 7/8
+// timing comparisons meaningful. Runs the real bench app implementations
+// against small staged datasets (ST4ML_SCALE=0.05).
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "../../bench/apps/apps.h"
+
+namespace st4ml {
+namespace bench {
+namespace {
+
+constexpr int64_t kHour = 3600;
+constexpr int64_t kDay = 86400;
+
+struct SystemResults {
+  size_t st4ml;
+  size_t st4ml_custom;
+  size_t geospark;
+  size_t geomesa;
+};
+
+using AppFn = size_t (*)(const BenchEnv&, int, const STBox&);
+
+SystemResults RunAll(AppFn st4ml, AppFn st4ml_custom, AppFn geospark,
+                     AppFn geomesa, const STBox& query) {
+  const BenchEnv& env = GetBenchEnv();
+  constexpr int kFullScale = 2;  // the 100% variant of the staged data
+  return SystemResults{st4ml(env, kFullScale, query),
+                       st4ml_custom(env, kFullScale, query),
+                       geospark(env, kFullScale, query),
+                       geomesa(env, kFullScale, query)};
+}
+
+void ExpectAllEqual(const SystemResults& r, bool expect_nonzero = true) {
+  EXPECT_EQ(r.st4ml, r.st4ml_custom) << "ST4ML-B vs ST4ML-C";
+  EXPECT_EQ(r.st4ml, r.geospark) << "ST4ML vs GeoSpark";
+  EXPECT_EQ(r.st4ml, r.geomesa) << "ST4ML vs GeoMesa";
+  if (expect_nonzero) {
+    EXPECT_GT(r.st4ml, 0u) << "checksum should be non-trivial";
+  }
+}
+
+/// Full spatial extent, hour-aligned temporal window from the range start.
+STBox QueryOver(const Mbr& extent, const Duration& range, int64_t span_s) {
+  return STBox(extent, Duration(range.start(), range.start() + span_s));
+}
+
+TEST(CrossSystemChecksumTest, Anomaly) {
+  const BenchEnv& env = GetBenchEnv();
+  ExpectAllEqual(RunAll(AnomalySt4ml, AnomalySt4mlC, AnomalyGeoSpark,
+                        AnomalyGeoMesa,
+                        QueryOver(env.nyc_extent, env.nyc_range, 60 * kDay)));
+}
+
+TEST(CrossSystemChecksumTest, AvgSpeed) {
+  const BenchEnv& env = GetBenchEnv();
+  ExpectAllEqual(
+      RunAll(AvgSpeedSt4ml, AvgSpeedSt4mlC, AvgSpeedGeoSpark, AvgSpeedGeoMesa,
+             QueryOver(env.porto_extent, env.porto_range, 60 * kDay)));
+}
+
+TEST(CrossSystemChecksumTest, StayPoint) {
+  const BenchEnv& env = GetBenchEnv();
+  // The (200 m, 10 min) threshold finds few stays in the small staged
+  // variant — the equality across systems is the property, not the count.
+  ExpectAllEqual(
+      RunAll(StayPointSt4ml, StayPointSt4mlC, StayPointGeoSpark,
+             StayPointGeoMesa,
+             QueryOver(env.porto_extent, env.porto_range, 60 * kDay)),
+      /*expect_nonzero=*/false);
+}
+
+TEST(CrossSystemChecksumTest, HourlyFlow) {
+  const BenchEnv& env = GetBenchEnv();
+  ExpectAllEqual(
+      RunAll(HourlyFlowSt4ml, HourlyFlowSt4mlC, HourlyFlowGeoSpark,
+             HourlyFlowGeoMesa,
+             QueryOver(env.nyc_extent, env.nyc_range, 14 * kDay)));
+}
+
+TEST(CrossSystemChecksumTest, GridSpeed) {
+  const BenchEnv& env = GetBenchEnv();
+  ExpectAllEqual(
+      RunAll(GridSpeedSt4ml, GridSpeedSt4mlC, GridSpeedGeoSpark,
+             GridSpeedGeoMesa,
+             QueryOver(env.porto_extent, env.porto_range, 30 * kDay)));
+}
+
+TEST(CrossSystemChecksumTest, Transition) {
+  const BenchEnv& env = GetBenchEnv();
+  // The raster's hour bins must nest inside the query window exactly, so the
+  // span is a whole number of hours.
+  ExpectAllEqual(
+      RunAll(TransitionSt4ml, TransitionSt4mlC, TransitionGeoSpark,
+             TransitionGeoMesa,
+             QueryOver(env.porto_extent, env.porto_range, 2 * kDay)));
+}
+
+TEST(CrossSystemChecksumTest, AirOverRoad) {
+  const BenchEnv& env = GetBenchEnv();
+  ExpectAllEqual(
+      RunAll(AirOverRoadSt4ml, AirOverRoadSt4mlC, AirOverRoadGeoSpark,
+             AirOverRoadGeoMesa,
+             QueryOver(env.air_extent, env.air_range, 7 * kDay)));
+}
+
+TEST(CrossSystemChecksumTest, PoiCount) {
+  const BenchEnv& env = GetBenchEnv();
+  ExpectAllEqual(RunAll(PoiCountSt4ml, PoiCountSt4mlC, PoiCountGeoSpark,
+                        PoiCountGeoMesa,
+                        QueryOver(env.osm_extent, Duration(0, 0), kHour)));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace st4ml
+
+int main(int argc, char** argv) {
+  // Must run before the first GetBenchEnv(): stage small datasets in a
+  // dedicated directory so this test never clashes with full bench runs.
+  setenv("ST4ML_SCALE", "0.05", /*overwrite=*/1);
+  setenv("ST4ML_BENCH_DATA", "checksum_bench_data", /*overwrite=*/1);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,161 @@
+#include "mapmatching/hmm_map_matcher.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/execution_context.h"
+#include "mapmatching/road_network.h"
+
+namespace st4ml {
+namespace {
+
+/// A 4-node corridor: three segment pairs laid out west-to-east then north.
+///
+///   n0 --(1)-- n1 --(2)-- n2
+///                          |
+///                         (3)
+///                          |
+///                         n3
+std::shared_ptr<RoadNetwork> CorridorNetwork() {
+  auto network = std::make_shared<RoadNetwork>();
+  int32_t n0 = network->AddNode(Point(116.00, 40.00));
+  int32_t n1 = network->AddNode(Point(116.01, 40.00));
+  int32_t n2 = network->AddNode(Point(116.02, 40.00));
+  int32_t n3 = network->AddNode(Point(116.02, 40.01));
+  auto add_pair = [&](int64_t id, int32_t a, int32_t b) {
+    RoadSegment forward;
+    forward.id = id;
+    forward.shape = LineString({network->node(a), network->node(b)});
+    forward.from_node = a;
+    forward.to_node = b;
+    forward.length_m = forward.shape.LengthMeters();
+    network->AddSegment(forward);
+    RoadSegment reverse = forward;
+    reverse.id = -id;
+    reverse.shape = LineString({network->node(b), network->node(a)});
+    reverse.from_node = b;
+    reverse.to_node = a;
+    network->AddSegment(reverse);
+  };
+  add_pair(1, n0, n1);
+  add_pair(2, n1, n2);
+  add_pair(3, n2, n3);
+  return network;
+}
+
+STTrajectory CorridorDrive() {
+  STTrajectory t;
+  t.data = 99;
+  int64_t time = 0;
+  // Eastbound along segment 1 then 2, slightly north of the centerline.
+  for (double x = 116.001; x < 116.0195; x += 0.003) {
+    STEntry e;
+    e.point = Point(x, 40.00005);
+    e.time = time;
+    time += 30;
+    t.entries.push_back(e);
+  }
+  // Northbound along segment 3.
+  for (double y = 40.002; y < 40.0095; y += 0.003) {
+    STEntry e;
+    e.point = Point(116.02005, y);
+    e.time = time;
+    time += 30;
+    t.entries.push_back(e);
+  }
+  return t;
+}
+
+TEST(MapMatchingTest, SnapsCorridorDriveToExpectedSegments) {
+  auto ctx = ExecutionContext::Create(1);
+  auto network = CorridorNetwork();
+  STTrajectory drive = CorridorDrive();
+  auto data = Dataset<STTrajectory>::Parallelize(ctx, {drive}, 1);
+  auto matched = MapMatchTrajectories(data, network, MapMatchOptions{}).Collect();
+  ASSERT_EQ(matched.size(), 1u);
+  const Trajectory<int64_t, int64_t>& result = matched[0];
+  EXPECT_EQ(result.data, 99);
+  ASSERT_EQ(result.entries.size(), drive.entries.size());
+
+  // Times survive matching; segment magnitudes progress 1 -> 2 -> 3 without
+  // ever stepping backwards along the corridor.
+  int64_t prev_mag = 1;
+  for (size_t i = 0; i < result.entries.size(); ++i) {
+    EXPECT_EQ(result.entries[i].time, drive.entries[i].time);
+    int64_t mag = std::llabs(result.entries[i].value);
+    EXPECT_GE(mag, 1);
+    EXPECT_LE(mag, 3);
+    EXPECT_GE(mag, prev_mag) << "sample " << i << " stepped backwards";
+    prev_mag = mag;
+  }
+  EXPECT_EQ(std::llabs(result.entries.front().value), 1);
+  EXPECT_EQ(std::llabs(result.entries.back().value), 3);
+}
+
+TEST(MapMatchingTest, DropsSamplesBeyondCandidateRadius) {
+  auto ctx = ExecutionContext::Create(1);
+  auto network = CorridorNetwork();
+  STTrajectory t;
+  t.data = 5;
+  STEntry on_road;
+  on_road.point = Point(116.005, 40.0001);
+  on_road.time = 0;
+  STEntry off_road;
+  off_road.point = Point(117.5, 41.5);  // ~140 km away
+  off_road.time = 30;
+  STEntry back;
+  back.point = Point(116.006, 40.0001);
+  back.time = 60;
+  t.entries = {on_road, off_road, back};
+  auto data = Dataset<STTrajectory>::Parallelize(ctx, {t}, 1);
+  auto matched = MapMatchTrajectories(data, network, MapMatchOptions{}).Collect();
+  ASSERT_EQ(matched.size(), 1u);
+  ASSERT_EQ(matched[0].entries.size(), 2u);
+  EXPECT_EQ(matched[0].entries[0].time, 0);
+  EXPECT_EQ(matched[0].entries[1].time, 60);
+  EXPECT_EQ(std::llabs(matched[0].entries[0].value), 1);
+}
+
+TEST(MapMatchingTest, ContinuityBreaksNearestSegmentTies) {
+  auto ctx = ExecutionContext::Create(1);
+  auto network = CorridorNetwork();
+  // Samples hug segment 1, then one ambiguous sample sits at the shared node
+  // n1 (equidistant from segments 1 and 2). Transition continuity must keep
+  // it on a segment adjacent to the previous one rather than teleporting.
+  STTrajectory t;
+  t.data = 6;
+  int64_t time = 0;
+  for (double x : {116.002, 116.005, 116.008, 116.01}) {
+    STEntry e;
+    e.point = Point(x, 40.0);
+    e.time = time;
+    time += 30;
+    t.entries.push_back(e);
+  }
+  auto data = Dataset<STTrajectory>::Parallelize(ctx, {t}, 1);
+  auto matched = MapMatchTrajectories(data, network, MapMatchOptions{}).Collect();
+  ASSERT_EQ(matched.size(), 1u);
+  for (const auto& entry : matched[0].entries) {
+    EXPECT_LE(std::llabs(entry.value), 2);
+  }
+}
+
+TEST(RoadNetworkTest, AdjacencyFollowsFromNode) {
+  auto network = CorridorNetwork();
+  EXPECT_EQ(network->num_nodes(), 4u);
+  EXPECT_EQ(network->num_segments(), 6u);
+  // Outgoing of n1: segment 2 (n1->n2) and reverse segment -1 (n1->n0).
+  std::vector<int64_t> ids;
+  for (int32_t s : network->outgoing(1)) ids.push_back(network->segment(s).id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<int64_t>{-1, 2}));
+  EXPECT_TRUE(network->extent().ContainsPoint(Point(116.01, 40.005)));
+}
+
+}  // namespace
+}  // namespace st4ml

@@ -1,0 +1,163 @@
+#include "selection/selector.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/execution_context.h"
+#include "selection/on_disk_index.h"
+#include "storage/records.h"
+
+namespace st4ml {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  fs::path dir = fs::temp_directory_path() / ("st4ml_selector_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::vector<EventRecord> RandomEvents(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EventRecord> events;
+  events.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    EventRecord r;
+    r.id = i;
+    r.x = rng.Uniform(0, 100);
+    r.y = rng.Uniform(0, 100);
+    r.time = rng.UniformInt(0, 100000);
+    r.attr = "e";
+    events.push_back(r);
+  }
+  return events;
+}
+
+std::vector<int64_t> SortedIds(const Dataset<EventRecord>& data) {
+  std::vector<int64_t> ids;
+  for (const EventRecord& r : data.Collect()) ids.push_back(r.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<int64_t> ReferenceIds(const std::vector<EventRecord>& events,
+                                  const STBox& query) {
+  std::vector<int64_t> ids;
+  for (const EventRecord& r : events) {
+    if (r.ComputeSTBox().Intersects(query)) ids.push_back(r.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+class SelectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ctx_ = ExecutionContext::Create(2);
+    events_ = RandomEvents(3000, 31);
+    dir_ = TempDir("index");
+    meta_ = dir_ + "/index.meta";
+    auto data = Dataset<EventRecord>::Parallelize(ctx_, events_, 4);
+    TSTRPartitioner partitioner(4, 4);
+    ASSERT_TRUE(BuildOnDiskIndex(data, &partitioner, dir_, meta_).ok());
+  }
+
+  std::shared_ptr<ExecutionContext> ctx_;
+  std::vector<EventRecord> events_;
+  std::string dir_;
+  std::string meta_;
+};
+
+TEST_F(SelectorTest, FullScanMatchesReferencePredicate) {
+  std::vector<STBox> queries = {
+      STBox(Mbr(10, 10, 40, 40), Duration(0, 50000)),
+      STBox(Mbr(0, 0, 100, 100), Duration(0, 100000)),
+      STBox(Mbr(70, 70, 71, 71), Duration(90000, 90001)),
+      STBox(Mbr(200, 200, 300, 300), Duration(0, 100000)),  // empty result
+  };
+  for (const STBox& query : queries) {
+    Selector<EventRecord> selector(ctx_, query);
+    auto selected = selector.Select(dir_);
+    ASSERT_TRUE(selected.ok()) << selected.status().ToString();
+    EXPECT_EQ(SortedIds(*selected), ReferenceIds(events_, query));
+  }
+}
+
+TEST_F(SelectorTest, MetaPrunedEqualsFullScan) {
+  std::vector<STBox> queries = {
+      STBox(Mbr(10, 10, 40, 40), Duration(0, 50000)),
+      STBox(Mbr(50, 0, 100, 30), Duration(25000, 75000)),
+      STBox(Mbr(0, 0, 5, 5), Duration(0, 5000)),
+  };
+  for (const STBox& query : queries) {
+    Selector<EventRecord> full(ctx_, query);
+    Selector<EventRecord> pruned(ctx_, query);
+    auto full_result = full.Select(dir_);
+    auto pruned_result = pruned.Select(dir_, meta_);
+    ASSERT_TRUE(full_result.ok());
+    ASSERT_TRUE(pruned_result.ok()) << pruned_result.status().ToString();
+    EXPECT_EQ(SortedIds(*pruned_result), SortedIds(*full_result));
+  }
+}
+
+TEST_F(SelectorTest, PruningLoadsFewerBytesOnSelectiveQuery) {
+  STBox query(Mbr(5, 5, 15, 15), Duration(0, 10000));
+  Selector<EventRecord> full(ctx_, query);
+  Selector<EventRecord> pruned(ctx_, query);
+  ASSERT_TRUE(full.Select(dir_).ok());
+  ASSERT_TRUE(pruned.Select(dir_, meta_).ok());
+  EXPECT_GT(full.stats().bytes_loaded, 0u);
+  EXPECT_LT(pruned.stats().bytes_loaded, full.stats().bytes_loaded);
+  EXPECT_EQ(pruned.stats().bytes_selected, full.stats().bytes_selected);
+}
+
+TEST_F(SelectorTest, RtreeRefineMatchesLinearRefine) {
+  STBox query(Mbr(20, 20, 60, 60), Duration(10000, 80000));
+  SelectorOptions with_tree;
+  with_tree.use_rtree = true;
+  SelectorOptions linear;
+  linear.use_rtree = false;
+  Selector<EventRecord> a(ctx_, query, with_tree);
+  Selector<EventRecord> b(ctx_, query, linear);
+  auto ra = a.Select(dir_, meta_);
+  auto rb = b.Select(dir_, meta_);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(SortedIds(*ra), SortedIds(*rb));
+}
+
+TEST_F(SelectorTest, PartitionAfterSelectRedistributes) {
+  STBox query(Mbr(0, 0, 100, 100), Duration(0, 100000));
+  SelectorOptions options;
+  options.partitioner = std::make_shared<TSTRPartitioner>(2, 2);
+  options.partition_after_select = true;
+  Selector<EventRecord> selector(ctx_, query, options);
+  auto selected = selector.Select(dir_, meta_);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->num_partitions(),
+            static_cast<size_t>(options.partitioner->num_partitions()));
+  EXPECT_EQ(SortedIds(*selected), ReferenceIds(events_, query));
+}
+
+TEST_F(SelectorTest, PersistDatasetSupportsFullScanOnly) {
+  std::string plain = TempDir("plain");
+  auto data = Dataset<EventRecord>::Parallelize(ctx_, events_, 3);
+  ASSERT_TRUE(PersistDataset(data, plain).ok());
+  STBox query(Mbr(30, 30, 70, 70), Duration(20000, 60000));
+  Selector<EventRecord> selector(ctx_, query);
+  auto selected = selector.Select(plain);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(SortedIds(*selected), ReferenceIds(events_, query));
+}
+
+}  // namespace
+}  // namespace st4ml

@@ -1,0 +1,109 @@
+#include "storage/csv.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/json.h"
+#include "storage/text_import.h"
+
+namespace st4ml {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  fs::path dir = fs::temp_directory_path() / ("st4ml_text_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+TEST(CsvTest, RoundTripWithQuoting) {
+  std::string dir = TempDir("csv");
+  std::string path = dir + "/out.csv";
+  std::vector<std::vector<std::string>> rows = {
+      {"1", "plain", "3.5"},
+      {"2", "with,comma", "4.5"},
+      {"3", "with\"quote", "5.5"},
+  };
+  ASSERT_TRUE(WriteCsv(path, {"id", "label", "value"}, rows).ok());
+  auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 4u);  // header + 3 rows
+  EXPECT_EQ((*loaded)[0][1], "label");
+  EXPECT_EQ((*loaded)[2][1], "with,comma");
+  EXPECT_EQ((*loaded)[3][1], "with\"quote");
+}
+
+TEST(CsvTest, WidthMismatchIsInvalidArgument) {
+  std::string dir = TempDir("width");
+  auto status = WriteCsv(dir + "/bad.csv", {"a", "b"}, {{"only-one"}});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(JsonTest, ObjectRendering) {
+  JsonObject obj;
+  obj.Add("name", "st4ml").Add("count", int64_t{42}).Add("ratio", 0.5);
+  obj.Add("ok", true).AddRaw("nested", "[1,2]");
+  std::string json = obj.Str();
+  EXPECT_NE(json.find("\"name\":\"st4ml\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"nested\":[1,2]"), std::string::npos) << json;
+}
+
+TEST(JsonTest, QuoteEscapesControlCharacters) {
+  std::string quoted = JsonQuote("a\"b\\c\nd");
+  EXPECT_EQ(quoted, "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(TextImportTest, EventsCsv) {
+  std::string dir = TempDir("events");
+  std::string path = dir + "/events.csv";
+  std::ofstream(path) << "id,x,y,time,attr\n"
+                      << "7,-73.99,40.75,1600000000,cab\n"
+                      << "8,-73.95,40.70,1600000100,\n";
+  auto events = ImportEventsCsv(path);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ((*events)[0].id, 7);
+  EXPECT_DOUBLE_EQ((*events)[0].x, -73.99);
+  EXPECT_EQ((*events)[0].attr, "cab");
+  EXPECT_EQ((*events)[1].time, 1600000100);
+}
+
+TEST(TextImportTest, TrajsCsvGroupsAndSortsByTime) {
+  std::string dir = TempDir("trajs");
+  std::string path = dir + "/trajs.csv";
+  std::ofstream(path) << "id,x,y,time\n"
+                      << "1,0.0,0.0,30\n"
+                      << "2,5.0,5.0,10\n"
+                      << "1,1.0,1.0,10\n"
+                      << "1,2.0,2.0,20\n";
+  auto trajs = ImportTrajsCsv(path);
+  ASSERT_TRUE(trajs.ok()) << trajs.status().ToString();
+  ASSERT_EQ(trajs->size(), 2u);
+  const TrajRecord& first = (*trajs)[0].id == 1 ? (*trajs)[0] : (*trajs)[1];
+  ASSERT_EQ(first.points.size(), 3u);
+  EXPECT_EQ(first.points[0].time, 10);
+  EXPECT_EQ(first.points[2].time, 30);
+  EXPECT_DOUBLE_EQ(first.points[0].x, 1.0);
+}
+
+TEST(TextImportTest, MalformedNumberIsCorruption) {
+  std::string dir = TempDir("bad");
+  std::string path = dir + "/bad.csv";
+  std::ofstream(path) << "id,x,y,time,attr\n"
+                      << "1,not-a-number,2.0,100,x\n";
+  auto events = ImportEventsCsv(path);
+  ASSERT_FALSE(events.ok());
+  EXPECT_EQ(events.status().code(), Status::Code::kCorruption);
+}
+
+}  // namespace
+}  // namespace st4ml

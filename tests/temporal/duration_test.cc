@@ -1,0 +1,65 @@
+#include "temporal/duration.h"
+
+#include <gtest/gtest.h>
+
+#include "instances/structures.h"
+
+namespace st4ml {
+namespace {
+
+TEST(DurationTest, ClosedIntervalSemantics) {
+  Duration d(10, 20);
+  EXPECT_TRUE(d.Contains(10));
+  EXPECT_TRUE(d.Contains(20));
+  EXPECT_FALSE(d.Contains(21));
+  EXPECT_TRUE(d.Intersects(Duration(20, 30)));   // shared endpoint
+  EXPECT_TRUE(d.Intersects(Duration(0, 10)));
+  EXPECT_FALSE(d.Intersects(Duration(21, 30)));
+  EXPECT_EQ(d.Seconds(), 10);
+  EXPECT_TRUE(Duration(5).IsInstant());
+}
+
+TEST(DurationTest, HourOfDayHandlesNegativesAndWrap) {
+  EXPECT_EQ(HourOfDay(0), 0);
+  EXPECT_EQ(HourOfDay(3600), 1);
+  EXPECT_EQ(HourOfDay(86400 + 2 * 3600 + 59), 2);
+  EXPECT_EQ(HourOfDay(-3600), 23);
+}
+
+TEST(TemporalSlidingTest, CoversRangeWithClippedTail) {
+  std::vector<Duration> bins = TemporalSliding(Duration(0, 10000), 3600);
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_EQ(bins[0].start(), 0);
+  EXPECT_EQ(bins[1].start(), 3600);
+  EXPECT_EQ(bins[2].start(), 7200);
+  EXPECT_GE(bins[2].end(), 10000 - 1);
+}
+
+/// The cross-system agreement invariant: RegularByInterval bins must equal
+/// TemporalSliding windows, bin for bin — converters and hand-rolled
+/// baseline loops both derive their temporal buckets from these.
+TEST(TemporalSlidingTest, MatchesRegularByIntervalStructure) {
+  Duration range(1000, 1000 + 24 * 3600);
+  auto windows = TemporalSliding(range, 3600);
+  TemporalStructure structure =
+      TemporalStructure::RegularByInterval(range, 3600);
+  ASSERT_EQ(windows.size(), structure.size());
+  for (size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_EQ(windows[i].start(), structure.bin(i).start()) << "bin " << i;
+    EXPECT_EQ(windows[i].end(), structure.bin(i).end()) << "bin " << i;
+  }
+}
+
+TEST(TemporalSlidingTest, RegularEqualsSlidingWhenDivisible) {
+  Duration range(0, 7200);
+  TemporalStructure regular = TemporalStructure::Regular(range, 2);
+  auto sliding = TemporalSliding(range, 3600);
+  ASSERT_EQ(regular.size(), sliding.size());
+  for (size_t i = 0; i < sliding.size(); ++i) {
+    EXPECT_EQ(regular.bin(i).start(), sliding[i].start());
+    EXPECT_EQ(regular.bin(i).end(), sliding[i].end());
+  }
+}
+
+}  // namespace
+}  // namespace st4ml

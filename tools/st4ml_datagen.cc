@@ -1,0 +1,24 @@
+// st4ml_datagen: emits a synthetic NYC-like event dataset as CSV on stdout,
+// ready to pipe into st4ml_ingest.
+//
+//   st4ml_datagen --count=240000 --seed=1 > events.csv
+
+#include <cstdio>
+#include <string>
+
+#include "datagen/generators.h"
+#include "tool_flags.h"
+
+int main(int argc, char** argv) {
+  st4ml::tools::Flags flags(argc, argv);
+  st4ml::NycEventOptions options;
+  options.count = flags.GetInt("count", 20000);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  std::printf("id,x,y,time,attr\n");
+  for (const st4ml::EventRecord& r : st4ml::GenerateNycEvents(options)) {
+    std::printf("%lld,%.6f,%.6f,%lld,%s\n", static_cast<long long>(r.id), r.x,
+                r.y, static_cast<long long>(r.time), r.attr.c_str());
+  }
+  return 0;
+}

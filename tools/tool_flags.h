@@ -1,0 +1,65 @@
+#ifndef ST4ML_TOOLS_TOOL_FLAGS_H_
+#define ST4ML_TOOLS_TOOL_FLAGS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace st4ml {
+namespace tools {
+
+/// Minimal `--name=value` flag access over argv, shared by the CLI tools.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const {
+    std::string prefix = "--" + name + "=";
+    for (const std::string& arg : args_) {
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+    }
+    return default_value;
+  }
+
+  int64_t GetInt(const std::string& name, int64_t default_value) const {
+    std::string value = GetString(name, "");
+    return value.empty() ? default_value : std::strtoll(value.c_str(), nullptr, 10);
+  }
+
+  bool Has(const std::string& name) const {
+    return !GetString(name, "").empty() ||
+           std::find(args_.begin(), args_.end(), "--" + name) != args_.end();
+  }
+
+  /// Splits a `a,b,c,...` flag value into doubles; returns false on count or
+  /// parse mismatch.
+  bool GetDoubleList(const std::string& name, size_t expected,
+                     std::vector<double>* out) const {
+    std::string value = GetString(name, "");
+    if (value.empty()) return false;
+    out->clear();
+    std::stringstream stream(value);
+    std::string piece;
+    while (std::getline(stream, piece, ',')) {
+      char* end = nullptr;
+      double parsed = std::strtod(piece.c_str(), &end);
+      if (end == piece.c_str()) return false;
+      out->push_back(parsed);
+    }
+    return out->size() == expected;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+}  // namespace tools
+}  // namespace st4ml
+
+#endif  // ST4ML_TOOLS_TOOL_FLAGS_H_
