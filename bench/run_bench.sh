@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Runs the shuffle microbenchmark and records the repo's perf trajectory in
+# BENCH_shuffle.json (one JSON object per line: op, records, partitions,
+# records/sec for the bucketed and legacy shuffles, speedup, and the
+# output/metrics equivalence checks). bench_shuffle exits non-zero on any
+# bucketed-vs-legacy mismatch, so this doubles as a correctness gate.
+#
+# Usage: bench/run_bench.sh [path/to/bench_shuffle] [extra bench flags...]
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+bench_bin="${1:-$repo_root/build/bench/bench_shuffle}"
+[ $# -gt 0 ] && shift
+
+if [ ! -x "$bench_bin" ]; then
+  echo "bench_shuffle not found at $bench_bin — build it first:" >&2
+  echo "  cmake --build build --target bench_shuffle" >&2
+  exit 1
+fi
+
+out="$repo_root/BENCH_shuffle.json"
+"$bench_bin" "$@" | tee "$out"
+echo "wrote $out" >&2

@@ -53,8 +53,10 @@ auto ConvertToSpatialMapByShuffle(
       },
       "conversion/shuffleKey");
 
-  auto grouped = GroupByKey<int64_t, T>(keyed);
-  auto groups = grouped.Collect();
+  // The grouped Dataset is sole owner of its partitions and dies here, so
+  // the rvalue Collect moves the (cell, instances) groups instead of
+  // copying every shuffled record a second time.
+  auto groups = GroupByKey<int64_t, T>(keyed).Collect();
   // Keys arrive hash-partitioned; order them before the merge scan below.
   std::sort(groups.begin(), groups.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });

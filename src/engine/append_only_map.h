@@ -1,0 +1,109 @@
+#ifndef ST4ML_ENGINE_APPEND_ONLY_MAP_H_
+#define ST4ML_ENGINE_APPEND_ONLY_MAP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace st4ml {
+namespace internal {
+
+/// An insert-or-combine hash map for shuffle aggregation, modeled on
+/// Spark's AppendOnlyMap: entries live in a flat vector in FIRST-INSERTION
+/// order and an open-addressing index table (uint32 slots, linear probing)
+/// points into it. Compared to std::unordered_map this does one cache-line
+/// probe per operation instead of a bucket-pointer chase, never allocates
+/// per node, and iterates in deterministic insertion order — which is what
+/// lets the shuffle reduce each key's values in exactly the sequence the
+/// determinism contract pins (see pair_ops.h).
+///
+/// Only grows; no erase. Keys must be equality-comparable.
+template <typename K, typename V, typename Hash>
+class AppendOnlyMap {
+ public:
+  /// `expected` is an upper bound on distinct keys; the slot table is sized
+  /// so no rehash happens when it holds.
+  explicit AppendOnlyMap(size_t expected) {
+    size_t slots = 16;
+    while (slots * 7 < expected * 10) slots <<= 1;  // load factor <= 0.7
+    slots_.assign(slots, 0);
+    mask_ = slots - 1;
+    entries_.reserve(expected);
+  }
+
+  /// Inserts (key, value) or combines into the existing entry with
+  /// `combine(old, value)`.
+  template <typename Combine>
+  void InsertOrCombine(const K& key, const V& value, Combine combine) {
+    std::pair<K, V>* entry = Probe(key);
+    if (entry == nullptr) {
+      entries_.emplace_back(key, value);
+    } else {
+      entry->second = combine(entry->second, value);
+    }
+  }
+
+  /// Returns the value slot for `key`, default-constructing it on first
+  /// touch (GroupByKey's per-key accumulator).
+  V& GetOrInsert(const K& key) {
+    std::pair<K, V>* entry = Probe(key);
+    if (entry != nullptr) return entry->second;
+    entries_.emplace_back(key, V());
+    return entries_.back().second;
+  }
+
+  /// Returns `key`'s dense entry index (first-insertion order), inserting a
+  /// default-constructed value on first touch. Lets callers keep per-key
+  /// side arrays (counts, offsets) indexed by insertion order.
+  size_t GetIndex(const K& key) {
+    std::pair<K, V>* entry = Probe(key);
+    if (entry != nullptr) {
+      return static_cast<size_t>(entry - entries_.data());
+    }
+    entries_.emplace_back(key, V());
+    return entries_.size() - 1;
+  }
+
+  size_t size() const { return entries_.size(); }
+
+  /// Consumes the map, yielding entries in first-insertion order.
+  std::vector<std::pair<K, V>> TakeEntries() && { return std::move(entries_); }
+
+ private:
+  /// Finds `key`'s entry, or claims a slot for it and returns nullptr (the
+  /// caller must then append the entry).
+  std::pair<K, V>* Probe(const K& key) {
+    if ((entries_.size() + 1) * 10 > slots_.size() * 7) Grow();
+    size_t i = Hash{}(key) & mask_;
+    for (;;) {
+      uint32_t stored = slots_[i];
+      if (stored == 0) {
+        slots_[i] = static_cast<uint32_t>(entries_.size()) + 1;
+        return nullptr;
+      }
+      std::pair<K, V>& entry = entries_[stored - 1];
+      if (entry.first == key) return &entry;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  void Grow() {
+    size_t slots = slots_.size() * 2;
+    slots_.assign(slots, 0);
+    mask_ = slots - 1;
+    for (size_t e = 0; e < entries_.size(); ++e) {
+      size_t i = Hash{}(entries_[e].first) & mask_;
+      while (slots_[i] != 0) i = (i + 1) & mask_;
+      slots_[i] = static_cast<uint32_t>(e) + 1;
+    }
+  }
+
+  std::vector<std::pair<K, V>> entries_;  // first-insertion order
+  std::vector<uint32_t> slots_;           // entry index + 1; 0 = empty
+  size_t mask_ = 0;
+};
+
+}  // namespace internal
+}  // namespace st4ml
+
+#endif  // ST4ML_ENGINE_APPEND_ONLY_MAP_H_

@@ -71,10 +71,8 @@ class Dataset {
     size_t offset = 0;
     for (size_t p = 0; p < num_partitions; ++p) {
       size_t len = base + (p < extra ? 1 : 0);
-      parts[p].reserve(len);
-      for (size_t i = 0; i < len; ++i) {
-        parts[p].push_back(std::move(data[offset + i]));
-      }
+      parts[p].assign(std::make_move_iterator(data.begin() + offset),
+                      std::make_move_iterator(data.begin() + offset + len));
       offset += len;
     }
     return FromPartitions(std::move(ctx), std::move(parts));
@@ -151,14 +149,28 @@ class Dataset {
     return Dataset<U>::FromPartitions(ctx_, std::move(out));
   }
 
-  std::vector<T> Collect() const {
+  std::vector<T> Collect() const& {
     std::vector<T> out;
     if (!parts_) return out;
-    size_t total = 0;
-    for (const auto& part : *parts_) total += part.size();
-    out.reserve(total);
+    out.reserve(Count());
     for (const auto& part : *parts_) {
       out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+
+  /// Collect on an expiring Dataset: when this handle is the sole owner of
+  /// the partitions no other Dataset can observe them, so the elements are
+  /// moved out instead of copied. Shared partitions still copy.
+  std::vector<T> Collect() && {
+    std::vector<T> out;
+    if (!parts_) return out;
+    if (parts_.use_count() != 1) return static_cast<const Dataset&>(*this).Collect();
+    out.reserve(Count());
+    auto& parts = const_cast<Partitions&>(*parts_);
+    for (auto& part : parts) {
+      out.insert(out.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
     }
     return out;
   }
@@ -172,13 +184,15 @@ class Dataset {
 
   /// Folds every partition with `seq_op`, then combines the per-partition
   /// results IN PARTITION ORDER with `comb_op` — deterministic by design.
+  /// `zero` is copied exactly once per partition (the vector fill below);
+  /// the partition tasks fold into their slot without further copies.
   template <typename Acc, typename SeqOp, typename CombOp>
   Acc Aggregate(Acc zero, SeqOp seq_op, CombOp comb_op) const {
     if (!parts_) return zero;
     std::vector<Acc> partials(parts_->size(), zero);
     const Partitions& in = *parts_;
     ctx_->RunParallel(in.size(), [&](size_t p) {
-      Acc acc = zero;
+      Acc acc = std::move(partials[p]);
       for (const T& value : in[p]) acc = seq_op(std::move(acc), value);
       partials[p] = std::move(acc);
     });
@@ -190,27 +204,85 @@ class Dataset {
   }
 
   /// Round-robin redistribution into `num_partitions` slices. A real shuffle:
-  /// every record moves, and the metrics say so.
-  Dataset<T> Repartition(size_t num_partitions) const {
-    ST4ML_CHECK(num_partitions > 0) << "num_partitions must be positive";
-    ST4ML_CHECK(parts_ != nullptr) << "transform on an empty Dataset";
-    Partitions out(num_partitions);
-    uint64_t records = 0;
-    uint64_t bytes = 0;
-    size_t next = 0;
-    for (const auto& part : *parts_) {
-      for (const T& value : part) {
-        records += 1;
-        bytes += ApproxShuffleBytes(value);
-        out[next].push_back(value);
-        next = (next + 1) % num_partitions;
-      }
-    }
-    ctx_->metrics().AddShuffle(records, bytes);
-    return FromPartitions(ctx_, std::move(out));
+  /// every record moves, and the metrics say so. The record at global scan
+  /// index g lands at position g / num_partitions of target g %
+  /// num_partitions — exactly the layout a serial round-robin deal produces —
+  /// so target partitions fill in parallel, each reserving its capacity up
+  /// front and touching only its own records; the shuffle byte accounting
+  /// folds inside the same per-target tasks.
+  Dataset<T> Repartition(size_t num_partitions) const& {
+    return RepartitionImpl(num_partitions, /*may_move=*/false);
+  }
+
+  /// Repartition on an expiring Dataset: when this handle is the sole owner
+  /// of the source partitions they are consumed by the shuffle, so records
+  /// move instead of copy.
+  Dataset<T> Repartition(size_t num_partitions) && {
+    return RepartitionImpl(num_partitions, parts_ != nullptr &&
+                                               parts_.use_count() == 1);
   }
 
  private:
+  Dataset<T> RepartitionImpl(size_t num_partitions, bool may_move) const {
+    ST4ML_CHECK(num_partitions > 0) << "num_partitions must be positive";
+    ST4ML_CHECK(parts_ != nullptr) << "transform on an empty Dataset";
+    const Partitions& in = *parts_;
+    // Global scan index of each source partition's first record.
+    std::vector<size_t> starts(in.size() + 1, 0);
+    for (size_t p = 0; p < in.size(); ++p) {
+      starts[p + 1] = starts[p] + in[p].size();
+    }
+    const size_t total = starts.back();
+    Partitions out(num_partitions);
+    if (ctx_->num_workers() == 1) {
+      // Sequential deal: with no parallelism to win, the streaming pass
+      // beats the strided per-target pulls below on cache behavior.
+      for (size_t t = 0; t < num_partitions; ++t) {
+        out[t].reserve(total > t ? (total - t - 1) / num_partitions + 1 : 0);
+      }
+      uint64_t seq_bytes = 0;
+      size_t next = 0;
+      for (const auto& part : *parts_) {
+        for (const T& value : part) {
+          seq_bytes += ApproxShuffleBytes(value);
+          if (may_move) {
+            out[next].push_back(std::move(const_cast<T&>(value)));
+          } else {
+            out[next].push_back(value);
+          }
+          next = (next + 1) % num_partitions;
+        }
+      }
+      ctx_->metrics().AddShuffle(total, seq_bytes);
+      return FromPartitions(ctx_, std::move(out));
+    }
+    std::vector<uint64_t> partial_bytes(num_partitions, 0);
+    ctx_->RunParallel(num_partitions, [&](size_t target) {
+      size_t count =
+          total > target ? (total - target - 1) / num_partitions + 1 : 0;
+      out[target].reserve(count);
+      uint64_t bytes = 0;
+      size_t p = 0;
+      for (size_t g = target; g < total; g += num_partitions) {
+        while (g >= starts[p + 1]) ++p;
+        const T& value = in[p][g - starts[p]];
+        bytes += ApproxShuffleBytes(value);
+        if (may_move) {
+          // Sole ownership of an expiring Dataset: no other handle can
+          // observe the source partitions, so cannibalizing them is safe.
+          out[target].push_back(std::move(const_cast<T&>(value)));
+        } else {
+          out[target].push_back(value);
+        }
+      }
+      partial_bytes[target] = bytes;
+    });
+    uint64_t bytes = 0;
+    for (uint64_t partial : partial_bytes) bytes += partial;
+    ctx_->metrics().AddShuffle(total, bytes);
+    return FromPartitions(ctx_, std::move(out));
+  }
+
   std::shared_ptr<ExecutionContext> ctx_;
   std::shared_ptr<const Partitions> parts_;
 };

@@ -23,6 +23,8 @@ ExecutionContext::ExecutionContext(int num_workers)
 }
 
 ExecutionContext::~ExecutionContext() {
+  // RunParallel blocks its caller until the job drains, so no job can still
+  // be in flight when the owner destroys the context.
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
@@ -31,21 +33,38 @@ ExecutionContext::~ExecutionContext() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ExecutionContext::WorkerLoop() {
+size_t ExecutionContext::RunChunks(ParallelJob* job) {
+  size_t processed = 0;
   for (;;) {
-    std::function<void()> task;
+    size_t start = job->next.fetch_add(job->chunk, std::memory_order_relaxed);
+    if (start >= job->count) break;
+    size_t end = std::min(start + job->chunk, job->count);
+    for (size_t i = start; i < end; ++i) (*job->fn)(i);
+    processed += end - start;
+  }
+  return processed;
+}
+
+void ExecutionContext::WorkerLoop() {
+  std::shared_ptr<ParallelJob> last;
+  for (;;) {
+    std::shared_ptr<ParallelJob> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // shutdown with drained queue
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      work_cv_.wait(lock, [&] { return shutdown_ || job_ != last; });
+      if (shutdown_) return;
+      job = job_;
+      last = job;
     }
-    task();
-    {
+    size_t processed = RunChunks(job.get());
+    if (processed > 0 &&
+        job->done.fetch_add(processed, std::memory_order_acq_rel) +
+                processed ==
+            job->count) {
+      // Notify under the lock so the driver can't check the predicate and
+      // sleep between our fetch_add and the notify.
       std::lock_guard<std::mutex> lock(mu_);
-      --outstanding_;
-      if (outstanding_ == 0) done_cv_.notify_all();
+      done_cv_.notify_all();
     }
   }
 }
@@ -58,16 +77,28 @@ void ExecutionContext::RunParallel(size_t count,
     for (size_t i = 0; i < count; ++i) fn(i);
     return;
   }
+  auto job = std::make_shared<ParallelJob>();
+  job->fn = &fn;
+  job->count = count;
+  // ~8 chunks per worker: coarse enough that tiny partitions amortize the
+  // claim fetch_add, fine enough that skewed ones still rebalance.
+  job->chunk =
+      std::max<size_t>(1, count / (static_cast<size_t>(num_workers_) * 8));
   {
     std::lock_guard<std::mutex> lock(mu_);
-    outstanding_ += count;
-    for (size_t i = 0; i < count; ++i) {
-      tasks_.push([&fn, i] { fn(i); });
-    }
+    job_ = job;
   }
   work_cv_.notify_all();
+
+  // The driver claims chunks too instead of idling.
+  size_t processed = RunChunks(job.get());
+  if (processed > 0) {
+    job->done.fetch_add(processed, std::memory_order_acq_rel);
+  }
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  done_cv_.wait(lock, [&] {
+    return job->done.load(std::memory_order_acquire) == job->count;
+  });
 }
 
 }  // namespace st4ml

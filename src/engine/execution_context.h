@@ -7,7 +7,6 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -50,6 +49,13 @@ class EngineMetrics {
 
 /// A process-local stand-in for a Spark context: owns the worker pool every
 /// Dataset operation fans out on, and the engine metrics.
+///
+/// Dispatch is chunked, not queued: a RunParallel call publishes ONE job
+/// (fn, count, chunk size) and workers claim index ranges off an atomic
+/// counter. Thousands of one-partition tasks therefore cost a handful of
+/// fetch_adds instead of thousands of mutex-protected queue operations, and
+/// a worker that finishes its range immediately steals the next unclaimed
+/// one — skewed partitions rebalance without any per-task allocation.
 class ExecutionContext : public std::enable_shared_from_this<ExecutionContext> {
  public:
   /// `Create()` sizes the pool to the hardware; `Create(n)` forces n workers.
@@ -65,13 +71,29 @@ class ExecutionContext : public std::enable_shared_from_this<ExecutionContext> {
   EngineMetrics& metrics() { return metrics_; }
 
   /// Runs `fn(0) .. fn(count - 1)` across the pool and blocks until all
-  /// finish. `fn` must not itself call RunParallel on the same context.
+  /// finish. The calling thread participates in the claim loop, so even a
+  /// one-worker pool overlaps nothing but loses nothing. `fn` must not
+  /// itself call RunParallel on the same context.
   void RunParallel(size_t count, const std::function<void(size_t)>& fn);
 
  private:
+  /// One published parallel-for. Heap-allocated per RunParallel call and
+  /// kept alive by the shared_ptr each participating thread copies, so a
+  /// worker that wakes late for a finished job claims nothing and never
+  /// touches a successor job's counters.
+  struct ParallelJob {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t count = 0;
+    size_t chunk = 1;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+  };
+
   explicit ExecutionContext(int num_workers);
 
   void WorkerLoop();
+  /// Claims chunks of `job` until none remain; returns indices processed.
+  static size_t RunChunks(ParallelJob* job);
 
   int num_workers_;
   EngineMetrics metrics_;
@@ -79,8 +101,7 @@ class ExecutionContext : public std::enable_shared_from_this<ExecutionContext> {
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  std::queue<std::function<void()>> tasks_;
-  size_t outstanding_ = 0;
+  std::shared_ptr<ParallelJob> job_;  // current job; published under mu_
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };
