@@ -37,7 +37,7 @@ void AblateSelectionOrder(const BenchEnv& env) {
       MakeShapedQueries(env.nyc_extent, env.nyc_range, 0.4, 14 * 86400, 3, 5);
 
   // ST4ML: load + filter, then ST-partition the selected subset.
-  env.ctx->metrics().Reset();
+  env.ctx->ResetMetrics();
   double t_select_first = TimeIt([&] {
     for (const STBox& q : queries) {
       SelectorOptions options;
@@ -47,13 +47,13 @@ void AblateSelectionOrder(const BenchEnv& env) {
       ST4ML_CHECK(result.ok());
     }
   });
-  uint64_t sf_records = env.ctx->metrics().shuffle_records();
-  uint64_t sf_bytes = env.ctx->metrics().shuffle_bytes();
+  uint64_t sf_records = env.ctx->MetricsSnapshot().shuffle_records();
+  uint64_t sf_bytes = env.ctx->MetricsSnapshot().shuffle_bytes();
   table.AddRow({"select-first (ST4ML)", FmtSeconds(t_select_first),
                 FmtCount(sf_records), FmtMb(sf_bytes)});
 
   // Conventional: ST-partition everything, then filter.
-  env.ctx->metrics().Reset();
+  env.ctx->ResetMetrics();
   double t_partition_first = TimeIt([&] {
     for (const STBox& q : queries) {
       SelectorOptions load_opts;
@@ -75,8 +75,8 @@ void AblateSelectionOrder(const BenchEnv& env) {
           .Count();
     }
   });
-  uint64_t pf_records = env.ctx->metrics().shuffle_records();
-  uint64_t pf_bytes = env.ctx->metrics().shuffle_bytes();
+  uint64_t pf_records = env.ctx->MetricsSnapshot().shuffle_records();
+  uint64_t pf_bytes = env.ctx->MetricsSnapshot().shuffle_bytes();
   table.AddRow({"partition-first (conventional)",
                 FmtSeconds(t_partition_first), FmtCount(pf_records),
                 FmtMb(pf_bytes)});
@@ -100,7 +100,7 @@ void AblateConversionDesign(const BenchEnv& env) {
     return static_cast<int64_t>(arr.size());
   };
 
-  env.ctx->metrics().Reset();
+  env.ctx->ResetMetrics();
   int64_t total_broadcast = 0;
   double t_broadcast = TimeIt([&] {
     Event2SmConverter<STEvent> converter(structure);
@@ -110,10 +110,10 @@ void AblateConversionDesign(const BenchEnv& env) {
     for (size_t i = 0; i < merged.size(); ++i) total_broadcast += merged.value(i);
   });
   table.AddRow({"broadcast structure (ST4ML)", FmtSeconds(t_broadcast),
-                FmtCount(env.ctx->metrics().shuffle_records()),
-                FmtCount(env.ctx->metrics().broadcasts())});
+                FmtCount(env.ctx->MetricsSnapshot().shuffle_records()),
+                FmtCount(env.ctx->MetricsSnapshot().broadcasts())});
 
-  env.ctx->metrics().Reset();
+  env.ctx->ResetMetrics();
   int64_t total_shuffle = 0;
   double t_shuffle = TimeIt([&] {
     SpatialMap<int64_t> merged = ConvertToSpatialMapByShuffle(
@@ -123,8 +123,8 @@ void AblateConversionDesign(const BenchEnv& env) {
     for (size_t i = 0; i < merged.size(); ++i) total_shuffle += merged.value(i);
   });
   table.AddRow({"shuffle by cell (rejected)", FmtSeconds(t_shuffle),
-                FmtCount(env.ctx->metrics().shuffle_records()),
-                FmtCount(env.ctx->metrics().broadcasts())});
+                FmtCount(env.ctx->MetricsSnapshot().shuffle_records()),
+                FmtCount(env.ctx->MetricsSnapshot().broadcasts())});
   table.Print();
   ST4ML_CHECK(total_broadcast == total_shuffle)
       << "designs disagree: " << total_broadcast << " vs " << total_shuffle;
@@ -144,16 +144,16 @@ void AblateOperatorChoice(const BenchEnv& env) {
     return std::pair<int64_t, int64_t>(r.time / 3600, 1);
   });
 
-  env.ctx->metrics().Reset();
+  env.ctx->ResetMetrics();
   double t_reduce = TimeIt([&] {
     ReduceByKey<int64_t, int64_t>(
         keyed, [](const int64_t& a, const int64_t& b) { return a + b; })
         .Count();
   });
   table.AddRow({"reduceByKey(_+_)", FmtSeconds(t_reduce),
-                FmtCount(env.ctx->metrics().shuffle_records())});
+                FmtCount(env.ctx->MetricsSnapshot().shuffle_records())});
 
-  env.ctx->metrics().Reset();
+  env.ctx->ResetMetrics();
   double t_group = TimeIt([&] {
     auto grouped = GroupByKey<int64_t, int64_t>(keyed);
     grouped
@@ -165,7 +165,7 @@ void AblateOperatorChoice(const BenchEnv& env) {
         .Count();
   });
   table.AddRow({"groupByKey.mapValues(_.sum)", FmtSeconds(t_group),
-                FmtCount(env.ctx->metrics().shuffle_records())});
+                FmtCount(env.ctx->MetricsSnapshot().shuffle_records())});
   table.Print();
 }
 

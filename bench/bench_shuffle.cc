@@ -56,7 +56,8 @@ Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds,
     records += part.size();
     for (const auto& kv : part) bytes += ApproxShuffleBytes(kv);
   }
-  ctx->metrics().AddShuffle(records, bytes);
+  internal::Counters(*ctx).AddShuffle(ShuffleOp::kReduceByKey, records,
+                                      bytes);
 
   typename Dataset<std::pair<K, V>>::Partitions out(n);
   ctx->RunParallel(n, [&](size_t target) {
@@ -91,7 +92,8 @@ Dataset<std::pair<K, std::vector<V>>> GroupByKey(
     records += ds.partition(p).size();
     for (const auto& kv : ds.partition(p)) bytes += ApproxShuffleBytes(kv);
   }
-  ctx->metrics().AddShuffle(records, bytes);
+  internal::Counters(*ctx).AddShuffle(ShuffleOp::kGroupByKey, records,
+                                      bytes);
 
   typename Dataset<std::pair<K, std::vector<V>>>::Partitions out(n);
   ctx->RunParallel(n, [&](size_t target) {
@@ -124,7 +126,8 @@ Dataset<T> Repartition(const Dataset<T>& ds, size_t num_partitions) {
       next = (next + 1) % num_partitions;
     }
   }
-  ctx->metrics().AddShuffle(records, bytes);
+  internal::Counters(*ctx).AddShuffle(ShuffleOp::kRepartition, records,
+                                      bytes);
   return Dataset<T>::FromPartitions(ctx, std::move(out));
 }
 
@@ -152,13 +155,13 @@ Measurement Measure(const std::shared_ptr<ExecutionContext>& ctx, int reps,
                     Op op) {
   Measurement m;
   for (int r = 0; r < reps; ++r) {
-    ctx->metrics().Reset();
+    ctx->ResetMetrics();
     Stopwatch watch;
     op();
     double secs = watch.ElapsedSeconds();
     if (r == 0 || secs < m.seconds) m.seconds = secs;
-    m.shuffle_records = ctx->metrics().shuffle_records();
-    m.shuffle_bytes = ctx->metrics().shuffle_bytes();
+    m.shuffle_records = ctx->MetricsSnapshot().shuffle_records();
+    m.shuffle_bytes = ctx->MetricsSnapshot().shuffle_bytes();
   }
   return m;
 }

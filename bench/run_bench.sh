@@ -19,5 +19,16 @@ if [ ! -x "$bench_bin" ]; then
 fi
 
 out="$repo_root/BENCH_shuffle.json"
-"$bench_bin" "$@" | tee "$out"
+tmp="$out.tmp.$$"
+# POSIX sh has no pipefail, so `bench | tee` would swallow a bench failure
+# and leave a silently-truncated BENCH_shuffle.json. Write to a temp file,
+# check the bench's own exit status, and only then publish.
+"$bench_bin" "$@" > "$tmp" || {
+  status=$?
+  rm -f "$tmp"
+  echo "bench_shuffle failed (exit $status); $out left untouched" >&2
+  exit "$status"
+}
+mv "$tmp" "$out"
+cat "$out"
 echo "wrote $out" >&2

@@ -19,8 +19,20 @@ int main() {
   auto grid = std::make_shared<SpatialStructure>(
       SpatialStructure::Grid(gen.extent, 8, 8));
   SpatialMapConverter<STTrajectory> converter(grid);
-  SpatialMap<double> speed = ExtractSmSpeed(converter.Convert(trajs),
-                                            SpeedUnit::kKilometersPerHour);
+  Pipeline pipeline(ctx, "grid_speed");
+  auto cells = pipeline.Run(
+      "conversion",
+      [&](const Dataset<STTrajectory>& parsed) {
+        return converter.Convert(parsed);
+      },
+      trajs);
+  SpatialMap<double> speed = pipeline.Run(
+      "extraction",
+      [](const Dataset<SpatialMap<std::vector<STTrajectory>>>& converted) {
+        return ExtractSmSpeed(converted, SpeedUnit::kKilometersPerHour);
+      },
+      cells);
+  pipeline.Finish();
 
   for (size_t row = 0; row < 8; ++row) {
     for (size_t col = 0; col < 8; ++col) {
@@ -29,6 +41,6 @@ int main() {
     std::printf("\n");
   }
   std::printf("cells: %zu, broadcasts: %llu\n", speed.size(),
-              static_cast<unsigned long long>(ctx->metrics().broadcasts()));
+              static_cast<unsigned long long>(ctx->MetricsSnapshot().broadcasts()));
   return 0;
 }

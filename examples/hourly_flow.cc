@@ -27,11 +27,17 @@ int main() {
     return 1;
   }
 
-  // Selection: one city-scale day.
+  // The three paper stages, each under a Pipeline stage span — with a
+  // tracer attached (none here) the trace nests pipeline → stage →
+  // operation → task automatically.
   STBox query(gen.extent,
               Duration(gen.range.start(), gen.range.start() + 86400));
   Selector<EventRecord> selector(ctx, query);
-  auto selected = selector.Select(dir, dir + "/index.meta");
+  Pipeline pipeline(ctx, "hourly_flow");
+
+  // Selection: one city-scale day.
+  auto selected = pipeline.Run(
+      "selection", [&] { return selector.Select(dir, dir + "/index.meta"); });
   if (!selected.ok()) {
     std::fprintf(stderr, "%s\n", selected.status().ToString().c_str());
     return 1;
@@ -41,8 +47,17 @@ int main() {
   auto structure = std::make_shared<TemporalStructure>(
       TemporalStructure::RegularByInterval(query.time, 3600));
   TimeSeriesConverter<STEvent> converter(structure);
-  TimeSeries<int64_t> flow =
-      ExtractTsFlow(converter.Convert(ParseEvents(*selected)));
+  auto series = pipeline.Run(
+      "conversion",
+      [&](const Dataset<STEvent>& events) { return converter.Convert(events); },
+      ParseEvents(*selected));
+  TimeSeries<int64_t> flow = pipeline.Run(
+      "extraction",
+      [](const Dataset<TimeSeries<std::vector<STEvent>>>& binned) {
+        return ExtractTsFlow(binned);
+      },
+      series);
+  pipeline.Finish();
 
   for (size_t i = 0; i < flow.size(); ++i) {
     std::printf("hour %02zu: %lld events\n", i,

@@ -35,6 +35,9 @@ auto ConvertToSpatialMapByShuffle(
   ci::AssertSingular<T>();
   using R = std::decay_t<std::invoke_result_t<AggFn, const std::vector<T>&>>;
   ST4ML_CHECK(structure != nullptr) << "null spatial structure";
+  ScopedSpan op(data.context()->tracer(), span_category::kOperation,
+                "convert_to_spatial_map_by_shuffle");
+  op.AddArg("records_in", data.Count());
 
   auto keyed = data.FlatMap(
       [structure](const T& item) {
@@ -74,6 +77,7 @@ auto ConvertToSpatialMapByShuffle(
       values.push_back(agg(empty));
     }
   }
+  op.AddArg("cells_out", values.size());
   return SpatialMap<R>(structure, std::move(values));
 }
 

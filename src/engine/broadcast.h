@@ -37,7 +37,7 @@ class Broadcast {
 template <typename T>
 Broadcast<T> MakeBroadcast(const std::shared_ptr<ExecutionContext>& ctx,
                            T value) {
-  ctx->metrics().AddBroadcast();
+  internal::Counters(*ctx).AddBroadcast();
   return Broadcast<T>(std::make_shared<const T>(std::move(value)));
 }
 

@@ -94,7 +94,7 @@ class Dataset {
   template <typename F>
   auto Map(F fn) const {
     using U = std::decay_t<decltype(fn(std::declval<const T&>()))>;
-    return MapPartitions([fn](const std::vector<T>& part) {
+    return MapPartitions("map", [fn](const std::vector<T>& part) {
       std::vector<U> out;
       out.reserve(part.size());
       for (const T& value : part) out.push_back(fn(value));
@@ -104,7 +104,7 @@ class Dataset {
 
   template <typename F>
   Dataset<T> Filter(F pred) const {
-    return MapPartitions([pred](const std::vector<T>& part) {
+    return MapPartitions("filter", [pred](const std::vector<T>& part) {
       std::vector<T> out;
       for (const T& value : part) {
         if (pred(value)) out.push_back(value);
@@ -116,35 +116,30 @@ class Dataset {
   /// `fn` maps one element to a container of output elements.
   template <typename F>
   auto FlatMap(F fn) const {
-    using Container = std::decay_t<decltype(fn(std::declval<const T&>()))>;
-    using U = typename Container::value_type;
-    return MapPartitions([fn](const std::vector<T>& part) {
-      std::vector<U> out;
-      for (const T& value : part) {
-        Container produced = fn(value);
-        for (auto& element : produced) out.push_back(std::move(element));
-      }
-      return out;
-    });
+    return FlatMapNamed("flat_map", fn);
   }
 
-  /// Named variant; the name labels the stage for debugging only.
+  /// Named variant; the name labels the operation span when tracing is on.
   template <typename F>
   auto FlatMap(F fn, const std::string& stage_name) const {
-    (void)stage_name;
-    return FlatMap(fn);
+    return FlatMapNamed(stage_name.c_str(), fn);
   }
 
   /// `fn` maps a whole partition to a vector of outputs; the workhorse every
-  /// other transform lowers to.
+  /// other transform lowers to. `name` labels the operation span.
   template <typename F>
   auto MapPartitions(F fn) const {
+    return MapPartitions("map_partitions", fn);
+  }
+
+  template <typename F>
+  auto MapPartitions(const char* name, F fn) const {
     using OutVec = std::decay_t<decltype(fn(std::declval<const std::vector<T>&>()))>;
     using U = typename OutVec::value_type;
     ST4ML_CHECK(parts_ != nullptr) << "transform on an empty Dataset";
     typename Dataset<U>::Partitions out(parts_->size());
     const Partitions& in = *parts_;
-    ctx_->RunParallel(in.size(),
+    ctx_->RunParallel(name, in.size(),
                       [&](size_t p) { out[p] = fn(in[p]); });
     return Dataset<U>::FromPartitions(ctx_, std::move(out));
   }
@@ -191,7 +186,7 @@ class Dataset {
     if (!parts_) return zero;
     std::vector<Acc> partials(parts_->size(), zero);
     const Partitions& in = *parts_;
-    ctx_->RunParallel(in.size(), [&](size_t p) {
+    ctx_->RunParallel("aggregate", in.size(), [&](size_t p) {
       Acc acc = std::move(partials[p]);
       for (const T& value : in[p]) acc = seq_op(std::move(acc), value);
       partials[p] = std::move(acc);
@@ -223,6 +218,22 @@ class Dataset {
   }
 
  private:
+  /// Adds a FlatMap under an explicit operation-span name. Private so the
+  /// public surface stays the two FlatMap spellings above.
+  template <typename F>
+  auto FlatMapNamed(const char* name, F fn) const {
+    using Container = std::decay_t<decltype(fn(std::declval<const T&>()))>;
+    using U = typename Container::value_type;
+    return MapPartitions(name, [fn](const std::vector<T>& part) {
+      std::vector<U> out;
+      for (const T& value : part) {
+        Container produced = fn(value);
+        for (auto& element : produced) out.push_back(std::move(element));
+      }
+      return out;
+    });
+  }
+
   Dataset<T> RepartitionImpl(size_t num_partitions, bool may_move) const {
     ST4ML_CHECK(num_partitions > 0) << "num_partitions must be positive";
     ST4ML_CHECK(parts_ != nullptr) << "transform on an empty Dataset";
@@ -234,6 +245,7 @@ class Dataset {
     }
     const size_t total = starts.back();
     Partitions out(num_partitions);
+    ScopedSpan op(ctx_->tracer(), span_category::kOperation, "repartition");
     if (ctx_->num_workers() == 1) {
       // Sequential deal: with no parallelism to win, the streaming pass
       // beats the strided per-target pulls below on cache behavior.
@@ -253,11 +265,14 @@ class Dataset {
           next = (next + 1) % num_partitions;
         }
       }
-      ctx_->metrics().AddShuffle(total, seq_bytes);
+      internal::Counters(*ctx_).AddShuffle(ShuffleOp::kRepartition, total,
+                                           seq_bytes);
+      op.AddArg("records", total);
+      op.AddArg("bytes", seq_bytes);
       return FromPartitions(ctx_, std::move(out));
     }
     std::vector<uint64_t> partial_bytes(num_partitions, 0);
-    ctx_->RunParallel(num_partitions, [&](size_t target) {
+    ctx_->RunParallel("repartition/scatter", num_partitions, [&](size_t target) {
       size_t count =
           total > target ? (total - target - 1) / num_partitions + 1 : 0;
       out[target].reserve(count);
@@ -279,7 +294,10 @@ class Dataset {
     });
     uint64_t bytes = 0;
     for (uint64_t partial : partial_bytes) bytes += partial;
-    ctx_->metrics().AddShuffle(total, bytes);
+    internal::Counters(*ctx_).AddShuffle(ShuffleOp::kRepartition, total,
+                                         bytes);
+    op.AddArg("records", total);
+    op.AddArg("bytes", bytes);
     return FromPartitions(ctx_, std::move(out));
   }
 

@@ -39,7 +39,16 @@ size_t ExecutionContext::RunChunks(ParallelJob* job) {
     size_t start = job->next.fetch_add(job->chunk, std::memory_order_relaxed);
     if (start >= job->count) break;
     size_t end = std::min(start + job->chunk, job->count);
-    for (size_t i = start; i < end; ++i) (*job->fn)(i);
+    job->counters->Add(Counter::kChunkClaims, 1);
+    if (job->tracer != nullptr) {
+      ScopedSpan task(job->tracer, span_category::kTask, "chunk",
+                      job->op_span);
+      task.AddArg("first_index", start);
+      task.AddArg("num_indices", end - start);
+      for (size_t i = start; i < end; ++i) (*job->fn)(i);
+    } else {
+      for (size_t i = start; i < end; ++i) (*job->fn)(i);
+    }
     processed += end - start;
   }
   return processed;
@@ -69,12 +78,25 @@ void ExecutionContext::WorkerLoop() {
   }
 }
 
-void ExecutionContext::RunParallel(size_t count,
+void ExecutionContext::RunParallel(const char* name, size_t count,
                                    const std::function<void(size_t)>& fn) {
   if (count == 0) return;
+  counters_.Add(Counter::kParallelJobs, 1);
+  Tracer* tracer = this->tracer();
+  ScopedSpan op(tracer, span_category::kOperation, name);
   if (count == 1 || num_workers_ == 1) {
-    // Run inline: no handoff latency, and safe under re-entrancy.
-    for (size_t i = 0; i < count; ++i) fn(i);
+    // Run inline: no handoff latency, and safe under re-entrancy. Counted
+    // as one claimed chunk so traced/untraced and pooled/inline runs agree
+    // on what a "claim" is per job shape.
+    counters_.Add(Counter::kChunkClaims, 1);
+    if (tracer != nullptr) {
+      ScopedSpan task(tracer, span_category::kTask, "chunk", op.id());
+      task.AddArg("first_index", 0);
+      task.AddArg("num_indices", count);
+      for (size_t i = 0; i < count; ++i) fn(i);
+    } else {
+      for (size_t i = 0; i < count; ++i) fn(i);
+    }
     return;
   }
   auto job = std::make_shared<ParallelJob>();
@@ -84,6 +106,9 @@ void ExecutionContext::RunParallel(size_t count,
   // claim fetch_add, fine enough that skewed ones still rebalance.
   job->chunk =
       std::max<size_t>(1, count / (static_cast<size_t>(num_workers_) * 8));
+  job->counters = &counters_;
+  job->tracer = tracer;
+  job->op_span = op.id();
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = job;

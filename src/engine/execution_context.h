@@ -10,45 +10,25 @@
 #include <thread>
 #include <vector>
 
+#include "observability/counters.h"
+#include "observability/tracer.h"
+
 namespace st4ml {
 
-/// Counters the engine bumps on every shuffle and broadcast. The ablation
-/// benchmarks read these to show the paper's Table-6 point: conversion by
-/// broadcast R-tree moves (almost) no records, conversion by shuffle moves
-/// all of them.
-class EngineMetrics {
- public:
-  void Reset() {
-    shuffle_records_.store(0, std::memory_order_relaxed);
-    shuffle_bytes_.store(0, std::memory_order_relaxed);
-    broadcasts_.store(0, std::memory_order_relaxed);
-  }
+class ExecutionContext;
 
-  void AddShuffle(uint64_t records, uint64_t bytes) {
-    shuffle_records_.fetch_add(records, std::memory_order_relaxed);
-    shuffle_bytes_.fetch_add(bytes, std::memory_order_relaxed);
-  }
-
-  void AddBroadcast() { broadcasts_.fetch_add(1, std::memory_order_relaxed); }
-
-  uint64_t shuffle_records() const {
-    return shuffle_records_.load(std::memory_order_relaxed);
-  }
-  uint64_t shuffle_bytes() const {
-    return shuffle_bytes_.load(std::memory_order_relaxed);
-  }
-  uint64_t broadcasts() const {
-    return broadcasts_.load(std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<uint64_t> shuffle_records_{0};
-  std::atomic<uint64_t> shuffle_bytes_{0};
-  std::atomic<uint64_t> broadcasts_{0};
-};
+namespace internal {
+/// The engine-internal mutable path to the context's counters. Library
+/// operators (shuffles, broadcast, selection I/O) account through this;
+/// applications, tests and benches read via ExecutionContext::
+/// MetricsSnapshot() and reset via ResetMetrics() — there is deliberately
+/// no public mutable accessor.
+CounterRegistry& Counters(ExecutionContext& ctx);
+}  // namespace internal
 
 /// A process-local stand-in for a Spark context: owns the worker pool every
-/// Dataset operation fans out on, and the engine metrics.
+/// Dataset operation fans out on, the engine counters, and (optionally) the
+/// tracer.
 ///
 /// Dispatch is chunked, not queued: a RunParallel call publishes ONE job
 /// (fn, count, chunk size) and workers claim index ranges off an atomic
@@ -56,6 +36,13 @@ class EngineMetrics {
 /// fetch_adds instead of thousands of mutex-protected queue operations, and
 /// a worker that finishes its range immediately steals the next unclaimed
 /// one — skewed partitions rebalance without any per-task allocation.
+///
+/// Observability: with a tracer attached (set_tracer), every RunParallel
+/// call records an operation span and each claimed chunk a task span, both
+/// parented under the driver's current span — so a Pipeline stage nests
+/// stage → operation → task. With no tracer (the default) the only cost is
+/// a null-pointer check per operation plus the chunk-claim counter, which
+/// is bumped either way so traced and untraced runs snapshot identically.
 class ExecutionContext : public std::enable_shared_from_this<ExecutionContext> {
  public:
   /// `Create()` sizes the pool to the hardware; `Create(n)` forces n workers.
@@ -68,13 +55,34 @@ class ExecutionContext : public std::enable_shared_from_this<ExecutionContext> {
   ExecutionContext& operator=(const ExecutionContext&) = delete;
 
   int num_workers() const { return num_workers_; }
-  EngineMetrics& metrics() { return metrics_; }
+
+  /// An atomic, thread-safe copy of every engine counter. This is the ONLY
+  /// way to read metrics; mutation is engine-internal (internal::Counters).
+  st4ml::MetricsSnapshot MetricsSnapshot() const {
+    return counters_.Snapshot();
+  }
+
+  /// Zeroes every counter (benchmark harnesses between measured runs).
+  void ResetMetrics() { counters_.Reset(); }
+
+  /// Attaches (or, with nullptr, detaches) a tracer. The context keeps the
+  /// tracer alive; instrumentation sites read the raw pointer.
+  void set_tracer(std::shared_ptr<Tracer> tracer) {
+    tracer_owned_ = std::move(tracer);
+    tracer_.store(tracer_owned_.get(), std::memory_order_release);
+  }
+  Tracer* tracer() const { return tracer_.load(std::memory_order_acquire); }
 
   /// Runs `fn(0) .. fn(count - 1)` across the pool and blocks until all
   /// finish. The calling thread participates in the claim loop, so even a
   /// one-worker pool overlaps nothing but loses nothing. `fn` must not
-  /// itself call RunParallel on the same context.
-  void RunParallel(size_t count, const std::function<void(size_t)>& fn);
+  /// itself call RunParallel on the same context. `name` labels the
+  /// operation span when tracing is enabled.
+  void RunParallel(size_t count, const std::function<void(size_t)>& fn) {
+    RunParallel("parallel_for", count, fn);
+  }
+  void RunParallel(const char* name, size_t count,
+                   const std::function<void(size_t)>& fn);
 
  private:
   /// One published parallel-for. Heap-allocated per RunParallel call and
@@ -87,6 +95,9 @@ class ExecutionContext : public std::enable_shared_from_this<ExecutionContext> {
     size_t chunk = 1;
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
+    CounterRegistry* counters = nullptr;
+    Tracer* tracer = nullptr;  // null when tracing is off
+    uint64_t op_span = 0;      // parent for task spans
   };
 
   explicit ExecutionContext(int num_workers);
@@ -95,8 +106,12 @@ class ExecutionContext : public std::enable_shared_from_this<ExecutionContext> {
   /// Claims chunks of `job` until none remain; returns indices processed.
   static size_t RunChunks(ParallelJob* job);
 
+  friend CounterRegistry& internal::Counters(ExecutionContext& ctx);
+
   int num_workers_;
-  EngineMetrics metrics_;
+  CounterRegistry counters_;
+  std::shared_ptr<Tracer> tracer_owned_;
+  std::atomic<Tracer*> tracer_{nullptr};
 
   std::mutex mu_;
   std::condition_variable work_cv_;
@@ -105,6 +120,12 @@ class ExecutionContext : public std::enable_shared_from_this<ExecutionContext> {
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };
+
+namespace internal {
+inline CounterRegistry& Counters(ExecutionContext& ctx) {
+  return ctx.counters_;
+}
+}  // namespace internal
 
 }  // namespace st4ml
 

@@ -125,12 +125,13 @@ Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds,
   size_t n = ds.num_partitions();
   if (n == 0) return ds;
   const auto& ctx = ds.context();
+  ScopedSpan op(ctx->tracer(), span_category::kOperation, "reduce_by_key");
 
   // Map side: combine, bucket by target, and account shuffle volume.
   std::vector<internal::BucketedPartition<K, V>> bucketed(n);
   std::vector<uint64_t> partial_records(n, 0);
   std::vector<uint64_t> partial_bytes(n, 0);
-  ctx->RunParallel(n, [&](size_t p) {
+  ctx->RunParallel("reduce_by_key/map", n, [&](size_t p) {
     const auto& part = ds.partition(p);
     std::vector<std::pair<K, V>> combined;
     if constexpr (internal::kOrderedKey<K>) {
@@ -165,7 +166,9 @@ Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds,
     records += partial_records[p];
     bytes += partial_bytes[p];
   }
-  ctx->metrics().AddShuffle(records, bytes);
+  internal::Counters(*ctx).AddShuffle(ShuffleOp::kReduceByKey, records, bytes);
+  op.AddArg("records", records);
+  op.AddArg("bytes", bytes);
 
   // Target side: reduce over this target's buckets only, visiting source
   // partitions in ascending order. Buckets hold at most one pair per key
@@ -173,7 +176,7 @@ Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds,
   // in source partition order — the same reduce sequence the rescan shuffle
   // produced — and the final key sort (unique keys) pins the output.
   typename Dataset<std::pair<K, V>>::Partitions out(n);
-  ctx->RunParallel(n, [&](size_t target) {
+  ctx->RunParallel("reduce_by_key/merge", n, [&](size_t target) {
     if constexpr (internal::kOrderedKey<K>) {
       size_t bound = 0;
       for (const auto& b : bucketed) bound += b.bucket_size(target);
@@ -222,10 +225,11 @@ Dataset<std::pair<K, std::vector<V>>> GroupByKey(
   size_t n = ds.num_partitions();
   const auto& ctx = ds.context();
   if (n == 0) return Dataset<std::pair<K, std::vector<V>>>();
+  ScopedSpan op(ctx->tracer(), span_category::kOperation, "group_by_key");
 
   std::vector<internal::BucketedPartition<K, V>> bucketed(n);
   std::vector<uint64_t> partial_bytes(n, 0);
-  ctx->RunParallel(n, [&](size_t p) {
+  ctx->RunParallel("group_by_key/bucket", n, [&](size_t p) {
     const auto& part = ds.partition(p);
     uint64_t bytes = 0;
     for (const auto& kv : part) bytes += ApproxShuffleBytes(kv);
@@ -239,10 +243,12 @@ Dataset<std::pair<K, std::vector<V>>> GroupByKey(
     records += ds.partition(p).size();
     bytes += partial_bytes[p];
   }
-  ctx->metrics().AddShuffle(records, bytes);
+  internal::Counters(*ctx).AddShuffle(ShuffleOp::kGroupByKey, records, bytes);
+  op.AddArg("records", records);
+  op.AddArg("bytes", bytes);
 
   typename Dataset<std::pair<K, std::vector<V>>>::Partitions out(n);
-  ctx->RunParallel(n, [&](size_t target) {
+  ctx->RunParallel("group_by_key/merge", n, [&](size_t target) {
     if constexpr (internal::kOrderedKey<K>) {
       // Two passes so every group vector is allocated exactly once at its
       // final size: the first sweep maps keys to dense indices (insertion

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <utility>
 
+#include "engine/execution_context.h"
+
 namespace st4ml {
 
 /// Unit of the speeds reported by the speed extractors.
@@ -46,19 +48,36 @@ template <typename Fn>
 class FunctionExtractor {
  public:
   explicit FunctionExtractor(Fn fn) : fn_(std::move(fn)) {}
+  FunctionExtractor(const char* name, Fn fn)
+      : fn_(std::move(fn)), name_(name) {}
 
+  /// When the input exposes an ExecutionContext (a Dataset does; plain
+  /// collective structures don't), the call runs under an operation span
+  /// named after the extractor.
   template <typename In>
   auto Extract(const In& rdd) const {
-    return fn_(rdd);
+    if constexpr (requires { rdd.context()->tracer(); }) {
+      ScopedSpan op(rdd.context()->tracer(), span_category::kOperation, name_);
+      return fn_(rdd);
+    } else {
+      return fn_(rdd);
+    }
   }
 
  private:
   Fn fn_;
+  const char* name_ = "extract";
 };
 
 template <typename Fn>
 FunctionExtractor<Fn> MakeExtractor(Fn fn) {
   return FunctionExtractor<Fn>(std::move(fn));
+}
+
+/// Named variant: the name labels the extractor's operation span.
+template <typename Fn>
+FunctionExtractor<Fn> MakeExtractor(const char* name, Fn fn) {
+  return FunctionExtractor<Fn>(name, std::move(fn));
 }
 
 }  // namespace st4ml

@@ -1,0 +1,182 @@
+#ifndef ST4ML_OBSERVABILITY_COUNTERS_H_
+#define ST4ML_OBSERVABILITY_COUNTERS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace st4ml {
+
+/// Every counter the engine maintains, one fixed slot each. The registry is
+/// a flat array of atomics, so adding a counter costs one relaxed fetch_add
+/// and a snapshot is a plain loop — no maps, no strings, no locks.
+///
+/// Semantics:
+///  - The kShuffle* totals are the legacy EngineMetrics accounting: records
+///    and ApproxShuffleBytes that crossed a partition boundary, summed over
+///    every operator. The per-operator kShuffle*<Op> slots partition those
+///    totals exactly (totals == sum over operators, by construction).
+///  - kStpqBytes{Read,Written} count the on-disk STPQ bytes actually
+///    consumed/produced, headers included.
+///  - kPartitions{Pruned,Scanned} count whole files the on-disk index
+///    skipped vs opened during selection.
+///  - k{Selection,Conversion,Extraction}RecordsOut are the per-stage record
+///    flow the Pipeline facade maintains for its canonical stage names.
+///  - kParallelJobs / kChunkClaims count RunParallel calls and successful
+///    chunk claims; both are bumped whether or not tracing is enabled, so a
+///    traced run and an untraced run produce identical snapshots.
+enum class Counter : uint32_t {
+  kShuffleRecords = 0,
+  kShuffleBytes,
+  kBroadcasts,
+  kShuffleRecordsReduceByKey,
+  kShuffleBytesReduceByKey,
+  kShuffleRecordsGroupByKey,
+  kShuffleBytesGroupByKey,
+  kShuffleRecordsRepartition,
+  kShuffleBytesRepartition,
+  kShuffleRecordsStPartition,
+  kShuffleBytesStPartition,
+  kStpqBytesRead,
+  kStpqBytesWritten,
+  kStpqFilesRead,
+  kStpqFilesWritten,
+  kPartitionsPruned,
+  kPartitionsScanned,
+  kSelectionRecordsOut,
+  kSelectionBytesSelected,
+  kConversionRecordsIn,
+  kConversionRecordsOut,
+  kExtractionRecordsIn,
+  kExtractionRecordsOut,
+  kParallelJobs,
+  kChunkClaims,
+  kNumCounters,
+};
+
+inline constexpr size_t kNumCounters =
+    static_cast<size_t>(Counter::kNumCounters);
+
+/// Stable snake_case names, used by the metrics JSON exporter and tests.
+inline const char* CounterName(Counter c) {
+  constexpr const char* kNames[kNumCounters] = {
+      "shuffle_records",
+      "shuffle_bytes",
+      "broadcasts",
+      "shuffle_records_reduce_by_key",
+      "shuffle_bytes_reduce_by_key",
+      "shuffle_records_group_by_key",
+      "shuffle_bytes_group_by_key",
+      "shuffle_records_repartition",
+      "shuffle_bytes_repartition",
+      "shuffle_records_st_partition",
+      "shuffle_bytes_st_partition",
+      "stpq_bytes_read",
+      "stpq_bytes_written",
+      "stpq_files_read",
+      "stpq_files_written",
+      "partitions_pruned",
+      "partitions_scanned",
+      "selection_records_out",
+      "selection_bytes_selected",
+      "conversion_records_in",
+      "conversion_records_out",
+      "extraction_records_in",
+      "extraction_records_out",
+      "parallel_jobs",
+      "chunk_claims",
+  };
+  return kNames[static_cast<size_t>(c)];
+}
+
+/// The shuffle-moving operators, for per-operator byte attribution.
+enum class ShuffleOp : uint32_t {
+  kReduceByKey,
+  kGroupByKey,
+  kRepartition,
+  kStPartition,
+};
+
+/// An immutable, value-typed copy of every counter — what applications,
+/// tests and benches read. Taken atomically slot-by-slot (each slot is
+/// internally consistent; the engine only publishes whole-operation deltas,
+/// so between operations a snapshot is exact).
+struct MetricsSnapshot {
+  std::array<uint64_t, kNumCounters> values{};
+
+  uint64_t operator[](Counter c) const {
+    return values[static_cast<size_t>(c)];
+  }
+
+  // Named spellings of the legacy EngineMetrics trio, so migrated callers
+  // read `snapshot.shuffle_records()` where they read
+  // `metrics().shuffle_records()` before.
+  uint64_t shuffle_records() const { return (*this)[Counter::kShuffleRecords]; }
+  uint64_t shuffle_bytes() const { return (*this)[Counter::kShuffleBytes]; }
+  uint64_t broadcasts() const { return (*this)[Counter::kBroadcasts]; }
+
+  bool operator==(const MetricsSnapshot& other) const {
+    return values == other.values;
+  }
+};
+
+/// The mutable registry behind ExecutionContext::MetricsSnapshot(). Only the
+/// engine writes it (via internal::Counters); everyone else sees snapshots.
+class CounterRegistry {
+ public:
+  void Add(Counter c, uint64_t delta) {
+    values_[static_cast<size_t>(c)].fetch_add(delta,
+                                              std::memory_order_relaxed);
+  }
+
+  /// One shuffle's accounting: bumps the legacy totals and the per-operator
+  /// attribution in lockstep, so totals always equal the per-op sum.
+  void AddShuffle(ShuffleOp op, uint64_t records, uint64_t bytes) {
+    Add(Counter::kShuffleRecords, records);
+    Add(Counter::kShuffleBytes, bytes);
+    switch (op) {
+      case ShuffleOp::kReduceByKey:
+        Add(Counter::kShuffleRecordsReduceByKey, records);
+        Add(Counter::kShuffleBytesReduceByKey, bytes);
+        break;
+      case ShuffleOp::kGroupByKey:
+        Add(Counter::kShuffleRecordsGroupByKey, records);
+        Add(Counter::kShuffleBytesGroupByKey, bytes);
+        break;
+      case ShuffleOp::kRepartition:
+        Add(Counter::kShuffleRecordsRepartition, records);
+        Add(Counter::kShuffleBytesRepartition, bytes);
+        break;
+      case ShuffleOp::kStPartition:
+        Add(Counter::kShuffleRecordsStPartition, records);
+        Add(Counter::kShuffleBytesStPartition, bytes);
+        break;
+    }
+  }
+
+  void AddBroadcast() { Add(Counter::kBroadcasts, 1); }
+
+  void Reset() {
+    for (auto& value : values_) value.store(0, std::memory_order_relaxed);
+  }
+
+  MetricsSnapshot Snapshot() const {
+    MetricsSnapshot snap;
+    for (size_t i = 0; i < kNumCounters; ++i) {
+      snap.values[i] = values_[i].load(std::memory_order_relaxed);
+    }
+    return snap;
+  }
+
+  uint64_t value(Counter c) const {
+    return values_[static_cast<size_t>(c)].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumCounters> values_{};
+};
+
+}  // namespace st4ml
+
+#endif  // ST4ML_OBSERVABILITY_COUNTERS_H_

@@ -1,0 +1,34 @@
+#ifndef ST4ML_OBSERVABILITY_TRACE_EXPORT_H_
+#define ST4ML_OBSERVABILITY_TRACE_EXPORT_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+#include "observability/counters.h"
+#include "observability/tracer.h"
+
+namespace st4ml {
+
+/// Writes the tracer's spans as Chrome trace format JSON — loadable in
+/// chrome://tracing and Perfetto (ui.perfetto.dev). Each span becomes one
+/// complete ("ph":"X") event; `args` carries the span id, parent id, and
+/// every numeric annotation, so the stage → operation → task nesting is
+/// recoverable even across worker-thread rows. Spans still open at export
+/// time are closed at the tracer's current clock.
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path);
+
+/// Writes every counter of the snapshot as one flat JSON object keyed by
+/// CounterName(), e.g. {"shuffle_records":123,...}.
+Status WriteMetricsJson(const MetricsSnapshot& snapshot,
+                        const std::string& path);
+
+/// Prints a per-stage wall-clock/record summary table to `out` (the CLI
+/// tools pass stderr): one row per stage-category span, in start order,
+/// with the span's records arg when present, then the engine totals.
+void PrintStageSummary(const Tracer& tracer, const MetricsSnapshot& snapshot,
+                       std::FILE* out);
+
+}  // namespace st4ml
+
+#endif  // ST4ML_OBSERVABILITY_TRACE_EXPORT_H_

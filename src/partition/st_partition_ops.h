@@ -27,6 +27,8 @@ Dataset<T> STPartition(const Dataset<T>& data, STPartitioner* partitioner,
                        BoxFn box_of, IdFn id_of,
                        STPartitionOptions options = {}) {
   ST4ML_CHECK(partitioner != nullptr) << "null partitioner";
+  ScopedSpan op(data.context()->tracer(), span_category::kOperation,
+                "st_partition");
   std::vector<T> records = data.Collect();
   std::vector<STBox> boxes;
   boxes.reserve(records.size());
@@ -47,7 +49,10 @@ Dataset<T> STPartition(const Dataset<T>& data, STPartitioner* partitioner,
       bytes += ApproxShuffleBytes(records[i]);
     }
   }
-  data.context()->metrics().AddShuffle(moved, bytes);
+  internal::Counters(*data.context())
+      .AddShuffle(ShuffleOp::kStPartition, moved, bytes);
+  op.AddArg("records", moved);
+  op.AddArg("bytes", bytes);
   return Dataset<T>::FromPartitions(data.context(), std::move(parts));
 }
 

@@ -28,9 +28,14 @@ inline std::string PartFileName(size_t index) {
 /// to read end to end.
 template <typename RecordT>
 Status PersistDataset(const Dataset<RecordT>& data, const std::string& dir) {
+  CounterRegistry& counters = internal::Counters(*data.context());
   for (size_t p = 0; p < data.num_partitions(); ++p) {
-    ST4ML_RETURN_IF_ERROR(WriteStpqFile(
-        dir + "/" + selection_internal::PartFileName(p), data.partition(p)));
+    uint64_t written = 0;
+    ST4ML_RETURN_IF_ERROR(
+        WriteStpqFile(dir + "/" + selection_internal::PartFileName(p),
+                      data.partition(p), &written));
+    counters.Add(Counter::kStpqBytesWritten, written);
+    counters.Add(Counter::kStpqFilesWritten, 1);
   }
   return Status::Ok();
 }
@@ -69,11 +74,15 @@ Status BuildOnDiskIndex(const Dataset<RecordT>& data,
     bounds[static_cast<size_t>(p)].Extend(boxes[i]);
   }
 
+  CounterRegistry& counters = internal::Counters(*data.context());
   std::vector<StpqPartMeta> meta;
   meta.reserve(parts.size());
   for (size_t p = 0; p < parts.size(); ++p) {
     std::string name = selection_internal::PartFileName(p);
-    ST4ML_RETURN_IF_ERROR(WriteStpqFile(dir + "/" + name, parts[p]));
+    uint64_t written = 0;
+    ST4ML_RETURN_IF_ERROR(WriteStpqFile(dir + "/" + name, parts[p], &written));
+    counters.Add(Counter::kStpqBytesWritten, written);
+    counters.Add(Counter::kStpqFilesWritten, 1);
     StpqPartMeta entry;
     entry.file = std::move(name);
     entry.box = bounds[p];

@@ -69,6 +69,8 @@ class Selector {
         paths.push_back(dir + "/" + part.file);
       }
     }
+    internal::Counters(*ctx_).Add(Counter::kPartitionsPruned,
+                                  meta->size() - paths.size());
     return LoadAndFilter(paths);
   }
 
@@ -77,14 +79,31 @@ class Selector {
  private:
   StatusOr<Dataset<RecordT>> LoadAndFilter(
       const std::vector<std::string>& paths) {
+    ScopedSpan op(ctx_->tracer(), span_category::kOperation,
+                  "selection/load_filter");
+    CounterRegistry& counters = internal::Counters(*ctx_);
     typename Dataset<RecordT>::Partitions parts;
     parts.reserve(paths.size());
+    uint64_t records_out = 0;
+    const uint64_t selected_before = stats_.bytes_selected;
     for (const std::string& path : paths) {
-      stats_.bytes_loaded += FileSizeBytes(path);
-      auto records = ReadStpqFile<RecordT>(path);
+      uint64_t read_bytes = 0;
+      ScopedSpan io(ctx_->tracer(), span_category::kIo, "stpq_read", op.id());
+      auto records = ReadStpqFile<RecordT>(path, &read_bytes);
+      stats_.bytes_loaded += read_bytes;
+      counters.Add(Counter::kStpqBytesRead, read_bytes);
+      counters.Add(Counter::kStpqFilesRead, 1);
+      io.AddArg("bytes", read_bytes);
       if (!records.ok()) return records.status();
       parts.push_back(FilterRecords(std::move(records).value()));
+      records_out += parts.back().size();
     }
+    counters.Add(Counter::kPartitionsScanned, paths.size());
+    counters.Add(Counter::kSelectionRecordsOut, records_out);
+    counters.Add(Counter::kSelectionBytesSelected,
+                 stats_.bytes_selected - selected_before);
+    op.AddArg("files", paths.size());
+    op.AddArg("records_out", records_out);
     auto selected = Dataset<RecordT>::FromPartitions(ctx_, std::move(parts));
     if (options_.partitioner != nullptr && options_.partition_after_select) {
       selected = STPartition(

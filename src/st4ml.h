@@ -26,11 +26,20 @@
 #include "index/stbox.h"
 #include "index/zcurve.h"
 
+// Observability: typed engine counters, nested-span tracing, exporters.
+#include "observability/counters.h"
+#include "observability/trace_export.h"
+#include "observability/tracer.h"
+
 // The mini dataflow engine ST4ML rides on.
 #include "engine/broadcast.h"
 #include "engine/dataset.h"
 #include "engine/execution_context.h"
 #include "engine/pair_ops.h"
+
+// The pipeline facade: one object per Selection → Conversion → Extraction
+// run, auto-attaching stage spans and per-stage record counters.
+#include "pipeline/pipeline.h"
 
 // Storage: records, the STPQ on-disk format, text import/export.
 #include "storage/csv.h"

@@ -63,7 +63,8 @@ Status CheckHeader(std::ifstream& in, const std::string& path,
 }  // namespace
 
 Status WriteStpqFile(const std::string& path,
-                     const std::vector<EventRecord>& records) {
+                     const std::vector<EventRecord>& records,
+                     uint64_t* io_bytes) {
   std::ofstream out;
   ST4ML_RETURN_IF_ERROR(
       OpenForWrite(path, kStpqKindEvent, records.size(), &out));
@@ -77,11 +78,15 @@ Status WriteStpqFile(const std::string& path,
     out.write(r.attr.data(), len);
   }
   if (!out.good()) return Status::IOError("short write to " + path);
+  if (io_bytes != nullptr) {
+    *io_bytes += static_cast<uint64_t>(out.tellp());
+  }
   return Status::Ok();
 }
 
 Status WriteStpqFile(const std::string& path,
-                     const std::vector<TrajRecord>& records) {
+                     const std::vector<TrajRecord>& records,
+                     uint64_t* io_bytes) {
   std::ofstream out;
   ST4ML_RETURN_IF_ERROR(OpenForWrite(path, kStpqKindTraj, records.size(), &out));
   for (const TrajRecord& r : records) {
@@ -95,15 +100,20 @@ Status WriteStpqFile(const std::string& path,
     }
   }
   if (!out.good()) return Status::IOError("short write to " + path);
+  if (io_bytes != nullptr) {
+    *io_bytes += static_cast<uint64_t>(out.tellp());
+  }
   return Status::Ok();
 }
 
-StatusOr<std::vector<EventRecord>> ReadStpqEvents(const std::string& path) {
+StatusOr<std::vector<EventRecord>> ReadStpqEvents(const std::string& path,
+                                                  uint64_t* io_bytes) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return Status::NotFound("no such STPQ file: " + path);
   uint64_t count = 0;
   ST4ML_RETURN_IF_ERROR(CheckHeader(in, path, kStpqKindEvent, &count));
   uint64_t file_bytes = FileSizeBytes(path);
+  if (io_bytes != nullptr) *io_bytes += file_bytes;
   std::vector<EventRecord> records;
   records.reserve(static_cast<size_t>(count));
   for (uint64_t i = 0; i < count; ++i) {
@@ -126,12 +136,14 @@ StatusOr<std::vector<EventRecord>> ReadStpqEvents(const std::string& path) {
   return records;
 }
 
-StatusOr<std::vector<TrajRecord>> ReadStpqTrajs(const std::string& path) {
+StatusOr<std::vector<TrajRecord>> ReadStpqTrajs(const std::string& path,
+                                                uint64_t* io_bytes) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return Status::NotFound("no such STPQ file: " + path);
   uint64_t count = 0;
   ST4ML_RETURN_IF_ERROR(CheckHeader(in, path, kStpqKindTraj, &count));
   uint64_t file_bytes = FileSizeBytes(path);
+  if (io_bytes != nullptr) *io_bytes += file_bytes;
   std::vector<TrajRecord> records;
   records.reserve(static_cast<size_t>(count));
   for (uint64_t i = 0; i < count; ++i) {

@@ -36,23 +36,32 @@ inline uint64_t StpqRecordBytes(const TrajRecord& r) {
   return 8 + 8 + static_cast<uint64_t>(r.points.size()) * 24;
 }
 
+/// Writers and readers take an optional `io_bytes` accumulator: when
+/// non-null, the file size written (or read) is ADDED to it, so callers
+/// that own an ExecutionContext can feed the engine's STPQ I/O counters
+/// while the storage layer stays engine-agnostic.
 Status WriteStpqFile(const std::string& path,
-                     const std::vector<EventRecord>& records);
+                     const std::vector<EventRecord>& records,
+                     uint64_t* io_bytes = nullptr);
 Status WriteStpqFile(const std::string& path,
-                     const std::vector<TrajRecord>& records);
+                     const std::vector<TrajRecord>& records,
+                     uint64_t* io_bytes = nullptr);
 
-StatusOr<std::vector<EventRecord>> ReadStpqEvents(const std::string& path);
-StatusOr<std::vector<TrajRecord>> ReadStpqTrajs(const std::string& path);
+StatusOr<std::vector<EventRecord>> ReadStpqEvents(const std::string& path,
+                                                  uint64_t* io_bytes = nullptr);
+StatusOr<std::vector<TrajRecord>> ReadStpqTrajs(const std::string& path,
+                                                uint64_t* io_bytes = nullptr);
 
 /// Record-type-generic read, for templated callers like the selector.
 template <typename RecordT>
-StatusOr<std::vector<RecordT>> ReadStpqFile(const std::string& path) {
+StatusOr<std::vector<RecordT>> ReadStpqFile(const std::string& path,
+                                            uint64_t* io_bytes = nullptr) {
   if constexpr (std::is_same_v<RecordT, EventRecord>) {
-    return ReadStpqEvents(path);
+    return ReadStpqEvents(path, io_bytes);
   } else {
     static_assert(std::is_same_v<RecordT, TrajRecord>,
                   "STPQ stores EventRecord or TrajRecord");
-    return ReadStpqTrajs(path);
+    return ReadStpqTrajs(path, io_bytes);
   }
 }
 

@@ -219,7 +219,7 @@ TEST_F(ConversionTest, BroadcastAndShuffleDesignsAgree) {
   auto count = [](const std::vector<STEvent>& items) {
     return static_cast<int64_t>(items.size());
   };
-  ctx_->metrics().Reset();
+  ctx_->ResetMetrics();
   SpatialMapConverter<STEvent> broadcast_conv(grid);
   auto pieces = broadcast_conv.Convert(event_data_, conversion_internal::IdentityPre{},
                                        count)
@@ -230,15 +230,15 @@ TEST_F(ConversionTest, BroadcastAndShuffleDesignsAgree) {
       broadcast_counts[i] += piece.value(i);
     }
   }
-  uint64_t broadcasts = ctx_->metrics().broadcasts();
-  uint64_t shuffled_before = ctx_->metrics().shuffle_records();
+  uint64_t broadcasts = ctx_->MetricsSnapshot().broadcasts();
+  uint64_t shuffled_before = ctx_->MetricsSnapshot().shuffle_records();
 
   auto shuffled = ConvertToSpatialMapByShuffle(event_data_, grid, count);
   EXPECT_EQ(shuffled.values(), broadcast_counts);
   // The broadcast design ships the structure, not the records.
   EXPECT_GE(broadcasts, 1u);
   EXPECT_EQ(shuffled_before, 0u);
-  EXPECT_GT(ctx_->metrics().shuffle_records(), 0u);
+  EXPECT_GT(ctx_->MetricsSnapshot().shuffle_records(), 0u);
 }
 
 }  // namespace

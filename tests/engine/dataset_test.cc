@@ -79,20 +79,20 @@ TEST(DatasetTest, RepartitionPreservesElements) {
 
 TEST(DatasetTest, RepartitionCountsShuffleMetrics) {
   auto ctx = ExecutionContext::Create(2);
-  ctx->metrics().Reset();
+  ctx->ResetMetrics();
   auto data = Dataset<int>::Parallelize(ctx, Iota(64), 2);
   data.Repartition(4).Count();
-  EXPECT_GT(ctx->metrics().shuffle_records(), 0u);
-  EXPECT_GT(ctx->metrics().shuffle_bytes(), 0u);
+  EXPECT_GT(ctx->MetricsSnapshot().shuffle_records(), 0u);
+  EXPECT_GT(ctx->MetricsSnapshot().shuffle_bytes(), 0u);
 }
 
 TEST(BroadcastTest, SharedValueAndCounter) {
   auto ctx = ExecutionContext::Create(2);
-  ctx->metrics().Reset();
+  ctx->ResetMetrics();
   Broadcast<std::string> b = MakeBroadcast(ctx, std::string("shared"));
   ASSERT_TRUE(static_cast<bool>(b));
   EXPECT_EQ(b.value(), "shared");
-  EXPECT_EQ(ctx->metrics().broadcasts(), 1u);
+  EXPECT_EQ(ctx->MetricsSnapshot().broadcasts(), 1u);
 
   auto data = Dataset<int>::Parallelize(ctx, Iota(10), 2);
   auto tagged = data.Map([b](int v) {

@@ -43,9 +43,9 @@ struct ShuffleRun {
 template <typename Op>
 ShuffleRun Metered(int workers, Op op) {
   auto ctx = ExecutionContext::Create(workers);
-  ctx->metrics().Reset();
+  ctx->ResetMetrics();
   op(ctx);
-  return {ctx->metrics().shuffle_records(), ctx->metrics().shuffle_bytes()};
+  return {ctx->MetricsSnapshot().shuffle_records(), ctx->MetricsSnapshot().shuffle_bytes()};
 }
 
 TEST(ShuffleInvarianceTest, ReduceByKeyIdenticalAcrossWorkersAndPartitions) {

@@ -2,7 +2,8 @@
 // it into an hourly time series, and emits one JSONL feature line per bin on
 // stdout — the end of the datagen | ingest | select | extract chain.
 //
-//   st4ml_select ... | st4ml_extract --interval=3600 > features.jsonl
+//   st4ml_select ... | st4ml_extract --interval=3600 [--trace=trace.json]
+//       [--metrics-json=metrics.json] > features.jsonl
 
 #include <algorithm>
 #include <cstdio>
@@ -16,9 +17,11 @@
 #include "conversion/parse.h"
 #include "engine/execution_context.h"
 #include "extraction/collective_extractors.h"
+#include "pipeline/pipeline.h"
 #include "storage/json.h"
 #include "storage/text_import.h"
 #include "tool_flags.h"
+#include "tool_observability.h"
 
 namespace fs = std::filesystem;
 
@@ -45,9 +48,9 @@ int main(int argc, char** argv) {
   }
 
   auto ctx = st4ml::ExecutionContext::Create();
+  st4ml::tools::Observability observability(flags, ctx);
   auto data =
       st4ml::Dataset<st4ml::EventRecord>::Parallelize(ctx, *records, 4);
-  auto events = st4ml::ParseEvents(data);
 
   int64_t t_min = records->front().time;
   int64_t t_max = t_min;
@@ -59,9 +62,26 @@ int main(int argc, char** argv) {
       st4ml::TemporalStructure::RegularByInterval(
           st4ml::Duration(t_min, t_max), interval_s));
 
+  st4ml::Pipeline pipeline(ctx, "st4ml_extract");
+  auto events = pipeline.Run(
+      "parse", [](const st4ml::Dataset<st4ml::EventRecord>& raw) {
+        return st4ml::ParseEvents(raw);
+      },
+      data);
   st4ml::TimeSeriesConverter<st4ml::STEvent> converter(structure);
-  st4ml::TimeSeries<int64_t> flow =
-      st4ml::ExtractTsFlow(converter.Convert(events));
+  auto series = pipeline.Run(
+      "conversion",
+      [&](const st4ml::Dataset<st4ml::STEvent>& parsed) {
+        return converter.Convert(parsed);
+      },
+      events);
+  st4ml::TimeSeries<int64_t> flow = pipeline.Run(
+      "extraction",
+      [&](const decltype(series)& converted) {
+        return st4ml::ExtractTsFlow(converted);
+      },
+      series);
+  pipeline.Finish();
 
   for (size_t i = 0; i < flow.size(); ++i) {
     st4ml::JsonObject line;
@@ -73,5 +93,6 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "st4ml_extract: %zu bins over %zu events\n",
                flow.size(), records->size());
+  if (!observability.Export("st4ml_extract")) return 1;
   return 0;
 }

@@ -2,7 +2,8 @@
 // T-STR partitioned on-disk index under --dir, and writes the metadata
 // sidecar selection prunes with.
 //
-//   st4ml_datagen | st4ml_ingest --dir=stpq_store
+//   st4ml_datagen | st4ml_ingest --dir=stpq_store [--trace=trace.json]
+//       [--metrics-json=metrics.json]
 
 #include <cstdio>
 #include <filesystem>
@@ -12,9 +13,11 @@
 
 #include "engine/execution_context.h"
 #include "partition/str_partitioner.h"
+#include "pipeline/pipeline.h"
 #include "selection/on_disk_index.h"
 #include "storage/text_import.h"
 #include "tool_flags.h"
+#include "tool_observability.h"
 
 namespace fs = std::filesystem;
 
@@ -43,18 +46,27 @@ int main(int argc, char** argv) {
   }
 
   auto ctx = st4ml::ExecutionContext::Create();
+  st4ml::tools::Observability observability(flags, ctx);
   auto data =
       st4ml::Dataset<st4ml::EventRecord>::Parallelize(ctx, *events, 4);
   st4ml::TSTRPartitioner partitioner(
       static_cast<int>(flags.GetInt("slices", 4)),
       static_cast<int>(flags.GetInt("tiles", 4)));
-  st4ml::Status status = st4ml::BuildOnDiskIndex(
-      data, &partitioner, dir, dir + "/index.meta");
+  st4ml::Pipeline pipeline(ctx, "st4ml_ingest");
+  st4ml::Status status = pipeline.Run(
+      "ingest",
+      [&](const st4ml::Dataset<st4ml::EventRecord>& records) {
+        return st4ml::BuildOnDiskIndex(records, &partitioner, dir,
+                                       dir + "/index.meta");
+      },
+      data);
+  pipeline.Finish();
   if (!status.ok()) {
     std::fprintf(stderr, "st4ml_ingest: %s\n", status.ToString().c_str());
     return 1;
   }
   std::fprintf(stderr, "st4ml_ingest: %zu events -> %d partitions under %s\n",
                events->size(), partitioner.num_partitions(), dir.c_str());
+  if (!observability.Export("st4ml_ingest")) return 1;
   return 0;
 }

@@ -2,7 +2,8 @@
 // Prints matching events as CSV on stdout.
 //
 //   st4ml_select --dir=stpq_store --mbr=-74.05,40.60,-73.75,40.90
-//       --time=1577836800,1585612800 > selected.csv
+//       --time=1577836800,1585612800 [--trace=trace.json]
+//       [--metrics-json=metrics.json] > selected.csv
 
 #include <algorithm>
 #include <cstdio>
@@ -10,8 +11,10 @@
 #include <vector>
 
 #include "engine/execution_context.h"
+#include "pipeline/pipeline.h"
 #include "selection/selector.h"
 #include "tool_flags.h"
+#include "tool_observability.h"
 
 int main(int argc, char** argv) {
   st4ml::tools::Flags flags(argc, argv);
@@ -20,8 +23,10 @@ int main(int argc, char** argv) {
   std::vector<double> time;
   if (dir.empty() || !flags.GetDoubleList("mbr", 4, &mbr) ||
       !flags.GetDoubleList("time", 2, &time)) {
-    std::fprintf(stderr, "usage: st4ml_select --dir=DIR "
-                         "--mbr=x1,y1,x2,y2 --time=start,end\n");
+    std::fprintf(stderr,
+                 "usage: st4ml_select --dir=DIR "
+                 "--mbr=x1,y1,x2,y2 --time=start,end "
+                 "[--trace=FILE] [--metrics-json=FILE]\n");
     return 2;
   }
   st4ml::STBox query(
@@ -30,13 +35,18 @@ int main(int argc, char** argv) {
                       static_cast<int64_t>(time[1])));
 
   auto ctx = st4ml::ExecutionContext::Create();
+  st4ml::tools::Observability observability(flags, ctx);
   st4ml::Selector<st4ml::EventRecord> selector(ctx, query);
-  auto selected = selector.Select(dir, dir + "/index.meta");
+  st4ml::Pipeline pipeline(ctx, "st4ml_select");
+  auto selected = pipeline.Run("selection", [&] {
+    return selector.Select(dir, dir + "/index.meta");
+  });
   if (!selected.ok()) {
     std::fprintf(stderr, "st4ml_select: %s\n",
                  selected.status().ToString().c_str());
     return 1;
   }
+  pipeline.Finish();
 
   std::vector<st4ml::EventRecord> records = selected->Collect();
   std::sort(records.begin(), records.end(),
@@ -54,5 +64,6 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(selector.stats().bytes_loaded),
                static_cast<unsigned long long>(
                    selector.stats().bytes_selected));
+  if (!observability.Export("st4ml_select")) return 1;
   return 0;
 }

@@ -1,0 +1,69 @@
+#ifndef ST4ML_TOOLS_TOOL_OBSERVABILITY_H_
+#define ST4ML_TOOLS_TOOL_OBSERVABILITY_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "engine/execution_context.h"
+#include "observability/trace_export.h"
+#include "observability/tracer.h"
+#include "tool_flags.h"
+
+namespace st4ml {
+namespace tools {
+
+/// Shared `--trace=FILE` / `--metrics-json=FILE` handling for the CLI tools:
+/// installs a Tracer on the context when `--trace` is given, and Export()
+/// writes the Chrome trace and/or metrics JSON and prints the per-stage
+/// summary table on stderr. With neither flag set this is all a no-op and
+/// the pipeline runs untraced.
+class Observability {
+ public:
+  Observability(const Flags& flags,
+                const std::shared_ptr<ExecutionContext>& ctx)
+      : ctx_(ctx),
+        trace_path_(flags.GetString("trace", "")),
+        metrics_path_(flags.GetString("metrics-json", "")) {
+    if (!trace_path_.empty()) {
+      tracer_ = std::make_shared<Tracer>();
+      ctx_->set_tracer(tracer_);
+    }
+  }
+
+  bool enabled() const { return tracer_ != nullptr; }
+
+  /// Writes the requested artifacts. Returns false (after reporting on
+  /// stderr) if any write fails, so tools can exit non-zero.
+  bool Export(const char* tool) {
+    bool ok = true;
+    if (tracer_ != nullptr) {
+      Status status = WriteChromeTrace(*tracer_, trace_path_);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s: %s\n", tool, status.ToString().c_str());
+        ok = false;
+      }
+      PrintStageSummary(*tracer_, ctx_->MetricsSnapshot(), stderr);
+    }
+    if (!metrics_path_.empty()) {
+      Status status = WriteMetricsJson(ctx_->MetricsSnapshot(), metrics_path_);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s: %s\n", tool, status.ToString().c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+ private:
+  std::shared_ptr<ExecutionContext> ctx_;
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::shared_ptr<Tracer> tracer_;
+};
+
+}  // namespace tools
+}  // namespace st4ml
+
+#endif  // ST4ML_TOOLS_TOOL_OBSERVABILITY_H_
