@@ -1,0 +1,74 @@
+#ifndef ST4ML_COMMON_RETRY_H_
+#define ST4ML_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "common/status.h"
+#include "observability/counters.h"
+
+namespace st4ml {
+
+namespace retry_internal {
+inline const Status& StatusOf(const Status& status) { return status; }
+template <typename T>
+const Status& StatusOf(const StatusOr<T>& result) {
+  return result.status();
+}
+}  // namespace retry_internal
+
+/// Bounded retry with exponential backoff, wrapped around the I/O
+/// boundaries (Selector file loads, on-disk index writes). Only transient
+/// codes are retried — an IOError may be a full disk buffer or an injected
+/// fault that clears on the next attempt, while NotFound and Corruption are
+/// deterministic and retrying them only wastes the backoff.
+///
+/// `{1, ...}` (RetryPolicy::None()) degenerates to a plain call, which is
+/// why the policy can sit unconditionally in the I/O paths.
+struct RetryPolicy {
+  /// Total attempts, including the first one; values < 1 behave as 1.
+  int max_attempts = 3;
+  std::chrono::milliseconds initial_backoff{1};
+  double backoff_multiplier = 2.0;
+
+  static RetryPolicy None() {
+    RetryPolicy policy;
+    policy.max_attempts = 1;
+    return policy;
+  }
+
+  bool Retryable(const Status& status) const {
+    return status.code() == Status::Code::kIOError;
+  }
+
+  /// Calls `fn` (returning Status or StatusOr<T>) up to max_attempts times
+  /// and returns the last result. Each re-attempt bumps kTasksRetried on
+  /// `counters` (when given) — the metrics-snapshot evidence that a run
+  /// survived transient failures; `attempts_out` (when given) receives the
+  /// number of calls made, for span annotations.
+  template <typename Fn>
+  auto Run(Fn&& fn, CounterRegistry* counters = nullptr,
+           uint64_t* attempts_out = nullptr) const {
+    const int attempts = std::max(1, max_attempts);
+    std::chrono::milliseconds backoff = initial_backoff;
+    for (int attempt = 1;; ++attempt) {
+      auto result = fn();
+      const Status& status = retry_internal::StatusOf(result);
+      if (attempts_out != nullptr) *attempts_out = attempt;
+      if (status.ok() || attempt >= attempts || !Retryable(status)) {
+        return result;
+      }
+      if (counters != nullptr) counters->Add(Counter::kTasksRetried, 1);
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+      backoff = std::chrono::milliseconds(static_cast<int64_t>(
+          static_cast<double>(backoff.count()) * backoff_multiplier));
+    }
+  }
+};
+
+}  // namespace st4ml
+
+#endif  // ST4ML_COMMON_RETRY_H_

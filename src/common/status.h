@@ -1,6 +1,7 @@
 #ifndef ST4ML_COMMON_STATUS_H_
 #define ST4ML_COMMON_STATUS_H_
 
+#include <exception>
 #include <string>
 #include <utility>
 
@@ -62,6 +63,24 @@ class Status {
 
   Code code_;
   std::string message_;
+};
+
+/// The exception form of a Status, for the value-returning legacy APIs
+/// (Dataset transforms, ReduceByKey, ...) whose signatures cannot carry a
+/// Status. The engine converts a worker-task failure into exactly one
+/// StatusError thrown on the DRIVER thread — user exceptions never unwind a
+/// worker, and the Status-returning Try* paths never throw at all.
+class StatusError : public std::exception {
+ public:
+  explicit StatusError(Status status)
+      : status_(std::move(status)), what_(status_.ToString()) {}
+
+  const Status& status() const { return status_; }
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  Status status_;
+  std::string what_;
 };
 
 /// Either a value or the error that prevented producing one.

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "conversion/singular_to_collective.h"
 #include "engine/dataset.h"
 #include "engine/pair_ops.h"
@@ -25,16 +26,21 @@ namespace st4ml {
 /// cell — so the ablation can assert the two strategies agree bit for bit;
 /// the difference is purely that this one moves records instead of the
 /// structure.
+///
+/// The Try* spelling surfaces a failed shuffle task as a Status; the legacy
+/// spelling throws the equivalent StatusError.
 template <typename T, typename AggFn>
-auto ConvertToSpatialMapByShuffle(
+auto TryConvertToSpatialMapByShuffle(
     const Dataset<T>& data,
     const std::shared_ptr<const SpatialStructure>& structure, AggFn agg)
-    -> SpatialMap<
-        std::decay_t<std::invoke_result_t<AggFn, const std::vector<T>&>>> {
+    -> StatusOr<SpatialMap<
+        std::decay_t<std::invoke_result_t<AggFn, const std::vector<T>&>>>> {
   namespace ci = conversion_internal;
   ci::AssertSingular<T>();
   using R = std::decay_t<std::invoke_result_t<AggFn, const std::vector<T>&>>;
-  ST4ML_CHECK(structure != nullptr) << "null spatial structure";
+  if (structure == nullptr) {
+    return Status::InvalidArgument("null spatial structure");
+  }
   ScopedSpan op(data.context()->tracer(), span_category::kOperation,
                 "convert_to_spatial_map_by_shuffle");
   op.AddArg("records_in", data.Count());
@@ -59,7 +65,9 @@ auto ConvertToSpatialMapByShuffle(
   // The grouped Dataset is sole owner of its partitions and dies here, so
   // the rvalue Collect moves the (cell, instances) groups instead of
   // copying every shuffled record a second time.
-  auto groups = GroupByKey<int64_t, T>(keyed).Collect();
+  auto grouped = TryGroupByKey<int64_t, T>(keyed);
+  if (!grouped.ok()) return grouped.status();
+  auto groups = std::move(grouped).value().Collect();
   // Keys arrive hash-partitioned; order them before the merge scan below.
   std::sort(groups.begin(), groups.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -79,6 +87,18 @@ auto ConvertToSpatialMapByShuffle(
   }
   op.AddArg("cells_out", values.size());
   return SpatialMap<R>(structure, std::move(values));
+}
+
+/// Legacy value-returning spelling: throws StatusError on failure.
+template <typename T, typename AggFn>
+auto ConvertToSpatialMapByShuffle(
+    const Dataset<T>& data,
+    const std::shared_ptr<const SpatialStructure>& structure, AggFn agg)
+    -> SpatialMap<
+        std::decay_t<std::invoke_result_t<AggFn, const std::vector<T>&>>> {
+  auto result = TryConvertToSpatialMapByShuffle(data, structure, agg);
+  if (!result.ok()) throw StatusError(result.status());
+  return std::move(result).value();
 }
 
 }  // namespace st4ml

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/fault_injector.h"
+
 namespace st4ml {
 
 std::shared_ptr<ExecutionContext> ExecutionContext::Create() {
@@ -23,7 +25,8 @@ ExecutionContext::ExecutionContext(int num_workers)
 }
 
 ExecutionContext::~ExecutionContext() {
-  // RunParallel blocks its caller until the job drains, so no job can still
+  // RunParallel blocks its caller until the job drains (even a failed job
+  // drains — skipped chunks are accounted into done), so no job can still
   // be in flight when the owner destroys the context.
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -33,6 +36,43 @@ ExecutionContext::~ExecutionContext() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+void ExecutionContext::FailJob(ParallelJob* job, Status status,
+                               std::exception_ptr exception) {
+  job->counters->Add(Counter::kTasksFailed, 1);
+  std::lock_guard<std::mutex> lock(job->error_mu);
+  if (job->failed.load(std::memory_order_relaxed)) return;
+  job->error = std::move(status);
+  job->exception = std::move(exception);
+  job->failed.store(true, std::memory_order_release);
+}
+
+void ExecutionContext::RunChunkBody(ParallelJob* job, size_t start,
+                                    size_t end) {
+  for (size_t i = start; i < end; ++i) {
+    // Another task failed while this chunk was running: stop early. The
+    // whole chunk was already accounted by the caller.
+    if (job->failed.load(std::memory_order_acquire)) return;
+    Status status;
+    std::exception_ptr exception;
+    try {
+      status = (*job->fn)(i);
+    } catch (const StatusError& e) {
+      status = e.status();
+      exception = std::current_exception();
+    } catch (const std::exception& e) {
+      status = Status::Internal(std::string("task threw: ") + e.what());
+      exception = std::current_exception();
+    } catch (...) {
+      status = Status::Internal("task threw a non-std exception");
+      exception = std::current_exception();
+    }
+    if (!status.ok()) {
+      FailJob(job, std::move(status), std::move(exception));
+      return;
+    }
+  }
+}
+
 size_t ExecutionContext::RunChunks(ParallelJob* job) {
   size_t processed = 0;
   for (;;) {
@@ -40,14 +80,28 @@ size_t ExecutionContext::RunChunks(ParallelJob* job) {
     if (start >= job->count) break;
     size_t end = std::min(start + job->chunk, job->count);
     job->counters->Add(Counter::kChunkClaims, 1);
+    if (job->failed.load(std::memory_order_acquire)) {
+      // Claim-and-drop: the job already failed, so the chunk is not run but
+      // IS accounted, keeping done == count reachable for the driver.
+      processed += end - start;
+      continue;
+    }
+    Status injected =
+        GlobalFaultInjector().MaybeFail(fault_site::kTaskRun);
+    if (!injected.ok()) {
+      job->counters->Add(Counter::kFaultsInjected, 1);
+      FailJob(job, std::move(injected), nullptr);
+      processed += end - start;
+      continue;
+    }
     if (job->tracer != nullptr) {
       ScopedSpan task(job->tracer, span_category::kTask, "chunk",
                       job->op_span);
       task.AddArg("first_index", start);
       task.AddArg("num_indices", end - start);
-      for (size_t i = start; i < end; ++i) (*job->fn)(i);
+      RunChunkBody(job, start, end);
     } else {
-      for (size_t i = start; i < end; ++i) (*job->fn)(i);
+      RunChunkBody(job, start, end);
     }
     processed += end - start;
   }
@@ -78,52 +132,71 @@ void ExecutionContext::WorkerLoop() {
   }
 }
 
-void ExecutionContext::RunParallel(const char* name, size_t count,
-                                   const std::function<void(size_t)>& fn) {
-  if (count == 0) return;
+Status ExecutionContext::RunParallelImpl(
+    const char* name, size_t count, const std::function<Status(size_t)>& fn,
+    std::exception_ptr* exception_out) {
+  if (count == 0) return Status::Ok();
   counters_.Add(Counter::kParallelJobs, 1);
   Tracer* tracer = this->tracer();
   ScopedSpan op(tracer, span_category::kOperation, name);
-  if (count == 1 || num_workers_ == 1) {
-    // Run inline: no handoff latency, and safe under re-entrancy. Counted
-    // as one claimed chunk so traced/untraced and pooled/inline runs agree
-    // on what a "claim" is per job shape.
-    counters_.Add(Counter::kChunkClaims, 1);
-    if (tracer != nullptr) {
-      ScopedSpan task(tracer, span_category::kTask, "chunk", op.id());
-      task.AddArg("first_index", 0);
-      task.AddArg("num_indices", count);
-      for (size_t i = 0; i < count; ++i) fn(i);
-    } else {
-      for (size_t i = 0; i < count; ++i) fn(i);
-    }
-    return;
-  }
   auto job = std::make_shared<ParallelJob>();
   job->fn = &fn;
   job->count = count;
-  // ~8 chunks per worker: coarse enough that tiny partitions amortize the
-  // claim fetch_add, fine enough that skewed ones still rebalance.
-  job->chunk =
-      std::max<size_t>(1, count / (static_cast<size_t>(num_workers_) * 8));
   job->counters = &counters_;
   job->tracer = tracer;
   job->op_span = op.id();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    job_ = job;
-  }
-  work_cv_.notify_all();
+  if (count == 1 || num_workers_ == 1) {
+    // Run inline: no handoff latency, and safe under re-entrancy. The
+    // whole range is one chunk, so this counts as one claimed chunk —
+    // traced/untraced and pooled/inline runs agree on what a "claim" is
+    // per job shape.
+    job->chunk = count;
+    RunChunks(job.get());
+  } else {
+    // ~8 chunks per worker: coarse enough that tiny partitions amortize
+    // the claim fetch_add, fine enough that skewed ones still rebalance.
+    job->chunk =
+        std::max<size_t>(1, count / (static_cast<size_t>(num_workers_) * 8));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = job;
+    }
+    work_cv_.notify_all();
 
-  // The driver claims chunks too instead of idling.
-  size_t processed = RunChunks(job.get());
-  if (processed > 0) {
-    job->done.fetch_add(processed, std::memory_order_acq_rel);
+    // The driver claims chunks too instead of idling.
+    size_t processed = RunChunks(job.get());
+    if (processed > 0) {
+      job->done.fetch_add(processed, std::memory_order_acq_rel);
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->count;
+    });
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] {
-    return job->done.load(std::memory_order_acquire) == job->count;
-  });
+  if (!job->failed.load(std::memory_order_acquire)) return Status::Ok();
+  op.AddArg("failed", 1);
+  // done == count implies no task can still be inside FailJob's critical
+  // section for THIS error (it was set before failed flipped), but take the
+  // lock anyway: a straggler losing the first-error race may still be
+  // writing nothing — the mutex makes the read unconditionally clean.
+  std::lock_guard<std::mutex> lock(job->error_mu);
+  if (exception_out != nullptr) *exception_out = job->exception;
+  return job->error;
+}
+
+void ExecutionContext::RunParallel(const char* name, size_t count,
+                                   const std::function<void(size_t)>& fn) {
+  std::function<Status(size_t)> wrapped = [&fn](size_t i) {
+    fn(i);
+    return Status::Ok();
+  };
+  std::exception_ptr exception;
+  Status status = RunParallelImpl(name, count, wrapped, &exception);
+  if (status.ok()) return;
+  // Surface the worker's failure on the driver: the original exception when
+  // there was one, its Status form otherwise (e.g. an injected task fault).
+  if (exception != nullptr) std::rethrow_exception(exception);
+  throw StatusError(std::move(status));
 }
 
 }  // namespace st4ml

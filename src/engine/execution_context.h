@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
 #include "observability/counters.h"
 #include "observability/tracer.h"
 
@@ -43,6 +44,15 @@ CounterRegistry& Counters(ExecutionContext& ctx);
 /// stage → operation → task. With no tracer (the default) the only cost is
 /// a null-pointer check per operation plus the chunk-claim counter, which
 /// is bumped either way so traced and untraced runs snapshot identically.
+///
+/// Fault tolerance (DESIGN.md §8): a task that returns a non-OK Status or
+/// throws FAILS THE JOB, never the process. The first error is captured,
+/// the job's remaining chunks are claimed-and-dropped so every participant
+/// (including the blocked driver) always drains, and the error surfaces to
+/// the caller — as the returned Status on the TryRunParallel path, or as
+/// one exception rethrown on the DRIVER thread on the void RunParallel
+/// path. Worker threads survive to run the next job; nothing unwinds
+/// through WorkerLoop.
 class ExecutionContext : public std::enable_shared_from_this<ExecutionContext> {
  public:
   /// `Create()` sizes the pool to the hardware; `Create(n)` forces n workers.
@@ -78,11 +88,30 @@ class ExecutionContext : public std::enable_shared_from_this<ExecutionContext> {
   /// one-worker pool overlaps nothing but loses nothing. `fn` must not
   /// itself call RunParallel on the same context. `name` labels the
   /// operation span when tracing is enabled.
+  ///
+  /// If any task throws, the job stops early and the FIRST exception is
+  /// rethrown here, on the calling thread — the process never terminates
+  /// and the pool never deadlocks on a failed job. Fallible tasks should
+  /// prefer TryRunParallel, which carries the error as a Status instead.
   void RunParallel(size_t count, const std::function<void(size_t)>& fn) {
     RunParallel("parallel_for", count, fn);
   }
   void RunParallel(const char* name, size_t count,
                    const std::function<void(size_t)>& fn);
+
+  /// The Status-returning task path: runs `fn(0) .. fn(count - 1)` like
+  /// RunParallel, but tasks report failure by returning a non-OK Status
+  /// (exceptions are caught and converted, StatusError keeping its code).
+  /// The first failure stops further chunk claims and is returned;
+  /// remaining indices are skipped. Never throws engine-side.
+  Status TryRunParallel(size_t count,
+                        const std::function<Status(size_t)>& fn) {
+    return TryRunParallel("parallel_for", count, fn);
+  }
+  Status TryRunParallel(const char* name, size_t count,
+                        const std::function<Status(size_t)>& fn) {
+    return RunParallelImpl(name, count, fn, nullptr);
+  }
 
  private:
   /// One published parallel-for. Heap-allocated per RunParallel call and
@@ -90,7 +119,7 @@ class ExecutionContext : public std::enable_shared_from_this<ExecutionContext> {
   /// worker that wakes late for a finished job claims nothing and never
   /// touches a successor job's counters.
   struct ParallelJob {
-    const std::function<void(size_t)>* fn = nullptr;
+    const std::function<Status(size_t)>* fn = nullptr;
     size_t count = 0;
     size_t chunk = 1;
     std::atomic<size_t> next{0};
@@ -98,13 +127,35 @@ class ExecutionContext : public std::enable_shared_from_this<ExecutionContext> {
     CounterRegistry* counters = nullptr;
     Tracer* tracer = nullptr;  // null when tracing is off
     uint64_t op_span = 0;      // parent for task spans
+
+    /// Failure state. `failed` flips exactly once (first error wins, under
+    /// error_mu); after that claims are dropped unrun but still accounted
+    /// into `done`, so the driver's done_cv_ predicate always completes.
+    std::atomic<bool> failed{false};
+    std::mutex error_mu;
+    Status error;
+    std::exception_ptr exception;  // set when the failure was a throw
   };
 
   explicit ExecutionContext(int num_workers);
 
+  /// Shared engine of both public paths. Returns the job's first error (OK
+  /// when every index ran); when `exception_out` is non-null it receives
+  /// the original exception_ptr of a throwing task, for rethrow.
+  Status RunParallelImpl(const char* name, size_t count,
+                         const std::function<Status(size_t)>& fn,
+                         std::exception_ptr* exception_out);
+
   void WorkerLoop();
-  /// Claims chunks of `job` until none remain; returns indices processed.
+  /// Claims chunks of `job` until none remain; returns indices accounted
+  /// (run, or dropped because the job already failed).
   static size_t RunChunks(ParallelJob* job);
+  /// Runs one claimed chunk, converting throws to Status; on the first
+  /// failure marks the job failed.
+  static void RunChunkBody(ParallelJob* job, size_t start, size_t end);
+  /// Records `status`/`exception` as the job's error iff it is the first.
+  static void FailJob(ParallelJob* job, Status status,
+                      std::exception_ptr exception);
 
   friend CounterRegistry& internal::Counters(ExecutionContext& ctx);
 

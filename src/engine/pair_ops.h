@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "engine/append_only_map.h"
 #include "engine/dataset.h"
 
@@ -118,10 +119,14 @@ BucketedPartition<K, V> BucketByTarget(In&& input, size_t num_targets) {
 /// insertion-ordered AppendOnlyMap and only the final unique-key output is
 /// sorted; unordered keys take a std::unordered_map path whose insertion
 /// sequence replicates the rescan's exactly.
+///
+/// Failure contract: the Try* spelling surfaces a failing task (a throwing
+/// reducer, an injected engine fault) as a Status; the legacy spelling
+/// wraps it and throws the equivalent StatusError on the driver.
 template <typename K, typename V, typename Reduce,
           typename Hash = std::hash<K>>
-Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds,
-                                     Reduce reduce) {
+StatusOr<Dataset<std::pair<K, V>>> TryReduceByKey(
+    const Dataset<std::pair<K, V>>& ds, Reduce reduce) {
   size_t n = ds.num_partitions();
   if (n == 0) return ds;
   const auto& ctx = ds.context();
@@ -131,7 +136,7 @@ Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds,
   std::vector<internal::BucketedPartition<K, V>> bucketed(n);
   std::vector<uint64_t> partial_records(n, 0);
   std::vector<uint64_t> partial_bytes(n, 0);
-  ctx->RunParallel("reduce_by_key/map", n, [&](size_t p) {
+  auto map_task = [&](size_t p) -> Status {
     const auto& part = ds.partition(p);
     std::vector<std::pair<K, V>> combined;
     if constexpr (internal::kOrderedKey<K>) {
@@ -156,9 +161,10 @@ Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds,
     for (const auto& kv : combined) bytes += ApproxShuffleBytes(kv);
     partial_records[p] = combined.size();
     partial_bytes[p] = bytes;
-    bucketed[p] =
-        internal::BucketByTarget<K, V, Hash>(std::move(combined), n);
-  });
+    bucketed[p] = internal::BucketByTarget<K, V, Hash>(std::move(combined), n);
+    return Status::Ok();
+  };
+  ST4ML_RETURN_IF_ERROR(ctx->TryRunParallel("reduce_by_key/map", n, map_task));
 
   uint64_t records = 0;
   uint64_t bytes = 0;
@@ -176,7 +182,7 @@ Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds,
   // in source partition order — the same reduce sequence the rescan shuffle
   // produced — and the final key sort (unique keys) pins the output.
   typename Dataset<std::pair<K, V>>::Partitions out(n);
-  ctx->RunParallel("reduce_by_key/merge", n, [&](size_t target) {
+  auto merge_task = [&](size_t target) -> Status {
     if constexpr (internal::kOrderedKey<K>) {
       size_t bound = 0;
       for (const auto& b : bucketed) bound += b.bucket_size(target);
@@ -204,8 +210,21 @@ Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds,
       }
       out[target].assign(acc.begin(), acc.end());
     }
-  });
+    return Status::Ok();
+  };
+  ST4ML_RETURN_IF_ERROR(
+      ctx->TryRunParallel("reduce_by_key/merge", n, merge_task));
   return Dataset<std::pair<K, V>>::FromPartitions(ctx, std::move(out));
+}
+
+/// Legacy value-returning spelling: throws StatusError on failure.
+template <typename K, typename V, typename Reduce,
+          typename Hash = std::hash<K>>
+Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds,
+                                     Reduce reduce) {
+  auto result = TryReduceByKey<K, V, Reduce, Hash>(ds, reduce);
+  if (!result.ok()) throw StatusError(result.status());
+  return std::move(result).value();
 }
 
 /// Spark's groupByKey: EVERY record crosses the shuffle — the expensive
@@ -220,7 +239,7 @@ Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds,
 /// values in (partition, offset) order, and each run becomes one group with
 /// its vector sized exactly.
 template <typename K, typename V, typename Hash = std::hash<K>>
-Dataset<std::pair<K, std::vector<V>>> GroupByKey(
+StatusOr<Dataset<std::pair<K, std::vector<V>>>> TryGroupByKey(
     const Dataset<std::pair<K, V>>& ds) {
   size_t n = ds.num_partitions();
   const auto& ctx = ds.context();
@@ -229,13 +248,16 @@ Dataset<std::pair<K, std::vector<V>>> GroupByKey(
 
   std::vector<internal::BucketedPartition<K, V>> bucketed(n);
   std::vector<uint64_t> partial_bytes(n, 0);
-  ctx->RunParallel("group_by_key/bucket", n, [&](size_t p) {
+  auto bucket_task = [&](size_t p) -> Status {
     const auto& part = ds.partition(p);
     uint64_t bytes = 0;
     for (const auto& kv : part) bytes += ApproxShuffleBytes(kv);
     partial_bytes[p] = bytes;
     bucketed[p] = internal::BucketByTarget<K, V, Hash>(part, n);
-  });
+    return Status::Ok();
+  };
+  ST4ML_RETURN_IF_ERROR(
+      ctx->TryRunParallel("group_by_key/bucket", n, bucket_task));
 
   uint64_t records = 0;
   uint64_t bytes = 0;
@@ -248,7 +270,7 @@ Dataset<std::pair<K, std::vector<V>>> GroupByKey(
   op.AddArg("bytes", bytes);
 
   typename Dataset<std::pair<K, std::vector<V>>>::Partitions out(n);
-  ctx->RunParallel("group_by_key/merge", n, [&](size_t target) {
+  auto merge_task = [&](size_t target) -> Status {
     if constexpr (internal::kOrderedKey<K>) {
       // Two passes so every group vector is allocated exactly once at its
       // final size: the first sweep maps keys to dense indices (insertion
@@ -296,9 +318,21 @@ Dataset<std::pair<K, std::vector<V>>> GroupByKey(
       }
       out[target].assign(groups.begin(), groups.end());
     }
-  });
+    return Status::Ok();
+  };
+  ST4ML_RETURN_IF_ERROR(
+      ctx->TryRunParallel("group_by_key/merge", n, merge_task));
   return Dataset<std::pair<K, std::vector<V>>>::FromPartitions(ctx,
                                                                std::move(out));
+}
+
+/// Legacy value-returning spelling: throws StatusError on failure.
+template <typename K, typename V, typename Hash = std::hash<K>>
+Dataset<std::pair<K, std::vector<V>>> GroupByKey(
+    const Dataset<std::pair<K, V>>& ds) {
+  auto result = TryGroupByKey<K, V, Hash>(ds);
+  if (!result.ok()) throw StatusError(result.status());
+  return std::move(result).value();
 }
 
 }  // namespace st4ml

@@ -26,6 +26,10 @@ namespace st4ml {
 ///  - kParallelJobs / kChunkClaims count RunParallel calls and successful
 ///    chunk claims; both are bumped whether or not tracing is enabled, so a
 ///    traced run and an untraced run produce identical snapshots.
+///  - kTasksFailed counts worker tasks that returned a non-OK Status or
+///    threw; kTasksRetried counts RetryPolicy re-attempts at the I/O
+///    boundaries; kFaultsInjected counts engine-boundary faults the
+///    FaultInjector fired (DESIGN.md §8 failure semantics).
 enum class Counter : uint32_t {
   kShuffleRecords = 0,
   kShuffleBytes,
@@ -52,6 +56,9 @@ enum class Counter : uint32_t {
   kExtractionRecordsOut,
   kParallelJobs,
   kChunkClaims,
+  kTasksFailed,
+  kTasksRetried,
+  kFaultsInjected,
   kNumCounters,
 };
 
@@ -86,6 +93,9 @@ inline const char* CounterName(Counter c) {
       "extraction_records_out",
       "parallel_jobs",
       "chunk_claims",
+      "tasks_failed",
+      "tasks_retried",
+      "faults_injected",
   };
   return kNames[static_cast<size_t>(c)];
 }

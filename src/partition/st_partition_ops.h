@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "engine/dataset.h"
 #include "partition/partitioner.h"
 
@@ -22,11 +23,18 @@ struct STPartitionOptions {
 /// partition(s). A full shuffle — each placed record is charged to the
 /// engine metrics, which is exactly the cost the T-STR experiments weigh
 /// against the locality it buys.
+///
+/// The Try* spelling reports a bad partitioner (null, trained to nothing,
+/// out-of-range assignment) as a Status; the legacy spelling throws the
+/// equivalent StatusError.
 template <typename T, typename BoxFn, typename IdFn>
-Dataset<T> STPartition(const Dataset<T>& data, STPartitioner* partitioner,
-                       BoxFn box_of, IdFn id_of,
-                       STPartitionOptions options = {}) {
-  ST4ML_CHECK(partitioner != nullptr) << "null partitioner";
+StatusOr<Dataset<T>> TrySTPartition(const Dataset<T>& data,
+                                    STPartitioner* partitioner, BoxFn box_of,
+                                    IdFn id_of,
+                                    STPartitionOptions options = {}) {
+  if (partitioner == nullptr) {
+    return Status::InvalidArgument("STPartition requires a partitioner");
+  }
   ScopedSpan op(data.context()->tracer(), span_category::kOperation,
                 "st_partition");
   std::vector<T> records = data.Collect();
@@ -36,14 +44,16 @@ Dataset<T> STPartition(const Dataset<T>& data, STPartitioner* partitioner,
   partitioner->Train(boxes);
 
   int n = partitioner->num_partitions();
-  ST4ML_CHECK(n > 0) << "partitioner produced no partitions";
+  if (n <= 0) return Status::Internal("partitioner produced no partitions");
   typename Dataset<T>::Partitions parts(static_cast<size_t>(n));
   uint64_t moved = 0;
   uint64_t bytes = 0;
   for (size_t i = 0; i < records.size(); ++i) {
     uint64_t id = static_cast<uint64_t>(id_of(records[i]));
     for (int p : partitioner->Assign(boxes[i], options.duplicate, id)) {
-      ST4ML_CHECK(p >= 0 && p < n) << "assignment out of range";
+      if (p < 0 || p >= n) {
+        return Status::Internal("partition assignment out of range");
+      }
       parts[static_cast<size_t>(p)].push_back(records[i]);
       moved += 1;
       bytes += ApproxShuffleBytes(records[i]);
@@ -54,6 +64,16 @@ Dataset<T> STPartition(const Dataset<T>& data, STPartitioner* partitioner,
   op.AddArg("records", moved);
   op.AddArg("bytes", bytes);
   return Dataset<T>::FromPartitions(data.context(), std::move(parts));
+}
+
+/// Legacy value-returning spelling: throws StatusError on failure.
+template <typename T, typename BoxFn, typename IdFn>
+Dataset<T> STPartition(const Dataset<T>& data, STPartitioner* partitioner,
+                       BoxFn box_of, IdFn id_of,
+                       STPartitionOptions options = {}) {
+  auto result = TrySTPartition(data, partitioner, box_of, id_of, options);
+  if (!result.ok()) throw StatusError(result.status());
+  return std::move(result).value();
 }
 
 }  // namespace st4ml

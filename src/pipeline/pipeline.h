@@ -8,11 +8,36 @@
 #include <type_traits>
 #include <utility>
 
+#include "common/status.h"
 #include "engine/execution_context.h"
 
 namespace st4ml {
 
 namespace pipeline_internal {
+
+/// Extracts the Status from a stage result that carries one (a Status
+/// itself, or any StatusOr). Only instantiated for types where ok() exists.
+template <typename T>
+Status StatusOf(const T& value) {
+  if constexpr (std::is_same_v<std::decay_t<T>, Status>) {
+    return value;
+  } else {
+    return value.status();
+  }
+}
+
+/// Same code, message prefixed with the failing stage's name.
+inline Status PrefixStage(const std::string& stage, const Status& s) {
+  std::string msg = "stage " + stage + ": " + s.message();
+  switch (s.code()) {
+    case Status::Code::kNotFound: return Status::NotFound(std::move(msg));
+    case Status::Code::kCorruption: return Status::Corruption(std::move(msg));
+    case Status::Code::kIOError: return Status::IOError(std::move(msg));
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    default: return Status::Internal(std::move(msg));
+  }
+}
 
 /// Best-effort record count of a stage input or output. Understands
 /// Datasets (Count), collective structures and containers (size), and
@@ -60,6 +85,13 @@ const A& FirstArg(const A& a, const Rest&...) {
 /// "extraction" additionally feed the per-stage record counters; the
 /// selection counters are owned by the Selector itself, which knows the
 /// exact post-filter record and byte counts.
+///
+/// Failure surfacing: when a stage returns a Status or StatusOr that is not
+/// ok, its span gets a `failed` arg and the FIRST such status is latched on
+/// the pipeline — check ok()/status() after the last stage (tools do, and
+/// exit non-zero with the message instead of silently producing partial
+/// output). Later stages still run if the caller passes them a failed
+/// StatusOr; stages should short-circuit on their inputs as usual.
 class Pipeline {
  public:
   Pipeline(std::shared_ptr<ExecutionContext> ctx, std::string name)
@@ -77,6 +109,13 @@ class Pipeline {
   /// so the pipeline span carries its real duration instead of being
   /// clipped at export time.
   void Finish() { span_.End(); }
+
+  /// True until a stage returns a non-ok Status/StatusOr.
+  bool ok() const { return status_.ok(); }
+
+  /// The first stage failure, or Ok. Stage names are in the status message's
+  /// "stage <name>: " prefix.
+  const Status& status() const { return status_; }
 
   /// Runs `fn(args...)` as one named stage and returns its result.
   template <typename Fn, typename... Args>
@@ -100,6 +139,15 @@ class Pipeline {
       bool have_out = false;
       uint64_t records_out = pipeline_internal::CountOf(result, &have_out);
       if (have_out) stage.AddArg("records_out", records_out);
+      if constexpr (requires { result.ok(); }) {
+        if (!result.ok()) {
+          stage.AddArg("failed", 1);
+          if (status_.ok()) {
+            status_ = pipeline_internal::PrefixStage(
+                stage_name, pipeline_internal::StatusOf(result));
+          }
+        }
+      }
       AccountStage(stage_name, have_in, records_in, have_out, records_out);
       return result;
     }
@@ -121,6 +169,7 @@ class Pipeline {
 
   std::shared_ptr<ExecutionContext> ctx_;
   ScopedSpan span_;
+  Status status_;
 };
 
 }  // namespace st4ml

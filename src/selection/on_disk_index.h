@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "engine/dataset.h"
 #include "partition/partitioner.h"
@@ -21,21 +22,43 @@ inline std::string PartFileName(size_t index) {
   return name;
 }
 
+/// One partition file write, re-attempted per `retry`: a transient IOError
+/// (disk pressure, injected fault) is retried with backoff; the truncating
+/// writer makes a re-attempt idempotent. Retries are charged to
+/// kTasksRetried so they show in the metrics snapshot.
+template <typename RecordT>
+Status WritePartFileWithRetry(const std::string& path,
+                              const std::vector<RecordT>& records,
+                              const RetryPolicy& retry,
+                              CounterRegistry& counters) {
+  uint64_t written = 0;
+  Status status = retry.Run(
+      [&]() -> Status {
+        uint64_t bytes = 0;
+        Status write = WriteStpqFile(path, records, &bytes);
+        if (write.ok()) written = bytes;
+        return write;
+      },
+      &counters);
+  if (!status.ok()) return status;
+  counters.Add(Counter::kStpqBytesWritten, written);
+  counters.Add(Counter::kStpqFilesWritten, 1);
+  return Status::Ok();
+}
+
 }  // namespace selection_internal
 
 /// Writes a dataset to `dir` as one STPQ file per engine partition, with no
 /// ST layout and no metadata — the "plain storage" a full-scan selection has
 /// to read end to end.
 template <typename RecordT>
-Status PersistDataset(const Dataset<RecordT>& data, const std::string& dir) {
+Status PersistDataset(const Dataset<RecordT>& data, const std::string& dir,
+                      const RetryPolicy& retry = {}) {
   CounterRegistry& counters = internal::Counters(*data.context());
   for (size_t p = 0; p < data.num_partitions(); ++p) {
-    uint64_t written = 0;
-    ST4ML_RETURN_IF_ERROR(
-        WriteStpqFile(dir + "/" + selection_internal::PartFileName(p),
-                      data.partition(p), &written));
-    counters.Add(Counter::kStpqBytesWritten, written);
-    counters.Add(Counter::kStpqFilesWritten, 1);
+    ST4ML_RETURN_IF_ERROR(selection_internal::WritePartFileWithRetry(
+        dir + "/" + selection_internal::PartFileName(p), data.partition(p),
+        retry, counters));
   }
   return Status::Ok();
 }
@@ -48,7 +71,8 @@ Status PersistDataset(const Dataset<RecordT>& data, const std::string& dir) {
 template <typename RecordT>
 Status BuildOnDiskIndex(const Dataset<RecordT>& data,
                         STPartitioner* partitioner, const std::string& dir,
-                        const std::string& meta_path) {
+                        const std::string& meta_path,
+                        const RetryPolicy& retry = {}) {
   if (partitioner == nullptr) {
     return Status::InvalidArgument("BuildOnDiskIndex requires a partitioner");
   }
@@ -79,17 +103,15 @@ Status BuildOnDiskIndex(const Dataset<RecordT>& data,
   meta.reserve(parts.size());
   for (size_t p = 0; p < parts.size(); ++p) {
     std::string name = selection_internal::PartFileName(p);
-    uint64_t written = 0;
-    ST4ML_RETURN_IF_ERROR(WriteStpqFile(dir + "/" + name, parts[p], &written));
-    counters.Add(Counter::kStpqBytesWritten, written);
-    counters.Add(Counter::kStpqFilesWritten, 1);
+    ST4ML_RETURN_IF_ERROR(selection_internal::WritePartFileWithRetry(
+        dir + "/" + name, parts[p], retry, counters));
     StpqPartMeta entry;
     entry.file = std::move(name);
     entry.box = bounds[p];
     entry.count = parts[p].size();
     meta.push_back(std::move(entry));
   }
-  return WriteStpqMeta(meta_path, meta);
+  return retry.Run([&] { return WriteStpqMeta(meta_path, meta); }, &counters);
 }
 
 }  // namespace st4ml

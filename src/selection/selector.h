@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "engine/dataset.h"
 #include "index/rtree.h"
@@ -27,6 +28,10 @@ struct SelectorOptions {
   /// Refine loaded files through a per-file R-tree instead of a linear scan.
   /// Same records either way; this is the in-memory half of the index.
   bool use_rtree = true;
+  /// Per-file load retry: transient IOErrors (a flaky filesystem, an
+  /// injected fault) are re-attempted with backoff before failing the
+  /// Select; deterministic errors (NotFound, Corruption) fail immediately.
+  RetryPolicy retry;
 };
 
 /// I/O accounting, accumulated across Select calls: how many file bytes were
@@ -77,44 +82,76 @@ class Selector {
   const SelectorStats& stats() const { return stats_; }
 
  private:
+  /// Loads and ST-filters `paths` IN PARALLEL, one Status-returning task
+  /// per file, so a per-file IOError propagates to the caller instead of
+  /// failing the process (and a transient one is retried per
+  /// options_.retry before it counts as a failure). Partition i of the
+  /// result is always file i — the parallel fill is index-addressed, so the
+  /// output is byte-identical to the old sequential load.
   StatusOr<Dataset<RecordT>> LoadAndFilter(
       const std::vector<std::string>& paths) {
     ScopedSpan op(ctx_->tracer(), span_category::kOperation,
                   "selection/load_filter");
     CounterRegistry& counters = internal::Counters(*ctx_);
-    typename Dataset<RecordT>::Partitions parts;
-    parts.reserve(paths.size());
-    uint64_t records_out = 0;
-    const uint64_t selected_before = stats_.bytes_selected;
-    for (const std::string& path : paths) {
-      uint64_t read_bytes = 0;
-      ScopedSpan io(ctx_->tracer(), span_category::kIo, "stpq_read", op.id());
-      auto records = ReadStpqFile<RecordT>(path, &read_bytes);
-      stats_.bytes_loaded += read_bytes;
-      counters.Add(Counter::kStpqBytesRead, read_bytes);
-      counters.Add(Counter::kStpqFilesRead, 1);
-      io.AddArg("bytes", read_bytes);
+    Tracer* tracer = ctx_->tracer();
+    const uint64_t op_span = op.id();
+    typename Dataset<RecordT>::Partitions parts(paths.size());
+    // Per-file accounting slots, folded into stats_/counters on the driver
+    // after the join — worker tasks never touch shared mutable state.
+    std::vector<uint64_t> read_bytes(paths.size(), 0);
+    std::vector<uint64_t> selected_bytes(paths.size(), 0);
+    auto load_task = [&](size_t i) -> Status {
+      ScopedSpan io(tracer, span_category::kIo, "stpq_read", op_span);
+      uint64_t attempts = 0;
+      auto records = options_.retry.Run(
+          [&]() -> StatusOr<std::vector<RecordT>> {
+            uint64_t bytes = 0;
+            auto loaded = ReadStpqFile<RecordT>(paths[i], &bytes);
+            if (loaded.ok()) read_bytes[i] = bytes;
+            return loaded;
+          },
+          &counters, &attempts);
+      io.AddArg("bytes", read_bytes[i]);
+      if (attempts > 1) io.AddArg("attempts", attempts);
       if (!records.ok()) return records.status();
-      parts.push_back(FilterRecords(std::move(records).value()));
-      records_out += parts.back().size();
+      parts[i] =
+          FilterRecords(std::move(records).value(), &selected_bytes[i]);
+      return Status::Ok();
+    };
+    ST4ML_RETURN_IF_ERROR(
+        ctx_->TryRunParallel("selection/load_filter", paths.size(),
+                             load_task));
+    uint64_t records_out = 0;
+    uint64_t loaded_bytes = 0;
+    uint64_t kept_bytes = 0;
+    for (size_t i = 0; i < paths.size(); ++i) {
+      records_out += parts[i].size();
+      loaded_bytes += read_bytes[i];
+      kept_bytes += selected_bytes[i];
     }
+    stats_.bytes_loaded += loaded_bytes;
+    stats_.bytes_selected += kept_bytes;
+    counters.Add(Counter::kStpqBytesRead, loaded_bytes);
+    counters.Add(Counter::kStpqFilesRead, paths.size());
     counters.Add(Counter::kPartitionsScanned, paths.size());
     counters.Add(Counter::kSelectionRecordsOut, records_out);
-    counters.Add(Counter::kSelectionBytesSelected,
-                 stats_.bytes_selected - selected_before);
+    counters.Add(Counter::kSelectionBytesSelected, kept_bytes);
     op.AddArg("files", paths.size());
     op.AddArg("records_out", records_out);
     auto selected = Dataset<RecordT>::FromPartitions(ctx_, std::move(parts));
     if (options_.partitioner != nullptr && options_.partition_after_select) {
-      selected = STPartition(
+      auto partitioned = TrySTPartition(
           selected, options_.partitioner.get(),
           [](const RecordT& r) { return r.ComputeSTBox(); },
           [](const RecordT& r) { return static_cast<uint64_t>(r.id); });
+      if (!partitioned.ok()) return partitioned.status();
+      selected = std::move(partitioned).value();
     }
     return selected;
   }
 
-  std::vector<RecordT> FilterRecords(std::vector<RecordT> records) {
+  std::vector<RecordT> FilterRecords(std::vector<RecordT> records,
+                                     uint64_t* bytes_selected) {
     std::vector<RecordT> kept;
     if (options_.use_rtree) {
       std::vector<STBox> boxes;
@@ -133,7 +170,7 @@ class Selector {
         if (r.ComputeSTBox().Intersects(query_)) kept.push_back(std::move(r));
       }
     }
-    for (const RecordT& r : kept) stats_.bytes_selected += StpqRecordBytes(r);
+    for (const RecordT& r : kept) *bytes_selected += StpqRecordBytes(r);
     return kept;
   }
 

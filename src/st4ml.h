@@ -6,9 +6,12 @@
 /// split along the paper's architecture for targeted includes inside the
 /// library, benches and tests.
 
-// Substrates: error contract, logging, deterministic RNG, env knobs.
+// Substrates: error contract, logging, deterministic RNG, env knobs,
+// bounded retry, and scripted/probabilistic fault injection for tests.
 #include "common/env.h"
+#include "common/fault_injector.h"
 #include "common/logging.h"
+#include "common/retry.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/stopwatch.h"

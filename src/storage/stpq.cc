@@ -8,10 +8,19 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault_injector.h"
+
 namespace st4ml {
 namespace {
 
 namespace fs = std::filesystem;
+
+// Minimum wire size of one record, for clamping an untrusted header count
+// before reserve(): an event is at least id+x+y+time+attr_len bytes, a
+// trajectory at least id+npoints.
+constexpr uint64_t kMinEventRecordBytes = 8 + 8 + 8 + 8 + 4;
+constexpr uint64_t kMinTrajRecordBytes = 8 + 8;
+constexpr uint64_t kTrajPointBytes = 8 + 8 + 8;
 
 template <typename T>
 void WriteRaw(std::ofstream& out, const T& value) {
@@ -26,6 +35,8 @@ bool ReadRaw(std::ifstream& in, T* value) {
 
 Status OpenForWrite(const std::string& path, uint8_t kind, uint64_t count,
                     std::ofstream* out) {
+  ST4ML_RETURN_IF_ERROR(
+      GlobalFaultInjector().MaybeFail(fault_site::kStpqWrite, path));
   std::error_code ec;
   fs::path parent = fs::path(path).parent_path();
   if (!parent.empty()) fs::create_directories(parent, ec);
@@ -36,6 +47,25 @@ Status OpenForWrite(const std::string& path, uint8_t kind, uint64_t count,
   out->write(kStpqMagic, sizeof(kStpqMagic));
   WriteRaw(*out, kind);
   WriteRaw(*out, count);
+  return Status::Ok();
+}
+
+/// The write-side epilogue every STPQ writer shares. An ofstream's final
+/// flush happens in its DESTRUCTOR, after any good() check a function-body
+/// return could make — so a disk-full error on the last buffer used to be
+/// reported as Ok. Flush and close explicitly, re-checking after each, and
+/// only trust tellp() when it is non-negative (it returns -1 on a failed
+/// stream, which would wrap an unsigned io_bytes accumulator).
+Status FinishWrite(std::ofstream& out, const std::string& path,
+                   uint64_t* io_bytes) {
+  out.flush();
+  if (!out.good()) return Status::IOError("short write to " + path);
+  std::streamoff pos = static_cast<std::streamoff>(out.tellp());
+  out.close();
+  if (out.fail()) return Status::IOError("failed to close " + path);
+  if (io_bytes != nullptr && pos >= 0) {
+    *io_bytes += static_cast<uint64_t>(pos);
+  }
   return Status::Ok();
 }
 
@@ -77,11 +107,7 @@ Status WriteStpqFile(const std::string& path,
     WriteRaw(out, len);
     out.write(r.attr.data(), len);
   }
-  if (!out.good()) return Status::IOError("short write to " + path);
-  if (io_bytes != nullptr) {
-    *io_bytes += static_cast<uint64_t>(out.tellp());
-  }
-  return Status::Ok();
+  return FinishWrite(out, path, io_bytes);
 }
 
 Status WriteStpqFile(const std::string& path,
@@ -99,15 +125,13 @@ Status WriteStpqFile(const std::string& path,
       WriteRaw(out, p.time);
     }
   }
-  if (!out.good()) return Status::IOError("short write to " + path);
-  if (io_bytes != nullptr) {
-    *io_bytes += static_cast<uint64_t>(out.tellp());
-  }
-  return Status::Ok();
+  return FinishWrite(out, path, io_bytes);
 }
 
 StatusOr<std::vector<EventRecord>> ReadStpqEvents(const std::string& path,
                                                   uint64_t* io_bytes) {
+  ST4ML_RETURN_IF_ERROR(
+      GlobalFaultInjector().MaybeFail(fault_site::kStpqRead, path));
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return Status::NotFound("no such STPQ file: " + path);
   uint64_t count = 0;
@@ -115,7 +139,12 @@ StatusOr<std::vector<EventRecord>> ReadStpqEvents(const std::string& path,
   uint64_t file_bytes = FileSizeBytes(path);
   if (io_bytes != nullptr) *io_bytes += file_bytes;
   std::vector<EventRecord> records;
-  records.reserve(static_cast<size_t>(count));
+  // The header count is untrusted until every record deserializes; clamp
+  // the reserve to what the file could possibly hold so a corrupt count
+  // cannot trigger a giant allocation. The record loop still walks the full
+  // claimed count and reports the truncation.
+  records.reserve(static_cast<size_t>(
+      std::min(count, file_bytes / kMinEventRecordBytes)));
   for (uint64_t i = 0; i < count; ++i) {
     EventRecord r;
     uint32_t len = 0;
@@ -123,7 +152,9 @@ StatusOr<std::vector<EventRecord>> ReadStpqEvents(const std::string& path,
         !ReadRaw(in, &r.time) || !ReadRaw(in, &len)) {
       return Status::Corruption("truncated STPQ record in " + path);
     }
-    if (len > file_bytes) {
+    // Overflow-safe plausibility check: len is compared as u64 against the
+    // file size, never multiplied, so no wraparound before resize.
+    if (static_cast<uint64_t>(len) > file_bytes) {
       return Status::Corruption("implausible attr length in " + path);
     }
     r.attr.resize(len);
@@ -138,6 +169,8 @@ StatusOr<std::vector<EventRecord>> ReadStpqEvents(const std::string& path,
 
 StatusOr<std::vector<TrajRecord>> ReadStpqTrajs(const std::string& path,
                                                 uint64_t* io_bytes) {
+  ST4ML_RETURN_IF_ERROR(
+      GlobalFaultInjector().MaybeFail(fault_site::kStpqRead, path));
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return Status::NotFound("no such STPQ file: " + path);
   uint64_t count = 0;
@@ -145,14 +178,18 @@ StatusOr<std::vector<TrajRecord>> ReadStpqTrajs(const std::string& path,
   uint64_t file_bytes = FileSizeBytes(path);
   if (io_bytes != nullptr) *io_bytes += file_bytes;
   std::vector<TrajRecord> records;
-  records.reserve(static_cast<size_t>(count));
+  // Same untrusted-header clamp as the event reader.
+  records.reserve(static_cast<size_t>(
+      std::min(count, file_bytes / kMinTrajRecordBytes)));
   for (uint64_t i = 0; i < count; ++i) {
     TrajRecord r;
     uint64_t n = 0;
     if (!ReadRaw(in, &r.id) || !ReadRaw(in, &n)) {
       return Status::Corruption("truncated STPQ record in " + path);
     }
-    if (n * 24 > file_bytes) {
+    // Overflow-safe: `n * 24 > file_bytes` wraps for n near 2^64 and the
+    // following resize(n) would throw; divide instead of multiply.
+    if (n > file_bytes / kTrajPointBytes) {
       return Status::Corruption("implausible point count in " + path);
     }
     r.points.resize(static_cast<size_t>(n));
@@ -202,7 +239,12 @@ Status WriteStpqMeta(const std::string& path,
                   p.box.time.end(), p.count);
     out << line;
   }
+  // Same explicit flush/close as FinishWrite: the destructor's flush is too
+  // late to report an error from.
+  out.flush();
   if (!out.good()) return Status::IOError("short write to " + path);
+  out.close();
+  if (out.fail()) return Status::IOError("failed to close " + path);
   return Status::Ok();
 }
 

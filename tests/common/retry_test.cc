@@ -1,0 +1,103 @@
+#include "common/retry.h"
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "observability/counters.h"
+
+namespace st4ml {
+namespace {
+
+// Backoff-free policy so the bounded-attempt tests run instantly.
+RetryPolicy FastPolicy(int attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = attempts;
+  policy.initial_backoff = std::chrono::milliseconds(0);
+  return policy;
+}
+
+TEST(RetryTest, TransientIOErrorIsRetriedToSuccess) {
+  CounterRegistry counters;
+  uint64_t attempts = 0;
+  int calls = 0;
+  Status status = FastPolicy(3).Run(
+      [&]() -> Status {
+        ++calls;
+        if (calls < 3) return Status::IOError("flaky");
+        return Status::Ok();
+      },
+      &counters, &attempts);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(attempts, 3u);
+  EXPECT_EQ(counters.value(Counter::kTasksRetried), 2u);
+}
+
+TEST(RetryTest, DeterministicErrorsAreNotRetried) {
+  CounterRegistry counters;
+  uint64_t attempts = 0;
+  int calls = 0;
+  Status status = FastPolicy(5).Run(
+      [&]() -> Status {
+        ++calls;
+        return Status::Corruption("bad bytes never heal");
+      },
+      &counters, &attempts);
+  EXPECT_EQ(status.code(), Status::Code::kCorruption);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(attempts, 1u);
+  EXPECT_EQ(counters.value(Counter::kTasksRetried), 0u);
+}
+
+TEST(RetryTest, AttemptsAreBounded) {
+  CounterRegistry counters;
+  int calls = 0;
+  Status status = FastPolicy(3).Run(
+      [&]() -> Status {
+        ++calls;
+        return Status::IOError("always down");
+      },
+      &counters);
+  EXPECT_EQ(status.code(), Status::Code::kIOError);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(counters.value(Counter::kTasksRetried), 2u);
+}
+
+TEST(RetryTest, StatusOrValueSurvivesRetry) {
+  int calls = 0;
+  auto result = FastPolicy(2).Run([&]() -> StatusOr<int> {
+    ++calls;
+    if (calls == 1) return Status::IOError("first read fails");
+    return 42;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryTest, NonePolicyIsASingleCall) {
+  int calls = 0;
+  Status status = RetryPolicy::None().Run([&]() -> Status {
+    ++calls;
+    return Status::IOError("down");
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, NonPositiveMaxAttemptsBehavesAsOne) {
+  int calls = 0;
+  RetryPolicy policy = FastPolicy(0);
+  Status status = policy.Run([&]() -> Status {
+    ++calls;
+    return Status::IOError("down");
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace st4ml

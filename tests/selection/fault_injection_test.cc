@@ -1,0 +1,203 @@
+// Fault-injection coverage for the I/O boundaries: a transient injected
+// STPQ failure is retried to a byte-identical result (with the retries
+// visible in the metrics snapshot), and a persistent one surfaces as an
+// IOError Status instead of killing the process.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injector.h"
+#include "common/rng.h"
+#include "engine/execution_context.h"
+#include "selection/on_disk_index.h"
+#include "selection/selector.h"
+#include "storage/records.h"
+
+namespace st4ml {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  fs::path dir = fs::temp_directory_path() / ("st4ml_fault_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::vector<EventRecord> RandomEvents(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EventRecord> events;
+  events.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    EventRecord r;
+    r.id = i;
+    r.x = rng.Uniform(0, 100);
+    r.y = rng.Uniform(0, 100);
+    r.time = rng.UniformInt(0, 100000);
+    r.attr = "e";
+    events.push_back(r);
+  }
+  return events;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GlobalFaultInjector().Reset();
+    ctx_ = ExecutionContext::Create(2);
+    events_ = RandomEvents(2000, 17);
+    dir_ = TempDir("index");
+    meta_ = dir_ + "/index.meta";
+    auto data = Dataset<EventRecord>::Parallelize(ctx_, events_, 4);
+    TSTRPartitioner partitioner(3, 3);
+    ASSERT_TRUE(BuildOnDiskIndex(data, &partitioner, dir_, meta_).ok());
+  }
+
+  void TearDown() override { GlobalFaultInjector().Reset(); }
+
+  // Serializes a selection result so two runs can be compared byte for
+  // byte, not just record-count for record-count.
+  std::string ResultBytes(const Dataset<EventRecord>& selected,
+                          const std::string& tag) {
+    std::string path = dir_ + "/result_" + tag + ".stpq";
+    EXPECT_TRUE(WriteStpqFile(path, selected.Collect()).ok());
+    return Slurp(path);
+  }
+
+  std::shared_ptr<ExecutionContext> ctx_;
+  std::vector<EventRecord> events_;
+  std::string dir_;
+  std::string meta_;
+};
+
+TEST_F(FaultInjectionTest, TransientReadFaultIsRetriedToIdenticalBytes) {
+  STBox query(Mbr(10, 10, 80, 80), Duration(0, 90000));
+
+  Selector<EventRecord> clean(ctx_, query);
+  auto clean_result = clean.Select(dir_, meta_);
+  ASSERT_TRUE(clean_result.ok()) << clean_result.status().ToString();
+  std::string clean_bytes = ResultBytes(*clean_result, "clean");
+
+  ctx_->ResetMetrics();
+  GlobalFaultInjector().FailNext(fault_site::kStpqRead, 1);
+  Selector<EventRecord> faulted(ctx_, query);  // default retry: 3 attempts
+  auto faulted_result = faulted.Select(dir_, meta_);
+  ASSERT_TRUE(faulted_result.ok()) << faulted_result.status().ToString();
+
+  EXPECT_EQ(ResultBytes(*faulted_result, "faulted"), clean_bytes);
+  EXPECT_GE(GlobalFaultInjector().injected_count(), 1u);
+  auto snapshot = ctx_->MetricsSnapshot();
+  EXPECT_GE(snapshot[Counter::kTasksRetried], 1u);
+  EXPECT_EQ(snapshot[Counter::kTasksFailed], 0u);
+}
+
+TEST_F(FaultInjectionTest, PersistentReadFaultSurfacesAsIOError) {
+  // More scripted failures than every file's retry budget combined: some
+  // load task exhausts its attempts and the Select must fail with the
+  // injected IOError — no throw, no deadlock, no partial result.
+  GlobalFaultInjector().FailNext(fault_site::kStpqRead, 1000);
+  STBox query(Mbr(0, 0, 100, 100), Duration(0, 100000));
+  Selector<EventRecord> selector(ctx_, query);
+  auto result = selector.Select(dir_, meta_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kIOError);
+  EXPECT_GE(ctx_->MetricsSnapshot()[Counter::kTasksFailed], 1u);
+  GlobalFaultInjector().Reset();
+
+  // The same selector works once the fault clears.
+  auto retried = selector.Select(dir_, meta_);
+  EXPECT_TRUE(retried.ok()) << retried.status().ToString();
+}
+
+TEST_F(FaultInjectionTest, TransientWriteFaultIsRetriedDuringIndexBuild) {
+  std::string dir = TempDir("rebuild");
+  ctx_->ResetMetrics();
+  GlobalFaultInjector().FailNext(fault_site::kStpqWrite, 1);
+  auto data = Dataset<EventRecord>::Parallelize(ctx_, events_, 4);
+  TSTRPartitioner partitioner(2, 2);
+  ASSERT_TRUE(
+      BuildOnDiskIndex(data, &partitioner, dir, dir + "/index.meta").ok());
+  EXPECT_GE(ctx_->MetricsSnapshot()[Counter::kTasksRetried], 1u);
+
+  // The rebuilt index serves the full query set.
+  STBox query(Mbr(0, 0, 100, 100), Duration(0, 100000));
+  Selector<EventRecord> selector(ctx_, query);
+  auto result = selector.Select(dir, dir + "/index.meta");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Count(), events_.size());
+}
+
+TEST_F(FaultInjectionTest, PersistentWriteFaultFailsIndexBuild) {
+  std::string dir = TempDir("failbuild");
+  GlobalFaultInjector().FailNext(fault_site::kStpqWrite, 1000);
+  auto data = Dataset<EventRecord>::Parallelize(ctx_, events_, 4);
+  TSTRPartitioner partitioner(2, 2);
+  Status status =
+      BuildOnDiskIndex(data, &partitioner, dir, dir + "/index.meta");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kIOError);
+  EXPECT_NE(status.message().find("injected fault"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, ScriptedModeFiresExactlyNTimes) {
+  FaultInjector injector;
+  injector.FailNext("some/site", 2);
+  EXPECT_FALSE(injector.MaybeFail("some/site").ok());
+  EXPECT_FALSE(injector.MaybeFail("some/site").ok());
+  EXPECT_TRUE(injector.MaybeFail("some/site").ok());
+  EXPECT_EQ(injector.injected_count(), 2u);
+  // Other sites are untouched.
+  EXPECT_TRUE(injector.MaybeFail("other/site").ok());
+}
+
+TEST(FaultInjectorTest, ProbabilisticModeIsSeedDeterministic) {
+  FaultInjector a;
+  FaultInjector b;
+  a.ArmProbabilistic("site", 0.3, 99);
+  b.ArmProbabilistic("site", 0.3, 99);
+  std::vector<bool> fires_a;
+  std::vector<bool> fires_b;
+  for (int i = 0; i < 200; ++i) {
+    fires_a.push_back(!a.MaybeFail("site").ok());
+    fires_b.push_back(!b.MaybeFail("site").ok());
+  }
+  EXPECT_EQ(fires_a, fires_b);
+  // p = 0.3 over 200 draws fires at least once and not always.
+  EXPECT_GT(a.injected_count(), 0u);
+  EXPECT_LT(a.injected_count(), 200u);
+}
+
+TEST(FaultInjectorTest, ResetDisarms) {
+  FaultInjector injector;
+  injector.FailNext("site", 100);
+  EXPECT_FALSE(injector.MaybeFail("site").ok());
+  injector.Reset();
+  EXPECT_TRUE(injector.MaybeFail("site").ok());
+  EXPECT_EQ(injector.injected_count(), 0u);
+}
+
+TEST(FaultInjectorTest, InjectedErrorNamesSiteAndDetail) {
+  FaultInjector injector;
+  injector.FailNext("stpq/read", 1);
+  Status status = injector.MaybeFail("stpq/read", "/data/part-00001.stpq");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kIOError);
+  EXPECT_NE(status.message().find("stpq/read"), std::string::npos);
+  EXPECT_NE(status.message().find("part-00001"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace st4ml

@@ -1,0 +1,233 @@
+// Corrupt-input matrix for the STPQ readers: every malformed file must come
+// back as a Corruption/NotFound Status — never a throw, a crash, or a
+// header-driven giant allocation.
+
+#include "storage/stpq.h"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace st4ml {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  fs::path dir = fs::temp_directory_path() / ("st4ml_stpq_corrupt_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::vector<EventRecord> SomeEvents(int n) {
+  Rng rng(7);
+  std::vector<EventRecord> events;
+  for (int i = 0; i < n; ++i) {
+    EventRecord r;
+    r.id = i;
+    r.x = rng.Uniform(0, 10);
+    r.y = rng.Uniform(0, 10);
+    r.time = rng.UniformInt(0, 1000);
+    r.attr = "abc";
+    events.push_back(r);
+  }
+  return events;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void Dump(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+template <typename T>
+void Append(std::string* bytes, const T& value) {
+  bytes->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+// Layout refresher: "STPQ1" | kind u8 | count u64 | records. The count
+// field starts at byte 6.
+constexpr size_t kCountOffset = sizeof(kStpqMagic) + 1;
+
+TEST(StpqCorruptionTest, MissingFileIsNotFound) {
+  std::string dir = TempDir("missing");
+  auto loaded = ReadStpqEvents(dir + "/nope.stpq");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kNotFound);
+}
+
+TEST(StpqCorruptionTest, BadMagicIsCorruption) {
+  std::string dir = TempDir("magic");
+  std::string path = dir + "/bad.stpq";
+  ASSERT_TRUE(WriteStpqFile(path, SomeEvents(3)).ok());
+  std::string bytes = Slurp(path);
+  bytes[0] = 'X';
+  Dump(path, bytes);
+  auto loaded = ReadStpqEvents(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST(StpqCorruptionTest, EmptyFileIsCorruption) {
+  std::string dir = TempDir("empty");
+  std::string path = dir + "/empty.stpq";
+  Dump(path, "");
+  auto loaded = ReadStpqEvents(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST(StpqCorruptionTest, TruncatedHeaderIsCorruption) {
+  std::string dir = TempDir("header");
+  std::string path = dir + "/short.stpq";
+  std::string bytes(kStpqMagic, sizeof(kStpqMagic));
+  bytes.push_back(static_cast<char>(kStpqKindEvent));
+  Dump(path, bytes);  // magic + kind, no count
+  auto loaded = ReadStpqEvents(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST(StpqCorruptionTest, WrongRecordKindIsCorruption) {
+  std::string dir = TempDir("kind");
+  std::string path = dir + "/traj.stpq";
+  ASSERT_TRUE(
+      WriteStpqFile(path, std::vector<TrajRecord>(2)).ok());
+  auto loaded = ReadStpqEvents(path);  // events reader on a traj file
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST(StpqCorruptionTest, OversizedCountDoesNotOverAllocate) {
+  // A count claiming ~2^60 records in a tiny file must fail as Corruption
+  // when the records run out — and must NOT reserve() count slots first
+  // (the clamp caps the reserve at file_bytes / min_record_size, so this
+  // test completes without exhausting memory).
+  std::string dir = TempDir("count");
+  std::string path = dir + "/huge.stpq";
+  ASSERT_TRUE(WriteStpqFile(path, SomeEvents(2)).ok());
+  std::string bytes = Slurp(path);
+  uint64_t huge = uint64_t{1} << 60;
+  std::memcpy(&bytes[kCountOffset], &huge, sizeof(huge));
+  Dump(path, bytes);
+  auto loaded = ReadStpqEvents(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST(StpqCorruptionTest, OversizedTrajCountDoesNotOverAllocate) {
+  std::string dir = TempDir("tcount");
+  std::string path = dir + "/huge.stpq";
+  ASSERT_TRUE(WriteStpqFile(path, std::vector<TrajRecord>(1)).ok());
+  std::string bytes = Slurp(path);
+  uint64_t huge = uint64_t{1} << 61;
+  std::memcpy(&bytes[kCountOffset], &huge, sizeof(huge));
+  Dump(path, bytes);
+  auto loaded = ReadStpqTrajs(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST(StpqCorruptionTest, OverflowingPointCountIsCorruption) {
+  // npoints chosen so that npoints * 24 wraps a u64 to a SMALL number: the
+  // old `n * 24 > file_bytes` check passed and resize(n) then threw
+  // length_error. The divide-form check must reject it as Corruption.
+  std::string dir = TempDir("points");
+  std::string path = dir + "/wrap.stpq";
+  std::string bytes(kStpqMagic, sizeof(kStpqMagic));
+  bytes.push_back(static_cast<char>(kStpqKindTraj));
+  Append(&bytes, uint64_t{1});                     // one record
+  Append(&bytes, int64_t{5});                      // id
+  uint64_t wrapping = (uint64_t{1} << 63) + 2;     // * 24 wraps to 48
+  Append(&bytes, wrapping);                        // npoints
+  Dump(path, bytes);
+  auto loaded = ReadStpqTrajs(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+  EXPECT_NE(loaded.status().message().find("point count"), std::string::npos);
+}
+
+TEST(StpqCorruptionTest, ImplausibleAttrLengthIsCorruption) {
+  // An attr_len bigger than the whole file must be rejected before the
+  // resize(len) allocation, not after a 4 GiB read attempt.
+  std::string dir = TempDir("attr");
+  std::string path = dir + "/attr.stpq";
+  std::string bytes(kStpqMagic, sizeof(kStpqMagic));
+  bytes.push_back(static_cast<char>(kStpqKindEvent));
+  Append(&bytes, uint64_t{1});
+  Append(&bytes, int64_t{1});    // id
+  Append(&bytes, double{1.0});   // x
+  Append(&bytes, double{2.0});   // y
+  Append(&bytes, int64_t{3});    // time
+  Append(&bytes, uint32_t{0xFFFFFFFF});  // attr_len
+  Dump(path, bytes);
+  auto loaded = ReadStpqEvents(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+  EXPECT_NE(loaded.status().message().find("attr length"), std::string::npos);
+}
+
+TEST(StpqCorruptionTest, TruncatedEventTailIsCorruption) {
+  std::string dir = TempDir("tail");
+  std::string path = dir + "/tail.stpq";
+  ASSERT_TRUE(WriteStpqFile(path, SomeEvents(10)).ok());
+  std::string bytes = Slurp(path);
+  Dump(path, bytes.substr(0, bytes.size() - 7));
+  auto loaded = ReadStpqEvents(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST(StpqCorruptionTest, TruncatedTrajTailIsCorruption) {
+  std::string dir = TempDir("ttail");
+  std::string path = dir + "/tail.stpq";
+  TrajRecord t;
+  t.id = 1;
+  for (int i = 0; i < 8; ++i) {
+    TrajPointRecord p;
+    p.x = i;
+    p.y = i;
+    p.time = i;
+    t.points.push_back(p);
+  }
+  ASSERT_TRUE(WriteStpqFile(path, std::vector<TrajRecord>{t}).ok());
+  std::string bytes = Slurp(path);
+  Dump(path, bytes.substr(0, bytes.size() - 3));
+  auto loaded = ReadStpqTrajs(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST(StpqCorruptionTest, BadMetaHeaderIsCorruption) {
+  std::string dir = TempDir("meta");
+  std::string path = dir + "/idx.meta";
+  Dump(path, "stpq-meta v999\n");
+  auto loaded = ReadStpqMeta(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST(StpqCorruptionTest, BadMetaLineIsCorruption) {
+  std::string dir = TempDir("metaline");
+  std::string path = dir + "/idx.meta";
+  Dump(path, "stpq-meta v1\npart-00000.stpq not-a-number\n");
+  auto loaded = ReadStpqMeta(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+}  // namespace
+}  // namespace st4ml

@@ -8,8 +8,11 @@
 
 #include "datagen/generators.h"
 #include "tool_flags.h"
+#include "tool_main.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int Run(int argc, char** argv) {
   st4ml::tools::Flags flags(argc, argv);
   st4ml::NycEventOptions options;
   options.count = flags.GetInt("count", 20000);
@@ -21,4 +24,11 @@ int main(int argc, char** argv) {
                 r.y, static_cast<long long>(r.time), r.attr.c_str());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return st4ml::tools::ToolMain("st4ml_datagen",
+                                [&] { return Run(argc, argv); });
 }

@@ -21,11 +21,14 @@
 #include "storage/json.h"
 #include "storage/text_import.h"
 #include "tool_flags.h"
+#include "tool_main.h"
 #include "tool_observability.h"
 
 namespace fs = std::filesystem;
 
-int main(int argc, char** argv) {
+namespace {
+
+int Run(int argc, char** argv) {
   st4ml::tools::Flags flags(argc, argv);
   int64_t interval_s = flags.GetInt("interval", 3600);
 
@@ -82,6 +85,11 @@ int main(int argc, char** argv) {
       },
       series);
   pipeline.Finish();
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "st4ml_extract: %s\n",
+                 pipeline.status().ToString().c_str());
+    return 1;
+  }
 
   for (size_t i = 0; i < flow.size(); ++i) {
     st4ml::JsonObject line;
@@ -95,4 +103,11 @@ int main(int argc, char** argv) {
                flow.size(), records->size());
   if (!observability.Export("st4ml_extract")) return 1;
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return st4ml::tools::ToolMain("st4ml_extract",
+                                [&] { return Run(argc, argv); });
 }

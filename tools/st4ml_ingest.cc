@@ -17,11 +17,14 @@
 #include "selection/on_disk_index.h"
 #include "storage/text_import.h"
 #include "tool_flags.h"
+#include "tool_main.h"
 #include "tool_observability.h"
 
 namespace fs = std::filesystem;
 
-int main(int argc, char** argv) {
+namespace {
+
+int Run(int argc, char** argv) {
   st4ml::tools::Flags flags(argc, argv);
   std::string dir = flags.GetString("dir", "");
   if (dir.empty()) {
@@ -53,7 +56,7 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.GetInt("slices", 4)),
       static_cast<int>(flags.GetInt("tiles", 4)));
   st4ml::Pipeline pipeline(ctx, "st4ml_ingest");
-  st4ml::Status status = pipeline.Run(
+  pipeline.Run(
       "ingest",
       [&](const st4ml::Dataset<st4ml::EventRecord>& records) {
         return st4ml::BuildOnDiskIndex(records, &partitioner, dir,
@@ -61,12 +64,20 @@ int main(int argc, char** argv) {
       },
       data);
   pipeline.Finish();
-  if (!status.ok()) {
-    std::fprintf(stderr, "st4ml_ingest: %s\n", status.ToString().c_str());
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "st4ml_ingest: %s\n",
+                 pipeline.status().ToString().c_str());
     return 1;
   }
   std::fprintf(stderr, "st4ml_ingest: %zu events -> %d partitions under %s\n",
                events->size(), partitioner.num_partitions(), dir.c_str());
   if (!observability.Export("st4ml_ingest")) return 1;
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return st4ml::tools::ToolMain("st4ml_ingest",
+                                [&] { return Run(argc, argv); });
 }

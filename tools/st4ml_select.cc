@@ -14,9 +14,12 @@
 #include "pipeline/pipeline.h"
 #include "selection/selector.h"
 #include "tool_flags.h"
+#include "tool_main.h"
 #include "tool_observability.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int Run(int argc, char** argv) {
   st4ml::tools::Flags flags(argc, argv);
   std::string dir = flags.GetString("dir", "");
   std::vector<double> mbr;
@@ -41,12 +44,12 @@ int main(int argc, char** argv) {
   auto selected = pipeline.Run("selection", [&] {
     return selector.Select(dir, dir + "/index.meta");
   });
-  if (!selected.ok()) {
+  pipeline.Finish();
+  if (!pipeline.ok()) {
     std::fprintf(stderr, "st4ml_select: %s\n",
-                 selected.status().ToString().c_str());
+                 pipeline.status().ToString().c_str());
     return 1;
   }
-  pipeline.Finish();
 
   std::vector<st4ml::EventRecord> records = selected->Collect();
   std::sort(records.begin(), records.end(),
@@ -66,4 +69,11 @@ int main(int argc, char** argv) {
                    selector.stats().bytes_selected));
   if (!observability.Export("st4ml_select")) return 1;
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return st4ml::tools::ToolMain("st4ml_select",
+                                [&] { return Run(argc, argv); });
 }
