@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case_flow.dir/bench_case_flow.cc.o"
+  "CMakeFiles/bench_case_flow.dir/bench_case_flow.cc.o.d"
+  "bench_case_flow"
+  "bench_case_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

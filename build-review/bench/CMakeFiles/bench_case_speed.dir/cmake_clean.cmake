@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case_speed.dir/bench_case_speed.cc.o"
+  "CMakeFiles/bench_case_speed.dir/bench_case_speed.cc.o.d"
+  "bench_case_speed"
+  "bench_case_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

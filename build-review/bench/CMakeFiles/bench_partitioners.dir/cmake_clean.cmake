@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partitioners.dir/bench_partitioners.cc.o"
+  "CMakeFiles/bench_partitioners.dir/bench_partitioners.cc.o.d"
+  "bench_partitioners"
+  "bench_partitioners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitioners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shuffle.dir/bench_shuffle.cc.o"
+  "CMakeFiles/bench_shuffle.dir/bench_shuffle.cc.o.d"
+  "bench_shuffle"
+  "bench_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tstr.dir/bench_tstr.cc.o"
+  "CMakeFiles/bench_tstr.dir/bench_tstr.cc.o.d"
+  "bench_tstr"
+  "bench_tstr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tstr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st4ml_bench_common.dir/apps/geomesa_apps.cc.o"
+  "CMakeFiles/st4ml_bench_common.dir/apps/geomesa_apps.cc.o.d"
+  "CMakeFiles/st4ml_bench_common.dir/apps/geospark_apps.cc.o"
+  "CMakeFiles/st4ml_bench_common.dir/apps/geospark_apps.cc.o.d"
+  "CMakeFiles/st4ml_bench_common.dir/apps/st4ml_apps.cc.o"
+  "CMakeFiles/st4ml_bench_common.dir/apps/st4ml_apps.cc.o.d"
+  "CMakeFiles/st4ml_bench_common.dir/apps/st4ml_custom_apps.cc.o"
+  "CMakeFiles/st4ml_bench_common.dir/apps/st4ml_custom_apps.cc.o.d"
+  "CMakeFiles/st4ml_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/st4ml_bench_common.dir/bench_common.cc.o.d"
+  "libst4ml_bench_common.a"
+  "libst4ml_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st4ml_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libst4ml_bench_common.a"
+)

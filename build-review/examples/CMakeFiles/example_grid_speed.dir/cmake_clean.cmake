@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_grid_speed.dir/grid_speed.cc.o"
+  "CMakeFiles/example_grid_speed.dir/grid_speed.cc.o.d"
+  "example_grid_speed"
+  "example_grid_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_grid_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

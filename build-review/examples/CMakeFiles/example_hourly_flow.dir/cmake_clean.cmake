@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hourly_flow.dir/hourly_flow.cc.o"
+  "CMakeFiles/example_hourly_flow.dir/hourly_flow.cc.o.d"
+  "example_hourly_flow"
+  "example_hourly_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hourly_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_map_matching.dir/map_matching.cc.o"
+  "CMakeFiles/example_map_matching.dir/map_matching.cc.o.d"
+  "example_map_matching"
+  "example_map_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_map_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

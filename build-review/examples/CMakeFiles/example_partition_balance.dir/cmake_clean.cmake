@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_partition_balance.dir/partition_balance.cc.o"
+  "CMakeFiles/example_partition_balance.dir/partition_balance.cc.o.d"
+  "example_partition_balance"
+  "example_partition_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_partition_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

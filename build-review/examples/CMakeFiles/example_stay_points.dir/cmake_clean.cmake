@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stay_points.dir/stay_points.cc.o"
+  "CMakeFiles/example_stay_points.dir/stay_points.cc.o.d"
+  "example_stay_points"
+  "example_stay_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stay_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

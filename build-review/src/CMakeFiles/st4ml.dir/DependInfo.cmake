@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/geo_object.cc" "src/CMakeFiles/st4ml.dir/baselines/geo_object.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/baselines/geo_object.cc.o.d"
+  "/root/repo/src/baselines/geomesa_like.cc" "src/CMakeFiles/st4ml.dir/baselines/geomesa_like.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/baselines/geomesa_like.cc.o.d"
+  "/root/repo/src/baselines/geospark_like.cc" "src/CMakeFiles/st4ml.dir/baselines/geospark_like.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/baselines/geospark_like.cc.o.d"
+  "/root/repo/src/common/env.cc" "src/CMakeFiles/st4ml.dir/common/env.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/common/env.cc.o.d"
+  "/root/repo/src/common/fault_injector.cc" "src/CMakeFiles/st4ml.dir/common/fault_injector.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/common/fault_injector.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/st4ml.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/common/logging.cc.o.d"
+  "/root/repo/src/datagen/generators.cc" "src/CMakeFiles/st4ml.dir/datagen/generators.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/datagen/generators.cc.o.d"
+  "/root/repo/src/engine/execution_context.cc" "src/CMakeFiles/st4ml.dir/engine/execution_context.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/engine/execution_context.cc.o.d"
+  "/root/repo/src/geometry/geometry.cc" "src/CMakeFiles/st4ml.dir/geometry/geometry.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/geometry/geometry.cc.o.d"
+  "/root/repo/src/instances/structures.cc" "src/CMakeFiles/st4ml.dir/instances/structures.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/instances/structures.cc.o.d"
+  "/root/repo/src/mapmatching/hmm_map_matcher.cc" "src/CMakeFiles/st4ml.dir/mapmatching/hmm_map_matcher.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/mapmatching/hmm_map_matcher.cc.o.d"
+  "/root/repo/src/observability/trace_export.cc" "src/CMakeFiles/st4ml.dir/observability/trace_export.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/observability/trace_export.cc.o.d"
+  "/root/repo/src/partition/balance.cc" "src/CMakeFiles/st4ml.dir/partition/balance.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/partition/balance.cc.o.d"
+  "/root/repo/src/partition/baseline_partitioners.cc" "src/CMakeFiles/st4ml.dir/partition/baseline_partitioners.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/partition/baseline_partitioners.cc.o.d"
+  "/root/repo/src/partition/quadtree_partitioner.cc" "src/CMakeFiles/st4ml.dir/partition/quadtree_partitioner.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/partition/quadtree_partitioner.cc.o.d"
+  "/root/repo/src/partition/str_partitioner.cc" "src/CMakeFiles/st4ml.dir/partition/str_partitioner.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/partition/str_partitioner.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/st4ml.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/json.cc" "src/CMakeFiles/st4ml.dir/storage/json.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/storage/json.cc.o.d"
+  "/root/repo/src/storage/stpq.cc" "src/CMakeFiles/st4ml.dir/storage/stpq.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/storage/stpq.cc.o.d"
+  "/root/repo/src/storage/text_import.cc" "src/CMakeFiles/st4ml.dir/storage/text_import.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/storage/text_import.cc.o.d"
+  "/root/repo/src/temporal/duration.cc" "src/CMakeFiles/st4ml.dir/temporal/duration.cc.o" "gcc" "src/CMakeFiles/st4ml.dir/temporal/duration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conversion_test.dir/conversion/conversion_test.cc.o"
+  "CMakeFiles/conversion_test.dir/conversion/conversion_test.cc.o.d"
+  "conversion_test"
+  "conversion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conversion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

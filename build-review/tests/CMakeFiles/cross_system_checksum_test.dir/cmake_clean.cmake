@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_system_checksum_test.dir/integration/cross_system_checksum_test.cc.o"
+  "CMakeFiles/cross_system_checksum_test.dir/integration/cross_system_checksum_test.cc.o.d"
+  "cross_system_checksum_test"
+  "cross_system_checksum_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_system_checksum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duration_test.dir/temporal/duration_test.cc.o"
+  "CMakeFiles/duration_test.dir/temporal/duration_test.cc.o.d"
+  "duration_test"
+  "duration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_matching_test.dir/mapmatching/map_matching_test.cc.o"
+  "CMakeFiles/map_matching_test.dir/mapmatching/map_matching_test.cc.o.d"
+  "map_matching_test"
+  "map_matching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

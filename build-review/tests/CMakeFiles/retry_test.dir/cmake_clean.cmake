@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retry_test.dir/common/retry_test.cc.o"
+  "CMakeFiles/retry_test.dir/common/retry_test.cc.o.d"
+  "retry_test"
+  "retry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selector_test.dir/selection/selector_test.cc.o"
+  "CMakeFiles/selector_test.dir/selection/selector_test.cc.o.d"
+  "selector_test"
+  "selector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

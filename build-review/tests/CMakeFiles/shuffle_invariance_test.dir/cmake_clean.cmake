@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shuffle_invariance_test.dir/engine/shuffle_invariance_test.cc.o"
+  "CMakeFiles/shuffle_invariance_test.dir/engine/shuffle_invariance_test.cc.o.d"
+  "shuffle_invariance_test"
+  "shuffle_invariance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shuffle_invariance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

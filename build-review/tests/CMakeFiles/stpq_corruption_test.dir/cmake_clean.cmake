@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpq_corruption_test.dir/storage/stpq_corruption_test.cc.o"
+  "CMakeFiles/stpq_corruption_test.dir/storage/stpq_corruption_test.cc.o.d"
+  "stpq_corruption_test"
+  "stpq_corruption_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpq_corruption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

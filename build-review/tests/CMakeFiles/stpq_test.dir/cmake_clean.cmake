@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpq_test.dir/storage/stpq_test.cc.o"
+  "CMakeFiles/stpq_test.dir/storage/stpq_test.cc.o.d"
+  "stpq_test"
+  "stpq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structures_test.dir/instances/structures_test.cc.o"
+  "CMakeFiles/structures_test.dir/instances/structures_test.cc.o.d"
+  "structures_test"
+  "structures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st4ml_datagen.dir/st4ml_datagen.cc.o"
+  "CMakeFiles/st4ml_datagen.dir/st4ml_datagen.cc.o.d"
+  "st4ml_datagen"
+  "st4ml_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st4ml_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

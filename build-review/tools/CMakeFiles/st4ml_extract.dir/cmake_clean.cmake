@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st4ml_extract.dir/st4ml_extract.cc.o"
+  "CMakeFiles/st4ml_extract.dir/st4ml_extract.cc.o.d"
+  "st4ml_extract"
+  "st4ml_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st4ml_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

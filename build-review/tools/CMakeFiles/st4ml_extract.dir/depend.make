@@ -1,0 +1,2 @@
+# Empty dependencies file for st4ml_extract.
+# This may be replaced when dependencies are built.

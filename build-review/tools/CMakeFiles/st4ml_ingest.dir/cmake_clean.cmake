@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st4ml_ingest.dir/st4ml_ingest.cc.o"
+  "CMakeFiles/st4ml_ingest.dir/st4ml_ingest.cc.o.d"
+  "st4ml_ingest"
+  "st4ml_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st4ml_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

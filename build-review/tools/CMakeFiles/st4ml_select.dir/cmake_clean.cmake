@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st4ml_select.dir/st4ml_select.cc.o"
+  "CMakeFiles/st4ml_select.dir/st4ml_select.cc.o.d"
+  "st4ml_select"
+  "st4ml_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st4ml_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
