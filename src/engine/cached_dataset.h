@@ -1,0 +1,155 @@
+#ifndef ST4ML_ENGINE_CACHED_DATASET_H_
+#define ST4ML_ENGINE_CACHED_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/dataset.h"
+#include "engine/dataset_cache.h"
+#include "storage/stpq.h"
+
+namespace st4ml {
+
+namespace cache_internal {
+
+/// Serialized STPQ size of one partition — header plus per-record bytes.
+/// This is the unit the cache's byte budget is accounted in, and it matches
+/// what a spill of the partition actually writes.
+template <typename RecordT>
+uint64_t StpqPartitionBytes(const std::vector<RecordT>& records) {
+  uint64_t total = sizeof(kStpqMagic) + 1 + 8;  // magic | kind | count
+  for (const RecordT& r : records) total += StpqRecordBytes(r);
+  return total;
+}
+
+/// Type-erased spill: `data` is a std::vector<RecordT>*.
+template <typename RecordT>
+Status SpillPartition(const void* data, const std::string& path,
+                      uint64_t* io_bytes) {
+  const auto* records = static_cast<const std::vector<RecordT>*>(data);
+  return WriteStpqFile(path, *records, io_bytes);
+}
+
+/// Type-erased reload: reads the partition back as a shared vector.
+template <typename RecordT>
+StatusOr<std::shared_ptr<const void>> ReloadPartition(const std::string& path,
+                                                      uint64_t* io_bytes) {
+  auto loaded = ReadStpqFile<RecordT>(path, io_bytes);
+  if (!loaded.ok()) return loaded.status();
+  std::shared_ptr<const void> out =
+      std::make_shared<const std::vector<RecordT>>(std::move(*loaded));
+  return out;
+}
+
+}  // namespace cache_internal
+
+/// A handle to a Dataset whose partitions live in the context's
+/// DatasetCache — the engine's `.persist()`: many consumers (repeated
+/// selections, several extractors over one conversion result) share one
+/// materialization, and partitions the budget cannot hold are spilled to
+/// STPQ scratch files and transparently reloaded on the next Load.
+///
+/// `T` must be an STPQ record type (EventRecord or TrajRecord) — that is
+/// what the spill format can serialize. When the context's cache is
+/// disabled (budget 0), Persist degenerates to a pure pass-through: the
+/// handle keeps the source Dataset and Load returns it unchanged, so
+/// cached and uncached pipelines run the same code path shape either way.
+///
+/// Handles are cheap to copy (shared state). The cache entries live until
+/// the cache evicts them or Unpersist is called; dropping every handle does
+/// NOT drop the entries — like Spark, persistence outlives the reference
+/// that created it, because the point is reuse by later, unrelated work.
+template <typename T>
+class CachedDataset {
+  static_assert(std::is_same_v<T, EventRecord> ||
+                    std::is_same_v<T, TrajRecord>,
+                "CachedDataset spills through STPQ, which stores "
+                "EventRecord or TrajRecord");
+
+ public:
+  CachedDataset() = default;
+
+  /// Registers every partition of `ds` with the context's cache under a
+  /// fresh dataset id. Partitions are copied into individually-owned
+  /// blocks so the cache can evict them one at a time.
+  static CachedDataset Persist(const Dataset<T>& ds) {
+    CachedDataset out;
+    out.ctx_ = ds.context();
+    out.num_partitions_ = ds.num_partitions();
+    DatasetCache& cache = out.ctx_->cache();
+    out.id_ = cache.NewDatasetId();
+    if (!cache.enabled()) {
+      out.fallback_ = ds;  // budget 0: keep the plain Dataset
+      return out;
+    }
+    for (size_t p = 0; p < ds.num_partitions(); ++p) {
+      auto part = std::make_shared<const std::vector<T>>(ds.partition(p));
+      uint64_t bytes = cache_internal::StpqPartitionBytes(*part);
+      cache.Put(out.id_, p, part, bytes, &cache_internal::SpillPartition<T>,
+                &cache_internal::ReloadPartition<T>);
+    }
+    return out;
+  }
+
+  const std::shared_ptr<ExecutionContext>& context() const { return ctx_; }
+  size_t num_partitions() const { return num_partitions_; }
+  uint64_t id() const { return id_; }
+
+  /// One partition, served from memory or transparently reloaded from its
+  /// spill file. Internal("cache lost partition") only when the entry was
+  /// explicitly dropped (Unpersist raced a reader).
+  StatusOr<std::shared_ptr<const std::vector<T>>> Partition(size_t p) const {
+    if (fallback_.num_partitions() > 0) {
+      return std::make_shared<const std::vector<T>>(fallback_.partition(p));
+    }
+    auto got = ctx_->cache().Get(id_, p);
+    if (!got.ok()) return got.status();
+    if (*got == nullptr) {
+      return Status::Internal("cache lost partition " + std::to_string(p) +
+                              " of dataset " + std::to_string(id_));
+    }
+    return std::static_pointer_cast<const std::vector<T>>(*got);
+  }
+
+  /// Rebuilds a plain Dataset from the cached partitions (hitting memory,
+  /// or reloading spilled partitions through the retry policy).
+  StatusOr<Dataset<T>> Load() const {
+    if (fallback_.num_partitions() > 0 || num_partitions_ == 0) {
+      return fallback_;
+    }
+    typename Dataset<T>::Partitions parts(num_partitions_);
+    for (size_t p = 0; p < num_partitions_; ++p) {
+      auto part = Partition(p);
+      if (!part.ok()) return part.status();
+      parts[p] = **part;  // copy out; the cache keeps its shared copy
+    }
+    return Dataset<T>::FromPartitions(ctx_, std::move(parts));
+  }
+
+  /// Drops the cache entries and deletes their spill files. Subsequent
+  /// Load/Partition calls fail; pass-through handles are unaffected.
+  void Unpersist() {
+    if (ctx_ != nullptr && fallback_.num_partitions() == 0) {
+      ctx_->cache().DropDataset(id_);
+    }
+  }
+
+ private:
+  std::shared_ptr<ExecutionContext> ctx_;
+  Dataset<T> fallback_;  // set only when the cache is disabled
+  size_t num_partitions_ = 0;
+  uint64_t id_ = 0;
+};
+
+template <typename T>
+CachedDataset<T> Dataset<T>::Persist() const {
+  return CachedDataset<T>::Persist(*this);
+}
+
+}  // namespace st4ml
+
+#endif  // ST4ML_ENGINE_CACHED_DATASET_H_

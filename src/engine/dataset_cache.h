@@ -1,0 +1,208 @@
+#ifndef ST4ML_ENGINE_DATASET_CACHE_H_
+#define ST4ML_ENGINE_DATASET_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/retry.h"
+#include "common/status.h"
+#include "observability/counters.h"
+#include "observability/tracer.h"
+
+namespace st4ml {
+
+/// A byte-budgeted LRU cache of dataset partitions — the repo's stand-in for
+/// Spark's executor-memory persistence (paper §3.3: many extractors reuse one
+/// Selection→Conversion result instead of re-reading from disk).
+///
+/// Entries are keyed by (dataset id, partition index) and hold type-erased
+/// partition data (`std::shared_ptr<const void>`; the typed layer lives in
+/// engine/cached_dataset.h). Each entry carries its serialized size; the sum
+/// of RESIDENT entry sizes never exceeds the budget after a Put or reload
+/// returns. When an insert pushes the cache over budget, least-recently-used
+/// entries are evicted until it fits:
+///
+///  - an entry with a spill function is written to an STPQ file under the
+///    scratch dir (once — a re-eviction of a reloaded entry reuses the file)
+///    and its memory dropped; the next Get transparently reloads it;
+///  - an entry whose data already lives in a durable file (PutWithOrigin —
+///    the Selector's loaded source files) just drops its memory and reloads
+///    from the origin path;
+///  - an entry with neither is erased outright and the next Get misses.
+///
+/// A partition larger than the whole budget is therefore spilled immediately
+/// on insert, and a budget of 0 disables the cache entirely: Put and Get
+/// become inert pass-throughs that touch no counters.
+///
+/// Spill writes and reloads run under the cache's RetryPolicy and go through
+/// the STPQ readers/writers, so the stpq/read and stpq/write fault-injection
+/// sites and the kTasksRetried accounting apply to them exactly as they do
+/// to selection I/O (DESIGN.md §8). Every spill/reload also records an
+/// io-category span ("cache/spill" / "cache/reload") when a tracer is
+/// attached, and feeds the kCache* counters.
+///
+/// Thread-safe: one mutex guards the whole cache. Get and Put are called
+/// from RunParallel worker tasks (the Selector's per-file loads), so spill
+/// and reload I/O holding the lock serializes concurrent cache access — an
+/// accepted cost; cache I/O is the slow path by definition and the fast
+/// path (a resident hit) is a map lookup and a list splice.
+class DatasetCache {
+ public:
+  /// `budget_bytes == 0` disables caching; kUnbounded never evicts.
+  static constexpr uint64_t kUnbounded = ~uint64_t{0};
+
+  struct Options {
+    uint64_t budget_bytes = 0;
+    /// Spill directory; created lazily on first spill and removed (with its
+    /// contents) by the destructor when the cache created it. Empty picks
+    /// <tmp>/st4ml_cache_<pid>_<seq>.
+    std::string scratch_dir;
+    /// Wraps every spill write and reload read; transient IOErrors (disk
+    /// pressure, injected faults) are re-attempted before the operation
+    /// fails, each re-attempt bumping kTasksRetried.
+    RetryPolicy retry;
+  };
+
+  /// Writes `data` (a type-erased partition) to `path`; adds the bytes
+  /// written to *io_bytes.
+  using SpillFn = std::function<Status(const void* data,
+                                       const std::string& path,
+                                       uint64_t* io_bytes)>;
+  /// Reads a partition back from `path`; adds the bytes read to *io_bytes.
+  using ReloadFn = std::function<StatusOr<std::shared_ptr<const void>>(
+      const std::string& path, uint64_t* io_bytes)>;
+
+  /// `counters` outlives the cache (the owning ExecutionContext guarantees
+  /// this — its registry member is declared before the cache).
+  DatasetCache(Options options, CounterRegistry* counters);
+  ~DatasetCache();
+
+  DatasetCache(const DatasetCache&) = delete;
+  DatasetCache& operator=(const DatasetCache&) = delete;
+
+  bool enabled() const { return options_.budget_bytes > 0; }
+  const Options& options() const { return options_; }
+
+  /// Attaches the tracer spill/reload spans are recorded on (nullptr
+  /// detaches). Forwarded by ExecutionContext::set_tracer.
+  void set_tracer(Tracer* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+
+  /// A fresh dataset id, never handed out before (CachedDataset handles).
+  uint64_t NewDatasetId();
+
+  /// A stable id for a named dataset: the same name always maps to the same
+  /// id within one cache, so independent Selectors loading the same file
+  /// share one entry.
+  uint64_t InternDatasetId(const std::string& name);
+
+  /// Inserts a partition, replacing any previous entry under the same key,
+  /// then evicts LRU entries until the resident bytes fit the budget (the
+  /// inserted entry is evicted last — and immediately, if it alone exceeds
+  /// the budget). No-op when the cache is disabled.
+  void Put(uint64_t dataset_id, uint64_t partition,
+           std::shared_ptr<const void> data, uint64_t bytes, SpillFn spill,
+           ReloadFn reload);
+
+  /// Put for data that already has a durable on-disk copy at `origin_path`
+  /// (the Selector's loaded STPQ files): eviction drops the memory without
+  /// writing anything and Get reloads from the origin.
+  void PutWithOrigin(uint64_t dataset_id, uint64_t partition,
+                     std::shared_ptr<const void> data, uint64_t bytes,
+                     std::string origin_path, ReloadFn reload);
+
+  /// Looks a partition up. Returns (in order of preference):
+  ///  - the resident data — a pure hit;
+  ///  - data reloaded from the entry's spill/origin file — a hit plus
+  ///    kCacheReloadBytes, re-resident when it fits the budget;
+  ///  - nullptr when the key was never inserted or its entry was dropped —
+  ///    a miss, the caller recomputes;
+  ///  - a non-OK Status when a reload failed after retries.
+  /// Disabled caches always return nullptr without counting a miss.
+  StatusOr<std::shared_ptr<const void>> Get(uint64_t dataset_id,
+                                            uint64_t partition);
+
+  /// Drops every entry of `dataset_id`, deleting any spill files the cache
+  /// wrote for it (origin files are left alone).
+  void DropDataset(uint64_t dataset_id);
+
+  /// A consistent point-in-time view, for tests and the bench.
+  struct Stats {
+    uint64_t resident_bytes = 0;
+    uint64_t resident_entries = 0;
+    uint64_t spilled_entries = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t spill_bytes = 0;
+    uint64_t reload_bytes = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Key {
+    uint64_t dataset_id = 0;
+    uint64_t partition = 0;
+    bool operator==(const Key& other) const {
+      return dataset_id == other.dataset_id && partition == other.partition;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      // splitmix64-style mix; the two ids are small sequential integers.
+      uint64_t z = key.dataset_id * 0x9e3779b97f4a7c15ULL + key.partition;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      return static_cast<size_t>(z ^ (z >> 31));
+    }
+  };
+
+  struct Entry {
+    std::shared_ptr<const void> data;  // null while spilled / dropped
+    uint64_t bytes = 0;
+    SpillFn spill;
+    ReloadFn reload;
+    std::string disk_path;        // spill target, or the origin file
+    bool on_disk = false;         // disk_path currently holds the data
+    bool owns_disk_file = false;  // the cache wrote disk_path (scratch spill)
+    std::list<Key>::iterator lru_it;  // valid only while resident
+    bool resident = false;
+  };
+
+  Tracer* tracer() const { return tracer_.load(std::memory_order_acquire); }
+
+  /// Evicts from the LRU end until resident bytes fit the budget. An entry
+  /// whose spill write fails after retries is kept resident (over budget)
+  /// rather than lost; the failure is logged once per cache.
+  void EvictUntilWithinBudgetLocked();
+  /// Evicts the LRU entry; false when its spill failed and it was kept.
+  bool EvictOneLocked();
+  std::string SpillPathLocked(const Key& key);
+  void MakeResidentLocked(const Key& key, Entry* entry,
+                          std::shared_ptr<const void> data);
+
+  Options options_;
+  CounterRegistry* counters_;
+  std::atomic<Tracer*> tracer_{nullptr};
+
+  mutable std::mutex mu_;
+  std::list<Key> lru_;  // front = least recently used
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::unordered_map<std::string, uint64_t> interned_;
+  uint64_t next_dataset_id_ = 1;
+  uint64_t resident_bytes_ = 0;
+  Stats stats_;  // resident_* fields are filled at stats() time
+  bool scratch_created_ = false;
+  bool spill_failure_logged_ = false;
+};
+
+}  // namespace st4ml
+
+#endif  // ST4ML_ENGINE_DATASET_CACHE_H_

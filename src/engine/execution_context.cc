@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/env.h"
 #include "common/fault_injector.h"
 
 namespace st4ml {
@@ -34,6 +35,32 @@ ExecutionContext::~ExecutionContext() {
   }
   work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+}
+
+void ExecutionContext::set_tracer(std::shared_ptr<Tracer> tracer) {
+  tracer_owned_ = std::move(tracer);
+  tracer_.store(tracer_owned_.get(), std::memory_order_release);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (cache_ != nullptr) cache_->set_tracer(tracer_owned_.get());
+}
+
+DatasetCache& ExecutionContext::cache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (cache_ == nullptr) {
+    DatasetCache::Options options;
+    int64_t budget = GetEnvInt("ST4ML_CACHE_BUDGET_BYTES", 0);
+    options.budget_bytes = budget < 0 ? DatasetCache::kUnbounded
+                                      : static_cast<uint64_t>(budget);
+    cache_ = std::make_unique<DatasetCache>(std::move(options), &counters_);
+    cache_->set_tracer(tracer());
+  }
+  return *cache_;
+}
+
+void ExecutionContext::ConfigureCache(DatasetCache::Options options) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_ = std::make_unique<DatasetCache>(std::move(options), &counters_);
+  cache_->set_tracer(tracer());
 }
 
 void ExecutionContext::FailJob(ParallelJob* job, Status status,

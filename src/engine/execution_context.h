@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/dataset_cache.h"
 #include "observability/counters.h"
 #include "observability/tracer.h"
 
@@ -76,12 +77,21 @@ class ExecutionContext : public std::enable_shared_from_this<ExecutionContext> {
   void ResetMetrics() { counters_.Reset(); }
 
   /// Attaches (or, with nullptr, detaches) a tracer. The context keeps the
-  /// tracer alive; instrumentation sites read the raw pointer.
-  void set_tracer(std::shared_ptr<Tracer> tracer) {
-    tracer_owned_ = std::move(tracer);
-    tracer_.store(tracer_owned_.get(), std::memory_order_release);
-  }
+  /// tracer alive; instrumentation sites read the raw pointer. Forwarded to
+  /// the dataset cache so its spill/reload spans land in the same trace.
+  void set_tracer(std::shared_ptr<Tracer> tracer);
   Tracer* tracer() const { return tracer_.load(std::memory_order_acquire); }
+
+  /// The context's dataset cache (DESIGN.md §9). Created on first access
+  /// with a budget from ST4ML_CACHE_BUDGET_BYTES (0 and unset mean
+  /// disabled; negative means unbounded), so library layers can consult
+  /// the cache unconditionally and pay nothing when it is off.
+  DatasetCache& cache();
+
+  /// Replaces the cache with one built from `options` — the programmatic
+  /// spelling of the env knob (tools' --cache-budget, tests, benches).
+  /// Call between pipelines: entries of the previous cache are dropped.
+  void ConfigureCache(DatasetCache::Options options);
 
   /// Runs `fn(0) .. fn(count - 1)` across the pool and blocks until all
   /// finish. The calling thread participates in the claim loop, so even a
@@ -163,6 +173,12 @@ class ExecutionContext : public std::enable_shared_from_this<ExecutionContext> {
   CounterRegistry counters_;
   std::shared_ptr<Tracer> tracer_owned_;
   std::atomic<Tracer*> tracer_{nullptr};
+
+  // Declared after counters_ so the cache (which holds a CounterRegistry*)
+  // is destroyed first. Guarded by its own mutex: worker tasks reach the
+  // cache through ctx->cache() while a job is running.
+  std::mutex cache_mu_;
+  std::unique_ptr<DatasetCache> cache_;
 
   std::mutex mu_;
   std::condition_variable work_cv_;

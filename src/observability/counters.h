@@ -30,6 +30,11 @@ namespace st4ml {
 ///    threw; kTasksRetried counts RetryPolicy re-attempts at the I/O
 ///    boundaries; kFaultsInjected counts engine-boundary faults the
 ///    FaultInjector fired (DESIGN.md §8 failure semantics).
+///  - kCache{Hits,Misses,Evictions} count DatasetCache lookups that found /
+///    did not find an entry and LRU evictions under the byte budget;
+///    kCacheSpillBytes / kCacheReloadBytes count STPQ bytes the cache wrote
+///    to and read back from its scratch or origin files (DESIGN.md §9).
+///    A disabled cache (budget 0) touches none of these.
 enum class Counter : uint32_t {
   kShuffleRecords = 0,
   kShuffleBytes,
@@ -59,6 +64,11 @@ enum class Counter : uint32_t {
   kTasksFailed,
   kTasksRetried,
   kFaultsInjected,
+  kCacheHits,
+  kCacheMisses,
+  kCacheEvictions,
+  kCacheSpillBytes,
+  kCacheReloadBytes,
   kNumCounters,
 };
 
@@ -96,6 +106,11 @@ inline const char* CounterName(Counter c) {
       "tasks_failed",
       "tasks_retried",
       "faults_injected",
+      "cache_hits",
+      "cache_misses",
+      "cache_evictions",
+      "cache_spill_bytes",
+      "cache_reload_bytes",
   };
   return kNames[static_cast<size_t>(c)];
 }

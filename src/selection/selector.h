@@ -3,13 +3,16 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
 #include "common/retry.h"
 #include "common/status.h"
+#include "engine/cached_dataset.h"
 #include "engine/dataset.h"
 #include "index/rtree.h"
 #include "partition/partitioner.h"
@@ -18,6 +21,48 @@
 #include "storage/stpq.h"
 
 namespace st4ml {
+
+namespace selection_internal {
+
+/// What the selector caches per STPQ file: the raw records PLUS the
+/// per-record R-tree, so a warm hit skips the file read, the parse AND the
+/// index build — only the tree query and the copy of matching records
+/// remain. The cache budget accounts the serialized record bytes; the tree
+/// is index overhead on top, as it is for the on-disk index itself.
+template <typename RecordT>
+struct IndexedStpqFile {
+  std::vector<RecordT> records;
+  RTree<STBox> tree;  // over per-record envelopes; empty when !has_tree
+  bool has_tree = false;
+};
+
+template <typename RecordT>
+std::shared_ptr<const IndexedStpqFile<RecordT>> MakeIndexedFile(
+    std::vector<RecordT> records, bool build_tree) {
+  auto file = std::make_shared<IndexedStpqFile<RecordT>>();
+  file->records = std::move(records);
+  if (build_tree) {
+    std::vector<STBox> boxes;
+    boxes.reserve(file->records.size());
+    for (const RecordT& r : file->records) boxes.push_back(r.ComputeSTBox());
+    file->tree.Build(boxes);
+    file->has_tree = true;
+  }
+  return file;
+}
+
+/// Cache reload fn: re-reads the origin file and rebuilds the tree, so an
+/// entry that was evicted under memory pressure comes back fully indexed.
+template <typename RecordT>
+StatusOr<std::shared_ptr<const void>> ReloadIndexedFile(
+    const std::string& path, uint64_t* io_bytes) {
+  auto loaded = ReadStpqFile<RecordT>(path, io_bytes);
+  if (!loaded.ok()) return loaded.status();
+  return std::shared_ptr<const void>(
+      MakeIndexedFile<RecordT>(std::move(*loaded), /*build_tree=*/true));
+}
+
+}  // namespace selection_internal
 
 struct SelectorOptions {
   /// When set (and partition_after_select is true), the selected records are
@@ -32,6 +77,13 @@ struct SelectorOptions {
   /// injected fault) are re-attempted with backoff before failing the
   /// Select; deterministic errors (NotFound, Corruption) fail immediately.
   RetryPolicy retry;
+  /// Serve repeated loads of the same file from the context's DatasetCache
+  /// (when its budget enables it): the pre-filter records are cached per
+  /// file together with their built R-tree, so later selections with
+  /// overlapping ST ranges query the in-memory index instead of re-reading
+  /// and re-indexing the file. Off, or with the cache disabled, every
+  /// Select reads its files — the seed behavior.
+  bool use_cache = true;
 };
 
 /// I/O accounting, accumulated across Select calls: how many file bytes were
@@ -88,6 +140,15 @@ class Selector {
   /// options_.retry before it counts as a failure). Partition i of the
   /// result is always file i — the parallel fill is index-addressed, so the
   /// output is byte-identical to the old sequential load.
+  ///
+  /// With caching on (options_.use_cache and an enabled context cache) each
+  /// file's records and built R-tree are kept under a key derived from the
+  /// file's path, size and mtime: a later Select over any query probes the
+  /// cached index instead of re-reading and re-indexing the file, and a
+  /// rewritten file gets a fresh key instead of stale bytes. Hit or miss,
+  /// the refine step evaluates the same envelopes against the same query,
+  /// so the selected output is byte-identical either way; only the I/O
+  /// counters differ.
   StatusOr<Dataset<RecordT>> LoadAndFilter(
       const std::vector<std::string>& paths) {
     ScopedSpan op(ctx_->tracer(), span_category::kOperation,
@@ -95,13 +156,31 @@ class Selector {
     CounterRegistry& counters = internal::Counters(*ctx_);
     Tracer* tracer = ctx_->tracer();
     const uint64_t op_span = op.id();
+    DatasetCache* cache =
+        options_.use_cache && ctx_->cache().enabled() ? &ctx_->cache()
+                                                      : nullptr;
     typename Dataset<RecordT>::Partitions parts(paths.size());
     // Per-file accounting slots, folded into stats_/counters on the driver
     // after the join — worker tasks never touch shared mutable state.
     std::vector<uint64_t> read_bytes(paths.size(), 0);
     std::vector<uint64_t> selected_bytes(paths.size(), 0);
+    std::vector<uint8_t> file_read(paths.size(), 0);
     auto load_task = [&](size_t i) -> Status {
       ScopedSpan io(tracer, span_category::kIo, "stpq_read", op_span);
+      uint64_t key = 0;
+      if (cache != nullptr) {
+        key = cache->InternDatasetId(FileCacheName(paths[i]));
+        auto got = cache->Get(key, 0);
+        if (!got.ok()) return got.status();
+        if (*got != nullptr) {
+          // Hit: query the cached pre-built index and copy only the
+          // matching records; no file I/O, no parse, no tree build.
+          auto file = std::static_pointer_cast<
+              const selection_internal::IndexedStpqFile<RecordT>>(*got);
+          parts[i] = FilterIndexed(*file, &selected_bytes[i]);
+          return Status::Ok();
+        }
+      }
       uint64_t attempts = 0;
       auto records = options_.retry.Run(
           [&]() -> StatusOr<std::vector<RecordT>> {
@@ -114,8 +193,20 @@ class Selector {
       io.AddArg("bytes", read_bytes[i]);
       if (attempts > 1) io.AddArg("attempts", attempts);
       if (!records.ok()) return records.status();
-      parts[i] =
-          FilterRecords(std::move(records).value(), &selected_bytes[i]);
+      file_read[i] = 1;
+      if (cache != nullptr) {
+        // Miss: admit the records (indexed, when this selector refines
+        // through the tree), with the source file as the reload path —
+        // eviction drops memory without writing anything.
+        auto file = selection_internal::MakeIndexedFile<RecordT>(
+            std::move(records).value(), options_.use_rtree);
+        cache->PutWithOrigin(key, 0, file, read_bytes[i], paths[i],
+                             &selection_internal::ReloadIndexedFile<RecordT>);
+        parts[i] = FilterIndexed(*file, &selected_bytes[i]);
+      } else {
+        parts[i] =
+            FilterRecords(std::move(records).value(), &selected_bytes[i]);
+      }
       return Status::Ok();
     };
     ST4ML_RETURN_IF_ERROR(
@@ -124,15 +215,19 @@ class Selector {
     uint64_t records_out = 0;
     uint64_t loaded_bytes = 0;
     uint64_t kept_bytes = 0;
+    uint64_t files_read = 0;
     for (size_t i = 0; i < paths.size(); ++i) {
       records_out += parts[i].size();
       loaded_bytes += read_bytes[i];
       kept_bytes += selected_bytes[i];
+      files_read += file_read[i];
     }
     stats_.bytes_loaded += loaded_bytes;
     stats_.bytes_selected += kept_bytes;
     counters.Add(Counter::kStpqBytesRead, loaded_bytes);
-    counters.Add(Counter::kStpqFilesRead, paths.size());
+    counters.Add(Counter::kStpqFilesRead, files_read);
+    // Scanned counts files CONSULTED (pruned + scanned == total), whether
+    // their bytes came from disk or from the cache.
     counters.Add(Counter::kPartitionsScanned, paths.size());
     counters.Add(Counter::kSelectionRecordsOut, records_out);
     counters.Add(Counter::kSelectionBytesSelected, kept_bytes);
@@ -150,26 +245,71 @@ class Selector {
     return selected;
   }
 
-  std::vector<RecordT> FilterRecords(std::vector<RecordT> records,
-                                     uint64_t* bytes_selected) {
-    std::vector<RecordT> kept;
+  /// Cache key for one STPQ file: path plus size and mtime, so a rewritten
+  /// file (re-ingest into the same directory) gets a fresh entry instead
+  /// of serving stale records. Costs one stat per file per Select — noise
+  /// next to the read it saves.
+  static std::string FileCacheName(const std::string& path) {
+    std::error_code ec;
+    uint64_t size = FileSizeBytes(path);
+    auto mtime = std::filesystem::last_write_time(path, ec);
+    int64_t stamp =
+        ec ? 0 : static_cast<int64_t>(mtime.time_since_epoch().count());
+    return "stpq:" + path + "|" + std::to_string(size) + "|" +
+           std::to_string(stamp);
+  }
+
+  /// Indices of the records matching the query, in record order (the tree
+  /// reports leaf order; sorting restores it so every refine path returns
+  /// identical datasets).
+  std::vector<size_t> MatchIndices(const std::vector<RecordT>& records) {
+    std::vector<size_t> hits;
     if (options_.use_rtree) {
       std::vector<STBox> boxes;
       boxes.reserve(records.size());
       for (const RecordT& r : records) boxes.push_back(r.ComputeSTBox());
       RTree<STBox> tree;
       tree.Build(boxes);
-      std::vector<size_t> hits = tree.Query(query_);
-      // The tree reports leaf order; restore record order so both refine
-      // paths return identical datasets.
+      hits = tree.Query(query_);
       std::sort(hits.begin(), hits.end());
-      kept.reserve(hits.size());
-      for (size_t i : hits) kept.push_back(std::move(records[i]));
     } else {
-      for (RecordT& r : records) {
-        if (r.ComputeSTBox().Intersects(query_)) kept.push_back(std::move(r));
+      for (size_t i = 0; i < records.size(); ++i) {
+        if (records[i].ComputeSTBox().Intersects(query_)) hits.push_back(i);
       }
     }
+    return hits;
+  }
+
+  /// Filter over a cached indexed file (borrowed, shared with the cache):
+  /// queries the pre-built tree when both sides agree on using one, and
+  /// copies out only the MATCHING records — a warm hit never pays for the
+  /// records the query rejects. The tree was built over the same envelopes
+  /// MatchIndices would compute, so the output is byte-identical to the
+  /// uncached path.
+  std::vector<RecordT> FilterIndexed(
+      const selection_internal::IndexedStpqFile<RecordT>& file,
+      uint64_t* bytes_selected) {
+    std::vector<size_t> hits;
+    if (options_.use_rtree && file.has_tree) {
+      hits = file.tree.Query(query_);
+      std::sort(hits.begin(), hits.end());
+    } else {
+      hits = MatchIndices(file.records);
+    }
+    std::vector<RecordT> kept;
+    kept.reserve(hits.size());
+    for (size_t i : hits) kept.push_back(file.records[i]);
+    for (const RecordT& r : kept) *bytes_selected += StpqRecordBytes(r);
+    return kept;
+  }
+
+  /// Filter over owned records (the uncached load path): matches are moved.
+  std::vector<RecordT> FilterRecords(std::vector<RecordT>&& records,
+                                     uint64_t* bytes_selected) {
+    std::vector<size_t> hits = MatchIndices(records);
+    std::vector<RecordT> kept;
+    kept.reserve(hits.size());
+    for (size_t i : hits) kept.push_back(std::move(records[i]));
     for (const RecordT& r : kept) *bytes_selected += StpqRecordBytes(r);
     return kept;
   }

@@ -2,7 +2,8 @@
 // it into an hourly time series, and emits one JSONL feature line per bin on
 // stdout — the end of the datagen | ingest | select | extract chain.
 //
-//   st4ml_select ... | st4ml_extract --interval=3600 [--trace=trace.json]
+//   st4ml_select ... | st4ml_extract --interval=3600
+//       [--cache-budget=67108864] [--trace=trace.json]
 //       [--metrics-json=metrics.json] > features.jsonl
 
 #include <algorithm>
@@ -51,6 +52,7 @@ int Run(int argc, char** argv) {
   }
 
   auto ctx = st4ml::ExecutionContext::Create();
+  st4ml::tools::ConfigureCacheFromFlags(flags, ctx);
   st4ml::tools::Observability observability(flags, ctx);
   auto data =
       st4ml::Dataset<st4ml::EventRecord>::Parallelize(ctx, *records, 4);

@@ -2,8 +2,8 @@
 // Prints matching events as CSV on stdout.
 //
 //   st4ml_select --dir=stpq_store --mbr=-74.05,40.60,-73.75,40.90
-//       --time=1577836800,1585612800 [--trace=trace.json]
-//       [--metrics-json=metrics.json] > selected.csv
+//       --time=1577836800,1585612800 [--cache-budget=67108864]
+//       [--trace=trace.json] [--metrics-json=metrics.json] > selected.csv
 
 #include <algorithm>
 #include <cstdio>
@@ -29,7 +29,8 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: st4ml_select --dir=DIR "
                  "--mbr=x1,y1,x2,y2 --time=start,end "
-                 "[--trace=FILE] [--metrics-json=FILE]\n");
+                 "[--cache-budget=BYTES] [--trace=FILE] "
+                 "[--metrics-json=FILE]\n");
     return 2;
   }
   st4ml::STBox query(
@@ -38,6 +39,7 @@ int Run(int argc, char** argv) {
                       static_cast<int64_t>(time[1])));
 
   auto ctx = st4ml::ExecutionContext::Create();
+  st4ml::tools::ConfigureCacheFromFlags(flags, ctx);
   st4ml::tools::Observability observability(flags, ctx);
   st4ml::Selector<st4ml::EventRecord> selector(ctx, query);
   st4ml::Pipeline pipeline(ctx, "st4ml_select");

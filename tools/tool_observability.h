@@ -14,6 +14,22 @@
 namespace st4ml {
 namespace tools {
 
+/// Shared `--cache-budget=BYTES` handling: configures the context's dataset
+/// cache with an explicit budget (negative means unbounded). Without the
+/// flag the context keeps its default, the ST4ML_CACHE_BUDGET_BYTES env
+/// knob (off when unset) — so scripts can arm the cache fleet-wide while a
+/// single invocation overrides it.
+inline void ConfigureCacheFromFlags(const Flags& flags,
+                                    const std::shared_ptr<ExecutionContext>&
+                                        ctx) {
+  if (!flags.Has("cache-budget")) return;
+  int64_t budget = flags.GetInt("cache-budget", 0);
+  DatasetCache::Options options;
+  options.budget_bytes = budget < 0 ? DatasetCache::kUnbounded
+                                    : static_cast<uint64_t>(budget);
+  ctx->ConfigureCache(std::move(options));
+}
+
 /// Shared `--trace=FILE` / `--metrics-json=FILE` handling for the CLI tools:
 /// installs a Tracer on the context when `--trace` is given, and Export()
 /// writes the Chrome trace and/or metrics JSON and prints the per-stage
