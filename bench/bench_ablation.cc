@@ -64,12 +64,13 @@ void AblateSelectionOrder(const BenchEnv& env) {
       auto all = loader.Select(env.nyc[2].plain_dir);
       ST4ML_CHECK(all.ok());
       TSTRPartitioner partitioner(4, 8);
-      auto partitioned = STPartition(
+      auto partitioned = TrySTPartition(
           *all, &partitioner,
           [](const EventRecord& r) { return r.ComputeSTBox(); },
           [](const EventRecord& r) { return static_cast<uint64_t>(r.id); });
+      ST4ML_CHECK(partitioned.ok());
       partitioned
-          .Filter([&q](const EventRecord& r) {
+          ->Filter([&q](const EventRecord& r) {
             return r.ComputeSTBox().Intersects(q);
           })
           .Count();
@@ -146,18 +147,20 @@ void AblateOperatorChoice(const BenchEnv& env) {
 
   env.ctx->ResetMetrics();
   double t_reduce = TimeIt([&] {
-    ReduceByKey<int64_t, int64_t>(
-        keyed, [](const int64_t& a, const int64_t& b) { return a + b; })
-        .Count();
+    auto reduced = TryReduceByKey<int64_t, int64_t>(
+        keyed, [](const int64_t& a, const int64_t& b) { return a + b; });
+    ST4ML_CHECK(reduced.ok());
+    reduced->Count();
   });
   table.AddRow({"reduceByKey(_+_)", FmtSeconds(t_reduce),
                 FmtCount(env.ctx->MetricsSnapshot().shuffle_records())});
 
   env.ctx->ResetMetrics();
   double t_group = TimeIt([&] {
-    auto grouped = GroupByKey<int64_t, int64_t>(keyed);
+    auto grouped = TryGroupByKey<int64_t, int64_t>(keyed);
+    ST4ML_CHECK(grouped.ok());
     grouped
-        .Map([](const std::pair<int64_t, std::vector<int64_t>>& kv) {
+        ->Map([](const std::pair<int64_t, std::vector<int64_t>>& kv) {
           int64_t sum = 0;
           for (int64_t v : kv.second) sum += v;
           return std::pair<int64_t, int64_t>(kv.first, sum);

@@ -79,10 +79,11 @@ DayResult RunDay(const BenchEnv& env, const RoadNetwork& network,
         return out;
       },
       "caseFlow/key");
-  auto flow = ReduceByKey<std::pair<int64_t, int64_t>, int64_t,
-                          std::plus<int64_t>, PairHash>(keyed,
-                                                        std::plus<int64_t>());
-  auto rows = flow.Collect();
+  auto flow = TryReduceByKey<std::pair<int64_t, int64_t>, int64_t,
+                             std::plus<int64_t>, PairHash>(
+      keyed, std::plus<int64_t>());
+  ST4ML_CHECK(flow.ok());
+  auto rows = flow->Collect();
   result.processing_s = timer.ElapsedSeconds();
   result.flow_rows = rows.size();
   for (const auto& t : matched.Collect()) result.matched_points += t.entries.size();

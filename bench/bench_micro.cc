@@ -106,9 +106,9 @@ void BM_ShuffleReduceByKey(benchmark::State& state) {
   for (int i = 0; i < n; ++i) data.emplace_back(i % 128, 1);
   auto ds = Dataset<std::pair<int, int>>::Parallelize(ctx, data, 8);
   for (auto _ : state) {
-    auto reduced =
-        ReduceByKey<int, int>(ds, [](const int& a, const int& b) { return a + b; });
-    benchmark::DoNotOptimize(reduced.Count());
+    auto reduced = TryReduceByKey<int, int>(
+        ds, [](const int& a, const int& b) { return a + b; });
+    benchmark::DoNotOptimize(reduced->Count());
   }
   state.SetItemsProcessed(state.iterations() * n);
 }

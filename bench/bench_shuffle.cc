@@ -266,7 +266,10 @@ int Run(int argc, char** argv) {
 
       Dataset<KV> new_reduce, old_reduce;
       Measurement b = Measure(ctx, reps, [&] {
-        new_reduce = ReduceByKey<int64_t, int64_t>(data, std::plus<int64_t>());
+        auto reduced =
+            TryReduceByKey<int64_t, int64_t>(data, std::plus<int64_t>());
+        ST4ML_CHECK(reduced.ok());
+        new_reduce = std::move(*reduced);
       });
       Measurement l = Measure(ctx, reps, [&] {
         old_reduce =
@@ -278,8 +281,10 @@ int Run(int argc, char** argv) {
 
       Dataset<std::pair<CellHourKey, int64_t>> new_cell, old_cell;
       b = Measure(ctx, reps, [&] {
-        new_cell = ReduceByKey<CellHourKey, int64_t, std::plus<int64_t>,
-                               PairHash>(cell_data, std::plus<int64_t>());
+        auto reduced = TryReduceByKey<CellHourKey, int64_t, std::plus<int64_t>,
+                                      PairHash>(cell_data, std::plus<int64_t>());
+        ST4ML_CHECK(reduced.ok());
+        new_cell = std::move(*reduced);
       });
       l = Measure(ctx, reps, [&] {
         old_cell =
@@ -290,8 +295,11 @@ int Run(int argc, char** argv) {
               std::move(new_cell).Collect() == std::move(old_cell).Collect());
 
       Dataset<std::pair<int64_t, std::vector<int64_t>>> new_group, old_group;
-      b = Measure(ctx, reps,
-                  [&] { new_group = GroupByKey<int64_t, int64_t>(data); });
+      b = Measure(ctx, reps, [&] {
+        auto grouped = TryGroupByKey<int64_t, int64_t>(data);
+        ST4ML_CHECK(grouped.ok());
+        new_group = std::move(*grouped);
+      });
       l = Measure(ctx, reps, [&] {
         old_group = legacy::GroupByKey<int64_t, int64_t>(data);
       });
@@ -302,7 +310,9 @@ int Run(int argc, char** argv) {
       Dataset<std::pair<CellHourKey, std::vector<int64_t>>> new_cgroup,
           old_cgroup;
       b = Measure(ctx, reps, [&] {
-        new_cgroup = GroupByKey<CellHourKey, int64_t, PairHash>(cell_data);
+        auto grouped = TryGroupByKey<CellHourKey, int64_t, PairHash>(cell_data);
+        ST4ML_CHECK(grouped.ok());
+        new_cgroup = std::move(*grouped);
       });
       l = Measure(ctx, reps, [&] {
         old_cgroup =

@@ -75,12 +75,13 @@ double TimeEventCompanions(const Dataset<STEvent>& events,
   return TimeIt([&] {
     STPartitionOptions options;
     options.duplicate = true;
-    auto partitioned = STPartition(
+    auto partitioned = TrySTPartition(
         events, partitioner,
         [](const STEvent& e) { return e.ComputeSTBox(); },
         [](const STEvent& e) { return static_cast<uint64_t>(e.data.id); },
         options);
-    ExtractEventCompanions(partitioned, kCompanionDistM, kCompanionDtS,
+    ST4ML_CHECK(partitioned.ok());
+    ExtractEventCompanions(*partitioned, kCompanionDistM, kCompanionDtS,
                            [](const STEvent& e) { return e.data.id; })
         .Count();
   });
@@ -91,12 +92,13 @@ double TimeTrajCompanions(const Dataset<STTrajectory>& trajs,
   return TimeIt([&] {
     STPartitionOptions options;
     options.duplicate = true;
-    auto partitioned = STPartition(
+    auto partitioned = TrySTPartition(
         trajs, partitioner,
         [](const STTrajectory& t) { return t.ComputeSTBox(); },
         [](const STTrajectory& t) { return static_cast<uint64_t>(t.data); },
         options);
-    ExtractTrajCompanions(partitioned, kCompanionDistM, kCompanionDtS,
+    ST4ML_CHECK(partitioned.ok());
+    ExtractTrajCompanions(*partitioned, kCompanionDistM, kCompanionDtS,
                           [](const STTrajectory& t) { return t.data; })
         .Count();
   });

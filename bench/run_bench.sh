@@ -42,6 +42,7 @@ run_one() {
 if [ $# -eq 0 ]; then
   run_one "$repo_root/build/bench/bench_shuffle"
   run_one "$repo_root/build/bench/bench_cache"
+  run_one "$repo_root/build/bench/bench_serve"
 else
   run_one "$@"
 fi

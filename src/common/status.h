@@ -19,6 +19,7 @@ class Status {
     kIOError = 3,
     kInvalidArgument = 4,
     kInternal = 5,
+    kResourceExhausted = 6,
   };
 
   Status() : code_(Code::kOk) {}
@@ -39,6 +40,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -54,6 +58,7 @@ class Status {
       case Code::kIOError: name = "IOError"; break;
       case Code::kInvalidArgument: name = "InvalidArgument"; break;
       case Code::kInternal: name = "Internal"; break;
+      case Code::kResourceExhausted: name = "ResourceExhausted"; break;
     }
     return std::string(name) + ": " + message_;
   }

@@ -101,6 +101,12 @@ void ExecutionContext::RunChunkBody(ParallelJob* job, size_t start,
 }
 
 size_t ExecutionContext::RunChunks(ParallelJob* job) {
+  // Attribute everything this thread does for the job — chunk claims, task
+  // failures, counters bumped inside the task fn (cache hits, retries) — to
+  // the job's own registry. On the driver this re-installs the sink that is
+  // already current; on a worker it scopes the publisher's sink to exactly
+  // this job's chunks.
+  ScopedJobCounters job_scope(job->job_counters);
   size_t processed = 0;
   for (;;) {
     size_t start = job->next.fetch_add(job->chunk, std::memory_order_relaxed);
@@ -135,16 +141,27 @@ size_t ExecutionContext::RunChunks(ParallelJob* job) {
   return processed;
 }
 
+std::shared_ptr<ExecutionContext::ParallelJob>
+ExecutionContext::FindClaimableLocked() {
+  for (const std::shared_ptr<ParallelJob>& job : active_jobs_) {
+    if (job->next.load(std::memory_order_relaxed) < job->count) return job;
+  }
+  return nullptr;
+}
+
 void ExecutionContext::WorkerLoop() {
-  std::shared_ptr<ParallelJob> last;
   for (;;) {
     std::shared_ptr<ParallelJob> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return shutdown_ || job_ != last; });
-      if (shutdown_) return;
-      job = job_;
-      last = job;
+      work_cv_.wait(lock, [&] {
+        if (shutdown_) return true;
+        job = FindClaimableLocked();
+        return job != nullptr;
+      });
+      // Shutdown requires every driver to have drained first (RunParallel
+      // blocks its caller), so a null job here can only mean "exit".
+      if (job == nullptr) return;
     }
     size_t processed = RunChunks(job.get());
     if (processed > 0 &&
@@ -170,6 +187,7 @@ Status ExecutionContext::RunParallelImpl(
   job->fn = &fn;
   job->count = count;
   job->counters = &counters_;
+  job->job_counters = internal::tls_job_counters;
   job->tracer = tracer;
   job->op_span = op.id();
   if (count == 1 || num_workers_ == 1) {
@@ -186,7 +204,7 @@ Status ExecutionContext::RunParallelImpl(
         std::max<size_t>(1, count / (static_cast<size_t>(num_workers_) * 8));
     {
       std::lock_guard<std::mutex> lock(mu_);
-      job_ = job;
+      active_jobs_.push_back(job);
     }
     work_cv_.notify_all();
 
@@ -199,6 +217,10 @@ Status ExecutionContext::RunParallelImpl(
     done_cv_.wait(lock, [&] {
       return job->done.load(std::memory_order_acquire) == job->count;
     });
+    // Retire the drained job. A worker that still holds a shared_ptr to it
+    // claims nothing (next >= count) and never touches fn again.
+    active_jobs_.erase(
+        std::find(active_jobs_.begin(), active_jobs_.end(), job));
   }
   if (!job->failed.load(std::memory_order_acquire)) return Status::Ok();
   op.AddArg("failed", 1);

@@ -54,6 +54,15 @@ CounterRegistry& Counters(ExecutionContext& ctx);
 /// one exception rethrown on the DRIVER thread on the void RunParallel
 /// path. Worker threads survive to run the next job; nothing unwinds
 /// through WorkerLoop.
+///
+/// Concurrency (DESIGN.md §10): RunParallel may be called from SEVERAL
+/// driver threads at once — one warm daemon context serves every in-flight
+/// request. Each call publishes its job into an active list; idle workers
+/// claim chunks from the first job that still has unclaimed indices, so
+/// concurrent pipelines share the pool instead of the latest publisher
+/// stealing it. Per-job attribution stays exact: each job captures the
+/// publishing thread's job-scoped counter sink (ScopedJobCounters) and the
+/// engine re-installs it on whichever thread runs that job's chunks.
 class ExecutionContext : public std::enable_shared_from_this<ExecutionContext> {
  public:
   /// `Create()` sizes the pool to the hardware; `Create(n)` forces n workers.
@@ -135,6 +144,11 @@ class ExecutionContext : public std::enable_shared_from_this<ExecutionContext> {
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
     CounterRegistry* counters = nullptr;
+    /// The publishing thread's job-scoped counter sink (may be null):
+    /// re-installed on every thread that runs this job's chunks, so worker-
+    /// side deltas land in the right Job even when several jobs share the
+    /// pool.
+    CounterRegistry* job_counters = nullptr;
     Tracer* tracer = nullptr;  // null when tracing is off
     uint64_t op_span = 0;      // parent for task spans
 
@@ -180,10 +194,15 @@ class ExecutionContext : public std::enable_shared_from_this<ExecutionContext> {
   std::mutex cache_mu_;
   std::unique_ptr<DatasetCache> cache_;
 
+  /// First active job with unclaimed chunks, or null. Caller holds mu_.
+  std::shared_ptr<ParallelJob> FindClaimableLocked();
+
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  std::shared_ptr<ParallelJob> job_;  // current job; published under mu_
+  /// Every published, not-yet-drained job, in publish order — concurrent
+  /// driver threads each contribute one entry. Guarded by mu_.
+  std::vector<std::shared_ptr<ParallelJob>> active_jobs_;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };

@@ -220,6 +220,7 @@ StatusOr<Dataset<std::pair<K, V>>> TryReduceByKey(
 /// Legacy value-returning spelling: throws StatusError on failure.
 template <typename K, typename V, typename Reduce,
           typename Hash = std::hash<K>>
+[[deprecated("use TryReduceByKey: Status-returning, never throws")]]
 Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds,
                                      Reduce reduce) {
   auto result = TryReduceByKey<K, V, Reduce, Hash>(ds, reduce);
@@ -328,6 +329,7 @@ StatusOr<Dataset<std::pair<K, std::vector<V>>>> TryGroupByKey(
 
 /// Legacy value-returning spelling: throws StatusError on failure.
 template <typename K, typename V, typename Hash = std::hash<K>>
+[[deprecated("use TryGroupByKey: Status-returning, never throws")]]
 Dataset<std::pair<K, std::vector<V>>> GroupByKey(
     const Dataset<std::pair<K, V>>& ds) {
   auto result = TryGroupByKey<K, V, Hash>(ds);

@@ -146,13 +146,29 @@ struct MetricsSnapshot {
   }
 };
 
+class CounterRegistry;
+
+namespace internal {
+/// The job-scoped counter sink installed on the current thread (nullptr when
+/// no job is active). Every CounterRegistry::Add forwards its delta here in
+/// addition to the registry's own slot, which is how one shared engine
+/// serving several concurrent pipelines keeps an EXACT per-job copy of each
+/// counter: the Session/Job layer installs a job's registry on the driver
+/// thread (ScopedJobCounters) and the engine re-installs it on whichever
+/// worker thread runs one of that job's chunks — so a delta is attributed to
+/// the job that caused it, never to a neighbor sharing the pool.
+inline thread_local CounterRegistry* tls_job_counters = nullptr;
+}  // namespace internal
+
 /// The mutable registry behind ExecutionContext::MetricsSnapshot(). Only the
 /// engine writes it (via internal::Counters); everyone else sees snapshots.
 class CounterRegistry {
  public:
   void Add(Counter c, uint64_t delta) {
-    values_[static_cast<size_t>(c)].fetch_add(delta,
-                                              std::memory_order_relaxed);
+    AddSlot(c, delta);
+    CounterRegistry* job = internal::tls_job_counters;
+    // AddSlot, not Add: the job registry must not forward back into itself.
+    if (job != nullptr && job != this) job->AddSlot(c, delta);
   }
 
   /// One shuffle's accounting: bumps the legacy totals and the per-operator
@@ -199,7 +215,32 @@ class CounterRegistry {
   }
 
  private:
+  void AddSlot(Counter c, uint64_t delta) {
+    values_[static_cast<size_t>(c)].fetch_add(delta,
+                                              std::memory_order_relaxed);
+  }
+
   std::array<std::atomic<uint64_t>, kNumCounters> values_{};
+};
+
+/// RAII installer of a job-scoped counter sink on the CURRENT thread: while
+/// alive, every counter delta recorded on this thread (and, via the engine,
+/// on worker threads running this job's chunks) is also added to `job`.
+/// Nests: the previous sink is restored on destruction. Thread-bound by
+/// construction — create and destroy on the same thread.
+class ScopedJobCounters {
+ public:
+  explicit ScopedJobCounters(CounterRegistry* job)
+      : prev_(internal::tls_job_counters) {
+    internal::tls_job_counters = job;
+  }
+  ~ScopedJobCounters() { internal::tls_job_counters = prev_; }
+
+  ScopedJobCounters(const ScopedJobCounters&) = delete;
+  ScopedJobCounters& operator=(const ScopedJobCounters&) = delete;
+
+ private:
+  CounterRegistry* prev_;
 };
 
 }  // namespace st4ml

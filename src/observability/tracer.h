@@ -16,6 +16,7 @@ namespace st4ml {
 /// Span categories, ordered from coarse to fine. They double as the `cat`
 /// field of the Chrome trace export, so Perfetto can filter by level.
 namespace span_category {
+inline constexpr const char* kJob = "job";
 inline constexpr const char* kPipeline = "pipeline";
 inline constexpr const char* kStage = "stage";
 inline constexpr const char* kOperation = "operation";
@@ -46,9 +47,11 @@ struct SpanRecord {
 /// Tracing is OFF unless an ExecutionContext is given a Tracer; every
 /// instrumentation site checks a raw pointer and no-ops on nullptr, so the
 /// disabled cost is one predictable branch per *operation* (never per
-/// record). The driver-side current-span stack (auto-parenting for
-/// ScopedSpan) is only mutated by the thread that runs the pipeline, which
-/// is also the only thread that opens stage/operation spans.
+/// record). The current-span stack (auto-parenting for ScopedSpan) is kept
+/// PER THREAD: each driver thread — a CLI main, or one daemon connection
+/// running its own Job — parents its scoped spans under its own open spans
+/// only, so concurrent jobs sharing one tracer never interleave their span
+/// trees. Worker-task spans use explicit parents and touch no stack.
 class Tracer {
  public:
   Tracer() = default;
@@ -71,19 +74,21 @@ class Tracer {
     return spans_.back().id;
   }
 
-  /// Opens a span under the driver's current span and makes it current.
+  /// Opens a span under the CALLING THREAD's current span and makes it this
+  /// thread's current.
   uint64_t BeginScopedSpan(const char* category, std::string name) {
     int64_t now = clock_.ElapsedMicros();
     std::lock_guard<std::mutex> lock(mu_);
+    std::vector<uint64_t>& current = CurrentStackLocked();
     SpanRecord span;
     span.id = spans_.size() + 1;
-    span.parent = current_.empty() ? 0 : current_.back();
+    span.parent = current.empty() ? 0 : current.back();
     span.name = std::move(name);
     span.category = category;
     span.tid = ThreadIndexLocked();
     span.start_us = now;
     spans_.push_back(std::move(span));
-    current_.push_back(spans_.back().id);
+    current.push_back(spans_.back().id);
     return spans_.back().id;
   }
 
@@ -92,7 +97,8 @@ class Tracer {
     std::lock_guard<std::mutex> lock(mu_);
     if (id == 0 || id > spans_.size()) return;
     spans_[id - 1].end_us = now;
-    if (!current_.empty() && current_.back() == id) current_.pop_back();
+    std::vector<uint64_t>& current = CurrentStackLocked();
+    if (!current.empty() && current.back() == id) current.pop_back();
   }
 
   void AddSpanArg(uint64_t id, std::string key, uint64_t value) {
@@ -101,11 +107,12 @@ class Tracer {
     spans_[id - 1].args.emplace_back(std::move(key), value);
   }
 
-  /// The innermost open driver-side span, for explicit parenting of spans
-  /// created on worker threads. 0 when no span is open.
+  /// The innermost open span of the CALLING THREAD, for explicit parenting
+  /// of spans created on worker threads. 0 when this thread has none open.
   uint64_t CurrentSpan() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return current_.empty() ? 0 : current_.back();
+    auto it = current_.find(std::this_thread::get_id());
+    return it == current_.end() || it->second.empty() ? 0 : it->second.back();
   }
 
   /// Copies every span recorded so far. Open spans keep end_us = -1; the
@@ -126,10 +133,17 @@ class Tracer {
     return it->second;
   }
 
+  std::vector<uint64_t>& CurrentStackLocked() {
+    return current_[std::this_thread::get_id()];
+  }
+
   Stopwatch clock_;
   mutable std::mutex mu_;
   std::vector<SpanRecord> spans_;
-  std::vector<uint64_t> current_;
+  /// Per-thread open-span stacks (one per driver thread; worker task spans
+  /// never push). Bounded by thread count, never cleared — spans outlive
+  /// the threads that opened them, the stacks are just parents-in-progress.
+  std::unordered_map<std::thread::id, std::vector<uint64_t>> current_;
   std::unordered_map<std::thread::id, uint32_t> tids_;
 };
 

@@ -68,6 +68,7 @@ StatusOr<Dataset<T>> TrySTPartition(const Dataset<T>& data,
 
 /// Legacy value-returning spelling: throws StatusError on failure.
 template <typename T, typename BoxFn, typename IdFn>
+[[deprecated("use TrySTPartition: Status-returning, never throws")]]
 Dataset<T> STPartition(const Dataset<T>& data, STPartitioner* partitioner,
                        BoxFn box_of, IdFn id_of,
                        STPartitionOptions options = {}) {

@@ -118,6 +118,12 @@ class Pipeline {
   /// "stage <name>: " prefix.
   const Status& status() const { return status_; }
 
+  /// Clears the latched stage failure so the SAME Pipeline can run further
+  /// stages after one failed — a long-lived caller (the daemon's Session,
+  /// a REPL) must not carry one request's error into the next. The pipeline
+  /// span is left as-is: Reset rewinds the error latch, not the trace.
+  void Reset() { status_ = Status(); }
+
   /// Runs `fn(args...)` as one named stage and returns its result.
   template <typename Fn, typename... Args>
   auto Run(const std::string& stage_name, Fn&& fn, Args&&... args) {

@@ -1,0 +1,102 @@
+#ifndef ST4ML_SERVER_ADMISSION_H_
+#define ST4ML_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace st4ml {
+namespace server {
+
+/// Bounded admission for job-verb requests: at most `max_inflight` jobs run
+/// concurrently, at most `queue_depth` callers wait for a slot, and anything
+/// beyond that is shed immediately with ResourceExhausted. The two bounds
+/// are the daemon's back-pressure story — a burst parks briefly instead of
+/// oversubscribing the shared worker pool, while a sustained overload fails
+/// fast instead of building an unbounded latency queue.
+class AdmissionQueue {
+ public:
+  AdmissionQueue(size_t max_inflight, size_t queue_depth)
+      : max_inflight_(max_inflight), queue_depth_(queue_depth) {}
+
+  /// Blocks until a slot frees (fair enough: whoever wakes first wins) or
+  /// the queue is Closed. Sheds with ResourceExhausted when the wait queue
+  /// itself is full. On Ok the caller MUST Release() when its job finishes.
+  Status Acquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return Status::ResourceExhausted("server shutting down");
+    if (inflight_ < max_inflight_) {
+      ++inflight_;
+      return Status::Ok();
+    }
+    if (waiting_ >= queue_depth_) {
+      return Status::ResourceExhausted(
+          "server at capacity (" + std::to_string(max_inflight_) +
+          " in flight, " + std::to_string(queue_depth_) + " queued)");
+    }
+    ++waiting_;
+    cv_.wait(lock, [this] { return closed_ || inflight_ < max_inflight_; });
+    --waiting_;
+    if (closed_) return Status::ResourceExhausted("server shutting down");
+    ++inflight_;
+    return Status::Ok();
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --inflight_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Shutdown: queued waiters are rejected; already-admitted jobs are NOT
+  /// interrupted — the server drains them before closing sockets.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t inflight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inflight_;
+  }
+
+ private:
+  const size_t max_inflight_;
+  const size_t queue_depth_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t inflight_ = 0;
+  size_t waiting_ = 0;
+  bool closed_ = false;
+};
+
+/// RAII pairing for Acquire/Release: releases on destruction when admitted.
+class AdmissionTicket {
+ public:
+  explicit AdmissionTicket(AdmissionQueue* queue)
+      : queue_(queue), status_(queue->Acquire()) {}
+  ~AdmissionTicket() {
+    if (status_.ok()) queue_->Release();
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  bool admitted() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+ private:
+  AdmissionQueue* queue_;
+  Status status_;
+};
+
+}  // namespace server
+}  // namespace st4ml
+
+#endif  // ST4ML_SERVER_ADMISSION_H_

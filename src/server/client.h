@@ -1,0 +1,46 @@
+#ifndef ST4ML_SERVER_CLIENT_H_
+#define ST4ML_SERVER_CLIENT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace st4ml {
+namespace server {
+
+/// Blocking client for the st4mld protocol — what st4ml_client and the
+/// server tests speak. One Client is one connection; Call() frames the
+/// request, waits for the response frame, and hands back the raw JSON (the
+/// caller decides whether to parse or just print it).
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&&) = delete;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to st4mld on 127.0.0.1:`port`.
+  static StatusOr<Client> Connect(int port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// One request/response round trip. `max_response_bytes` guards the
+  /// client against a runaway response the same way the server guards
+  /// against runaway requests.
+  StatusOr<std::string> Call(const std::string& request_json,
+                             size_t max_response_bytes = 64 << 20);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace server
+}  // namespace st4ml
+
+#endif  // ST4ML_SERVER_CLIENT_H_

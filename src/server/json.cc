@@ -1,0 +1,321 @@
+#include "server/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace st4ml {
+namespace server {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+/// Recursive-descent parser over [pos, end). All Parse* leave `pos` one past
+/// the value they consumed.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    JsonValue value;
+    ST4ML_RETURN_IF_ERROR(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return Status::InvalidArgument("JSON nested deeper than 64 levels");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of JSON input");
+    }
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string_value);
+      case 't':
+      case 'f': return ParseLiteral(out);
+      case 'n': return ParseLiteral(out);
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->type = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::Ok();
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Status::InvalidArgument("expected string key in JSON object");
+      }
+      std::string key;
+      ST4ML_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Status::InvalidArgument("expected ':' in JSON object");
+      }
+      JsonValue value;
+      ST4ML_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::Ok();
+      if (!Consume(',')) {
+        return Status::InvalidArgument("expected ',' or '}' in JSON object");
+      }
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->type = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::Ok();
+    for (;;) {
+      JsonValue value;
+      ST4ML_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return Status::Ok();
+      if (!Consume(',')) {
+        return Status::InvalidArgument("expected ',' or ']' in JSON array");
+      }
+    }
+  }
+
+  Status ParseLiteral(JsonValue* out) {
+    auto matches = [&](const char* literal) {
+      size_t n = std::string(literal).size();
+      if (text_.compare(pos_, n, literal) != 0) return false;
+      pos_ += n;
+      return true;
+    };
+    if (matches("true")) {
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = true;
+      return Status::Ok();
+    }
+    if (matches("false")) {
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = false;
+      return Status::Ok();
+    }
+    if (matches("null")) {
+      out->type = JsonValue::Type::kNull;
+      return Status::Ok();
+    }
+    return Status::InvalidArgument("unrecognized JSON literal");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("unexpected character in JSON");
+    }
+    std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(parsed)) {
+      return Status::InvalidArgument("malformed JSON number '" + token + "'");
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->number_value = parsed;
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c == '\\') {
+        ST4ML_RETURN_IF_ERROR(ParseEscape(out));
+        continue;
+      }
+      if (c < 0x20) {
+        return Status::InvalidArgument("unescaped control char in string");
+      }
+      out->push_back(static_cast<char>(c));
+      ++pos_;
+    }
+    return Status::InvalidArgument("unterminated JSON string");
+  }
+
+  Status ParseEscape(std::string* out) {
+    ++pos_;  // backslash
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("dangling escape in JSON string");
+    }
+    char c = text_[pos_++];
+    switch (c) {
+      case '"': out->push_back('"'); return Status::Ok();
+      case '\\': out->push_back('\\'); return Status::Ok();
+      case '/': out->push_back('/'); return Status::Ok();
+      case 'b': out->push_back('\b'); return Status::Ok();
+      case 'f': out->push_back('\f'); return Status::Ok();
+      case 'n': out->push_back('\n'); return Status::Ok();
+      case 'r': out->push_back('\r'); return Status::Ok();
+      case 't': out->push_back('\t'); return Status::Ok();
+      case 'u': return ParseUnicodeEscape(out);
+      default: return Status::InvalidArgument("bad escape in JSON string");
+    }
+  }
+
+  Status ParseUnicodeEscape(std::string* out) {
+    uint32_t code = 0;
+    ST4ML_RETURN_IF_ERROR(ParseHex4(&code));
+    // Surrogate pair: a high surrogate must be followed by \u + low.
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        return Status::InvalidArgument("lone high surrogate in JSON string");
+      }
+      pos_ += 2;
+      uint32_t low = 0;
+      ST4ML_RETURN_IF_ERROR(ParseHex4(&low));
+      if (low < 0xDC00 || low > 0xDFFF) {
+        return Status::InvalidArgument("bad surrogate pair in JSON string");
+      }
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      return Status::InvalidArgument("lone low surrogate in JSON string");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return Status::Ok();
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) {
+      return Status::InvalidArgument("truncated \\u escape in JSON string");
+    }
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Status::InvalidArgument("bad hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::Ok();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 const std::string& default_value) const {
+  const JsonValue* value = Find(key);
+  return value != nullptr && value->IsString() ? value->string_value
+                                               : default_value;
+}
+
+int64_t JsonValue::GetInt(const std::string& key, int64_t default_value) const {
+  const JsonValue* value = Find(key);
+  return value != nullptr && value->IsNumber()
+             ? static_cast<int64_t>(value->number_value)
+             : default_value;
+}
+
+double JsonValue::GetDouble(const std::string& key,
+                            double default_value) const {
+  const JsonValue* value = Find(key);
+  return value != nullptr && value->IsNumber() ? value->number_value
+                                               : default_value;
+}
+
+Status JsonValue::GetNumberArray(const std::string& key, size_t count,
+                                 std::vector<double>* out) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr || !value->IsArray() || value->array.size() != count) {
+    return Status::InvalidArgument("'" + key + "' must be an array of " +
+                                   std::to_string(count) + " numbers");
+  }
+  out->clear();
+  out->reserve(count);
+  for (const JsonValue& element : value->array) {
+    if (!element.IsNumber()) {
+      return Status::InvalidArgument("'" + key + "' must be an array of " +
+                                     std::to_string(count) + " numbers");
+    }
+    out->push_back(element.number_value);
+  }
+  return Status::Ok();
+}
+
+StatusOr<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace server
+}  // namespace st4ml

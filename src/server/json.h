@@ -1,0 +1,61 @@
+#ifndef ST4ML_SERVER_JSON_H_
+#define ST4ML_SERVER_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace st4ml {
+namespace server {
+
+/// A parsed JSON value — the request half of the wire protocol (responses
+/// are built with the existing JsonObject writer). Deliberately a plain
+/// tagged struct: requests are tiny, and the daemon only ever walks them
+/// once through the typed accessors below.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool IsNull() const { return type == Type::kNull; }
+  bool IsBool() const { return type == Type::kBool; }
+  bool IsNumber() const { return type == Type::kNumber; }
+  bool IsString() const { return type == Type::kString; }
+  bool IsArray() const { return type == Type::kArray; }
+  bool IsObject() const { return type == Type::kObject; }
+
+  /// Member lookup on an object; nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Typed member access with defaults, for optional request fields.
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+
+  /// Requires `key` to be an array of exactly `count` numbers (request
+  /// validation for mbr/time).
+  Status GetNumberArray(const std::string& key, size_t count,
+                        std::vector<double>* out) const;
+};
+
+/// Parses one JSON document (any value type at the root). Rejects trailing
+/// garbage, unterminated strings/containers, bad escapes, bad numbers, and
+/// nesting deeper than 64 levels — a malformed frame must become a clean
+/// InvalidArgument, never UB. \uXXXX escapes decode to UTF-8 (surrogate
+/// pairs included).
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace server
+}  // namespace st4ml
+
+#endif  // ST4ML_SERVER_JSON_H_

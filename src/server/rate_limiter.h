@@ -1,0 +1,55 @@
+#ifndef ST4ML_SERVER_RATE_LIMITER_H_
+#define ST4ML_SERVER_RATE_LIMITER_H_
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+namespace st4ml {
+namespace server {
+
+/// Token-bucket limiter for job-verb requests (select/extract). Refill is
+/// computed lazily from the monotonic clock on each TryAcquire — no refill
+/// thread to manage or shut down. `rate_qps == 0` disables limiting.
+///
+/// st4mld applies this only to verbs that start engine jobs: ping/stats
+/// must keep answering while the bucket is dry, or the operator loses
+/// exactly the health signal that explains the 429s.
+class RateLimiter {
+ public:
+  /// `burst` is the bucket capacity (and initial fill): how many requests
+  /// may land back-to-back before the steady `rate_qps` drip governs.
+  RateLimiter(double rate_qps, double burst)
+      : rate_qps_(rate_qps),
+        burst_(std::max(burst, 1.0)),
+        tokens_(std::max(burst, 1.0)),
+        last_refill_(Clock::now()) {}
+
+  /// Consumes one token if available. Never blocks: a dry bucket is the
+  /// caller's cue to shed with RESOURCE_EXHAUSTED, not to queue.
+  bool TryAcquire() {
+    if (rate_qps_ <= 0) return true;
+    std::lock_guard<std::mutex> lock(mu_);
+    Clock::time_point now = Clock::now();
+    double elapsed = std::chrono::duration<double>(now - last_refill_).count();
+    last_refill_ = now;
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_qps_);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const double rate_qps_;
+  const double burst_;
+  std::mutex mu_;
+  double tokens_;
+  Clock::time_point last_refill_;
+};
+
+}  // namespace server
+}  // namespace st4ml
+
+#endif  // ST4ML_SERVER_RATE_LIMITER_H_

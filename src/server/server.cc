@@ -1,0 +1,398 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "conversion/parse.h"
+#include "conversion/singular_to_collective.h"
+#include "extraction/collective_extractors.h"
+#include "selection/selector.h"
+#include "server/frame.h"
+#include "storage/json.h"
+
+namespace st4ml {
+namespace server {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk: return "OK";
+    case Status::Code::kNotFound: return "NOT_FOUND";
+    case Status::Code::kCorruption: return "CORRUPTION";
+    case Status::Code::kIOError: return "IO_ERROR";
+    case Status::Code::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Status::Code::kInternal: return "INTERNAL";
+    case Status::Code::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+  }
+  return "INTERNAL";
+}
+
+std::string ErrorResponse(const Status& status) {
+  JsonObject obj;
+  obj.Add("ok", false)
+      .Add("code", CodeName(status.code()))
+      .Add("error", status.message());
+  return obj.Str();
+}
+
+/// The per-job counter subset worth shipping to a client: enough to verify
+/// cache behavior (the CI smoke asserts cache_hits > 0 on the second
+/// request) and record flow, without dumping all 33 slots per response.
+std::string MetricsJson(const MetricsSnapshot& m) {
+  JsonObject obj;
+  obj.Add("cache_hits", m[Counter::kCacheHits])
+      .Add("cache_misses", m[Counter::kCacheMisses])
+      .Add("stpq_bytes_read", m[Counter::kStpqBytesRead])
+      .Add("partitions_pruned", m[Counter::kPartitionsPruned])
+      .Add("partitions_scanned", m[Counter::kPartitionsScanned])
+      .Add("selection_records_out", m[Counter::kSelectionRecordsOut])
+      .Add("parallel_jobs", m[Counter::kParallelJobs]);
+  return obj.Str();
+}
+
+/// Parses the shared select/extract query fields into an STBox.
+Status ParseQuery(const JsonValue& request, std::string* dir, STBox* query) {
+  *dir = request.GetString("dir", "");
+  if (dir->empty()) {
+    return Status::InvalidArgument("missing required field 'dir'");
+  }
+  std::vector<double> mbr;
+  std::vector<double> time;
+  ST4ML_RETURN_IF_ERROR(request.GetNumberArray("mbr", 4, &mbr));
+  ST4ML_RETURN_IF_ERROR(request.GetNumberArray("time", 2, &time));
+  *query = STBox(Mbr(mbr[0], mbr[1], mbr[2], mbr[3]),
+                 Duration(static_cast<int64_t>(time[0]),
+                          static_cast<int64_t>(time[1])));
+  return Status::Ok();
+}
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+Server::Server(Session* session, ServerOptions options)
+    : session_(session),
+      options_(options),
+      admission_(options.max_inflight, options.queue_depth),
+      rate_limiter_(options.rate_qps, options.rate_burst) {}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status =
+        Status::IOError(std::string("bind 127.0.0.1:") +
+                        std::to_string(options_.port) + ": " +
+                        std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // shutdown(listen_fd_) during Shutdown lands here.
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    open_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  for (;;) {
+    StatusOr<std::string> frame = ReadFrame(fd, options_.max_frame_bytes);
+    if (!frame.ok()) {
+      // Oversized declared length: tell the client why before hanging up.
+      // Everything else (clean close, truncation, reset) is just the end
+      // of the connection.
+      if (frame.status().code() == Status::Code::kInvalidArgument) {
+        WriteFrame(fd, ErrorResponse(frame.status()));
+      }
+      break;
+    }
+    bool close_after = false;
+    std::string response = HandleRequest(*frame, &close_after);
+    if (!WriteFrame(fd, response).ok()) break;
+    if (close_after) break;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  open_fds_.erase(fd);
+  ::close(fd);
+}
+
+std::string Server::HandleRequest(const std::string& payload,
+                                  bool* close_after) {
+  *close_after = false;
+  StatusOr<JsonValue> parsed = ParseJson(payload);
+  // Malformed JSON is a clean error and the connection STAYS OPEN — a
+  // client bug in one request shouldn't tear down its session.
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  if (!parsed->IsObject()) {
+    return ErrorResponse(
+        Status::InvalidArgument("request must be a JSON object"));
+  }
+  std::string verb = parsed->GetString("verb", "");
+
+  if (verb == "ping") {
+    int64_t sleep_ms = parsed->GetInt("sleep_ms", 0);
+    if (sleep_ms < 0 || sleep_ms > 5000) {
+      return ErrorResponse(
+          Status::InvalidArgument("sleep_ms must be in [0, 5000]"));
+    }
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+    JsonObject obj;
+    obj.Add("ok", true).Add("verb", "ping");
+    return obj.Str();
+  }
+  if (verb == "stats") return HandleStats();
+  if (verb == "shutdown") {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_requested_ = true;
+    }
+    shutdown_cv_.notify_all();
+    *close_after = true;
+    JsonObject obj;
+    obj.Add("ok", true).Add("verb", "shutdown");
+    return obj.Str();
+  }
+
+  if (verb == "select" || verb == "extract") {
+    if (!rate_limiter_.TryAcquire()) {
+      return ErrorResponse(
+          Status::ResourceExhausted("request rate limit exceeded"));
+    }
+    AdmissionTicket ticket(&admission_);
+    if (!ticket.admitted()) return ErrorResponse(ticket.status());
+    return verb == "select" ? HandleSelect(*parsed) : HandleExtract(*parsed);
+  }
+
+  return ErrorResponse(
+      Status::InvalidArgument("unknown verb '" + verb + "'"));
+}
+
+std::string Server::HandleStats() {
+  MetricsSnapshot m = session_->Metrics();
+  JsonObject obj;
+  obj.Add("ok", true)
+      .Add("verb", "stats")
+      .Add("jobs_started", session_->jobs_started())
+      .Add("inflight", static_cast<uint64_t>(admission_.inflight()))
+      .AddRaw("metrics", MetricsJson(m));
+  return obj.Str();
+}
+
+std::string Server::HandleSelect(const JsonValue& request) {
+  auto start = std::chrono::steady_clock::now();
+  std::string dir;
+  STBox query;
+  Status status = ParseQuery(request, &dir, &query);
+  if (!status.ok()) return ErrorResponse(status);
+  int64_t limit = request.GetInt("limit", 100);
+  if (limit < 0) {
+    return ErrorResponse(Status::InvalidArgument("limit must be >= 0"));
+  }
+
+  Job job = session_->StartJob("serve/select");
+  Selector<EventRecord> selector(session_->context(), query);
+  auto selected = job.pipeline().Run(
+      "selection", [&] { return selector.Select(dir, dir + "/index.meta"); });
+  job.Finish();
+  if (!job.ok()) return ErrorResponse(job.status());
+
+  // limit == 0 is the count-only fast path: no materialization, no sort,
+  // no row serialization — what a dashboard poll or a latency bench wants.
+  uint64_t count;
+  std::string rows = "[";
+  if (limit == 0) {
+    count = static_cast<uint64_t>(selected->Count());
+  } else {
+    std::vector<EventRecord> records = selected->Collect();
+    std::sort(records.begin(), records.end(),
+              [](const EventRecord& a, const EventRecord& b) {
+                return a.id < b.id;
+              });
+    count = static_cast<uint64_t>(records.size());
+    size_t shown = std::min(records.size(), static_cast<size_t>(limit));
+    for (size_t i = 0; i < shown; ++i) {
+      const EventRecord& r = records[i];
+      JsonObject row;
+      row.Add("id", r.id)
+          .Add("x", r.x)
+          .Add("y", r.y)
+          .Add("time", r.time)
+          .Add("attr", r.attr);
+      if (i > 0) rows += ",";
+      rows += row.Str();
+    }
+  }
+  rows += "]";
+
+  JsonObject obj;
+  obj.Add("ok", true)
+      .Add("verb", "select")
+      .Add("job_id", job.id())
+      .Add("count", count)
+      .AddRaw("rows", rows)
+      .AddRaw("metrics", MetricsJson(job.Metrics()))
+      .Add("elapsed_us", ElapsedUs(start));
+  return obj.Str();
+}
+
+std::string Server::HandleExtract(const JsonValue& request) {
+  auto start = std::chrono::steady_clock::now();
+  std::string dir;
+  STBox query;
+  Status status = ParseQuery(request, &dir, &query);
+  if (!status.ok()) return ErrorResponse(status);
+  int64_t interval_s = request.GetInt("interval", 3600);
+  if (interval_s <= 0) {
+    return ErrorResponse(Status::InvalidArgument("interval must be > 0"));
+  }
+
+  Job job = session_->StartJob("serve/extract");
+  Selector<EventRecord> selector(session_->context(), query);
+  auto selected = job.pipeline().Run(
+      "selection", [&] { return selector.Select(dir, dir + "/index.meta"); });
+  if (selected.ok()) {
+    // The bin layout comes from the QUERY's time range, not the data's, so
+    // the same request always yields the same bins regardless of which
+    // records currently match.
+    auto structure = std::make_shared<TemporalStructure>(
+        TemporalStructure::RegularByInterval(query.time, interval_s));
+    auto events = job.pipeline().Run(
+        "parse",
+        [](const Dataset<EventRecord>& raw) { return ParseEvents(raw); },
+        *selected);
+    TimeSeriesConverter<STEvent> converter(structure);
+    auto series = job.pipeline().Run(
+        "conversion",
+        [&](const Dataset<STEvent>& parsed) {
+          return converter.Convert(parsed);
+        },
+        events);
+    TimeSeries<int64_t> flow = job.pipeline().Run(
+        "extraction",
+        [&](const decltype(series)& converted) {
+          return ExtractTsFlow(converted);
+        },
+        series);
+    job.Finish();
+    if (!job.ok()) return ErrorResponse(job.status());
+
+    std::string bins = "[";
+    int64_t total = 0;
+    for (size_t i = 0; i < flow.size(); ++i) {
+      JsonObject bin;
+      bin.Add("bin", static_cast<int64_t>(i))
+          .Add("start", flow.bin(i).start())
+          .Add("end", flow.bin(i).end())
+          .Add("count", flow.value(i));
+      if (i > 0) bins += ",";
+      bins += bin.Str();
+      total += flow.value(i);
+    }
+    bins += "]";
+
+    JsonObject obj;
+    obj.Add("ok", true)
+        .Add("verb", "extract")
+        .Add("job_id", job.id())
+        .Add("count", total)
+        .Add("num_bins", static_cast<uint64_t>(flow.size()))
+        .AddRaw("bins", bins)
+        .AddRaw("metrics", MetricsJson(job.Metrics()))
+        .Add("elapsed_us", ElapsedUs(start));
+    return obj.Str();
+  }
+  job.Finish();
+  return ErrorResponse(job.status());
+}
+
+bool Server::WaitShutdownRequested(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                        [this] { return shutdown_requested_; });
+  return shutdown_requested_;
+}
+
+void Server::Shutdown() {
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Unblock idle connection readers; SHUT_RD only, so a handler that is
+    // mid-job can still WRITE its response before its loop exits.
+    for (int fd : open_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  // Queued-but-unadmitted jobs are shed; admitted ones run to completion.
+  admission_.Close();
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace server
+}  // namespace st4ml

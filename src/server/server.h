@@ -1,0 +1,115 @@
+#ifndef ST4ML_SERVER_SERVER_H_
+#define ST4ML_SERVER_SERVER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "pipeline/session.h"
+#include "server/admission.h"
+#include "server/json.h"
+#include "server/rate_limiter.h"
+
+namespace st4ml {
+namespace server {
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back with
+  /// port() — tests and the --port-file flag do).
+  int port = 0;
+  /// Job-verb concurrency cap and wait-queue depth (see AdmissionQueue).
+  size_t max_inflight = 8;
+  size_t queue_depth = 16;
+  /// Steady job-verb request rate; 0 disables rate limiting.
+  double rate_qps = 0;
+  double rate_burst = 8;
+  /// Largest request frame accepted before the payload is even read.
+  size_t max_frame_bytes = 4 << 20;
+};
+
+/// The st4mld core: accepts connections on 127.0.0.1, reads length-prefixed
+/// JSON requests, and serves them against ONE shared Session — every request
+/// runs as its own Job on the session's warm ExecutionContext, so the cache
+/// and worker pool persist across requests (the entire point of the daemon,
+/// DESIGN.md §10).
+///
+/// Verbs:
+///   ping      {"verb":"ping"[,"sleep_ms":N<=5000]}        liveness / drain
+///   stats     {"verb":"stats"}                            session counters
+///   select    {"verb":"select","dir":D,"mbr":[4],"time":[2][,"limit":N]}
+///   extract   {"verb":"extract","dir":D,"mbr":[4],"time":[2]
+///              [,"interval":S]}
+///   shutdown  {"verb":"shutdown"}                         graceful stop
+///
+/// Responses are {"ok":true,...} or {"ok":false,"code":C,"error":M} with C
+/// in {NOT_FOUND, INVALID_ARGUMENT, IO_ERROR, CORRUPTION, INTERNAL,
+/// RESOURCE_EXHAUSTED}. Job verbs attach the request's OWN metrics delta
+/// (per-job counters, not session totals) plus elapsed_us.
+///
+/// Overload: select/extract pass the token-bucket rate limiter and the
+/// bounded admission queue; both shed with RESOURCE_EXHAUSTED. ping/stats
+/// bypass both so health stays observable under load.
+///
+/// Shutdown is graceful: stop accepting, unblock idle readers, let in-flight
+/// handlers finish and write their responses, then join every thread.
+class Server {
+ public:
+  Server(Session* session, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and starts the accept loop. IOError if the port is taken.
+  Status Start();
+
+  /// The bound port (valid after Start; useful with options.port == 0).
+  int port() const { return port_; }
+
+  /// Blocks up to `timeout_ms` for a client's shutdown verb. Returns true
+  /// once one arrived — the daemon's main loop alternates this with its
+  /// signal-flag check, then calls Shutdown() itself.
+  bool WaitShutdownRequested(int timeout_ms);
+
+  /// Graceful stop; idempotent. Safe to call with requests in flight — they
+  /// complete and their responses are written before sockets close.
+  void Shutdown();
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// One request frame → one response payload. Sets *close_after for
+  /// protocol-fatal inputs (oversized frame).
+  std::string HandleRequest(const std::string& payload, bool* close_after);
+  std::string HandleSelect(const JsonValue& request);
+  std::string HandleExtract(const JsonValue& request);
+  std::string HandleStats();
+
+  Session* session_;
+  ServerOptions options_;
+  AdmissionQueue admission_;
+  RateLimiter rate_limiter_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> conn_threads_;
+  std::unordered_set<int> open_fds_;
+};
+
+}  // namespace server
+}  // namespace st4ml
+
+#endif  // ST4ML_SERVER_SERVER_H_

@@ -34,8 +34,9 @@ TEST(ReduceByKeyTest, MatchesReferenceMap) {
   for (const auto& [k, v] : pairs) expected[k] += v;
 
   auto data = Dataset<std::pair<int64_t, int64_t>>::Parallelize(ctx, pairs, 8);
-  auto reduced = ReduceByKey<int64_t, int64_t>(data, std::plus<int64_t>());
-  auto collected = reduced.Collect();
+  auto reduced = TryReduceByKey<int64_t, int64_t>(data, std::plus<int64_t>());
+  ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+  auto collected = reduced->Collect();
   EXPECT_EQ(collected.size(), expected.size());
   for (const auto& [k, v] : collected) {
     EXPECT_EQ(v, expected.at(k)) << "key " << k;
@@ -49,10 +50,11 @@ TEST(ReduceByKeyTest, CompositeKeysWithPairHash) {
       {{1, 2}, 10}, {{1, 2}, 5}, {{3, 4}, 1}, {{1, 3}, 7}};
   auto data =
       Dataset<std::pair<Key, int64_t>>::Parallelize(ctx, pairs, 2);
-  auto reduced = ReduceByKey<Key, int64_t, std::plus<int64_t>, PairHash>(
+  auto reduced = TryReduceByKey<Key, int64_t, std::plus<int64_t>, PairHash>(
       data, std::plus<int64_t>());
+  ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
   std::map<Key, int64_t> result;
-  for (const auto& [k, v] : reduced.Collect()) result[k] = v;
+  for (const auto& [k, v] : reduced->Collect()) result[k] = v;
   EXPECT_EQ(result.at(Key(1, 2)), 15);
   EXPECT_EQ(result.at(Key(3, 4)), 1);
   EXPECT_EQ(result.at(Key(1, 3)), 7);
@@ -66,8 +68,9 @@ TEST(GroupByKeyTest, GroupsEveryValue) {
   for (auto& [k, vs] : expected) std::sort(vs.begin(), vs.end());
 
   auto data = Dataset<std::pair<int64_t, int64_t>>::Parallelize(ctx, pairs, 8);
-  auto grouped = GroupByKey<int64_t, int64_t>(data);
-  auto collected = grouped.Collect();
+  auto grouped = TryGroupByKey<int64_t, int64_t>(data);
+  ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
+  auto collected = grouped->Collect();
   EXPECT_EQ(collected.size(), expected.size());
   for (auto& [k, vs] : collected) {
     std::sort(vs.begin(), vs.end());
@@ -82,7 +85,9 @@ TEST(GroupByKeyTest, CollectedGroupsAreNotGloballySorted) {
   std::vector<std::pair<int64_t, int64_t>> pairs;
   for (int64_t k = 0; k < 100; ++k) pairs.emplace_back(k, k);
   auto data = Dataset<std::pair<int64_t, int64_t>>::Parallelize(ctx, pairs, 4);
-  auto keys_seen = GroupByKey<int64_t, int64_t>(data).Collect();
+  auto grouped = TryGroupByKey<int64_t, int64_t>(data);
+  ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
+  auto keys_seen = grouped->Collect();
   ASSERT_EQ(keys_seen.size(), 100u);
   std::vector<int64_t> keys;
   for (const auto& [k, vs] : keys_seen) keys.push_back(k);

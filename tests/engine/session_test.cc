@@ -1,0 +1,245 @@
+// Session/Job API tests (ISSUE 6): one warm Session shared by many Jobs,
+// each Job keeping an EXACT private copy of every counter delta it causes —
+// even when jobs run concurrently from different threads on the shared
+// worker pool — plus the Pipeline::Reset fail-then-succeed contract and a
+// TSan-friendly stress over the whole stack (jobs + cache + tracer).
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/property.h"
+#include "pipeline/session.h"
+#include "selection/selector.h"
+
+namespace st4ml {
+namespace {
+
+testing::CacheWorkload FullDomainWorkload(uint64_t seed, int num_records) {
+  testing::CacheWorkload w;
+  w.seed = seed;
+  w.num_records = num_records;
+  w.grid_t = 2;
+  w.grid_s = 2;
+  w.query = STBox(Mbr(0, 0, 100, 100), Duration(0, 100000));
+  return w;
+}
+
+// Eight threads, one shared Session: each thread runs one Job over a
+// DIFFERENT amount of conversion work. If per-job counter attribution ever
+// leaked between concurrent jobs (a sibling's worker chunk landing in the
+// wrong registry), the exact-equality assertions below would catch it.
+TEST(SessionTest, ConcurrentJobsKeepExactPerJobCounters) {
+  Session session(ExecutionContext::Create(4));
+  constexpr int kJobs = 8;
+  std::array<MetricsSnapshot, kJobs> per_job;
+  std::array<uint64_t, kJobs> expected{};
+  std::vector<std::thread> threads;
+  threads.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    expected[i] = 100 * static_cast<uint64_t>(i + 1);
+    threads.emplace_back([&, i] {
+      Job job = session.StartJob("iso/" + std::to_string(i));
+      std::vector<int> values(expected[i], i);
+      auto ds = Dataset<int>::Parallelize(session.context(),
+                                          std::move(values), 8);
+      auto mapped = job.pipeline().Run(
+          "conversion",
+          [](const Dataset<int>& in) {
+            return in.Map([](const int& v) { return v + 1; });
+          },
+          ds);
+      // Force engine-parallel work so worker threads must re-install this
+      // job's counter sink (the cross-thread attribution under test).
+      ASSERT_EQ(mapped.Collect().size(), expected[i]);
+      job.Finish();
+      per_job[i] = job.Metrics();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  uint64_t total_in = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(per_job[i][Counter::kConversionRecordsIn], expected[i])
+        << "job " << i << " saw a sibling's conversion records";
+    EXPECT_EQ(per_job[i][Counter::kConversionRecordsOut], expected[i])
+        << "job " << i;
+    EXPECT_GT(per_job[i][Counter::kParallelJobs], 0u)
+        << "job " << i << " ran no parallel work — the test proved nothing";
+    total_in += per_job[i][Counter::kConversionRecordsIn];
+  }
+  // The session totals are exactly the sum of the per-job deltas: counters
+  // are copied to the job registry, never moved out of the session's.
+  EXPECT_EQ(session.Metrics()[Counter::kConversionRecordsIn], total_in);
+  EXPECT_EQ(session.jobs_started(), static_cast<uint64_t>(kJobs));
+}
+
+// The satellite bugfix pin: a Pipeline whose stage failed latches the error
+// (ok() stays false), and Reset() makes the SAME pipeline usable again — on
+// the same Session, with the same staged data, producing the same records a
+// healthy job sees.
+TEST(SessionTest, PipelineResetRecoversAfterFailedStage) {
+  testing::CacheWorkload w = FullDomainWorkload(91, 300);
+  testing::StagedWorkload staged(w);
+  Session session(ExecutionContext::Create(2));
+
+  // Reference: a healthy job on this session.
+  uint64_t reference_count = 0;
+  {
+    Job job = session.StartJob("reference");
+    Selector<EventRecord> selector(session.context(), w.query);
+    auto selected = job.pipeline().Run(
+        "selection", [&] { return selector.Select(staged.dir(), staged.meta()); });
+    ASSERT_TRUE(selected.ok()) << selected.status().ToString();
+    reference_count = selected->Count();
+    ASSERT_GT(reference_count, 0u);
+  }
+
+  Job job = session.StartJob("fail-then-succeed");
+  {
+    Selector<EventRecord> selector(session.context(), w.query);
+    auto missing = job.pipeline().Run("selection", [&] {
+      return selector.Select(staged.dir() + "/missing",
+                             staged.meta() + ".missing");
+    });
+    ASSERT_FALSE(missing.ok());
+  }
+  EXPECT_FALSE(job.ok());
+  // The latched status names the failing stage.
+  EXPECT_NE(job.status().message().find("stage selection"), std::string::npos)
+      << job.status().ToString();
+
+  job.pipeline().Reset();
+  EXPECT_TRUE(job.ok()) << "Reset must clear the latched failure";
+
+  Selector<EventRecord> selector(session.context(), w.query);
+  auto selected = job.pipeline().Run(
+      "selection", [&] { return selector.Select(staged.dir(), staged.meta()); });
+  ASSERT_TRUE(selected.ok()) << selected.status().ToString();
+  EXPECT_EQ(selected->Count(), reference_count);
+  EXPECT_TRUE(job.ok());
+  job.Finish();
+}
+
+// With a tracer attached, every span a job produces nests under that job's
+// kJob root: job → pipeline → stage. Concurrent daemon jobs rely on this to
+// keep their span trees disjoint.
+TEST(SessionTest, JobSpansNestUnderJobRoot) {
+  ToolOptions options;
+  options.trace_path =
+      (std::filesystem::temp_directory_path() / "st4ml_session_span.json")
+          .string();
+  Session session(options);
+  ASSERT_NE(session.tracer(), nullptr);
+  {
+    Job job = session.StartJob("traced-job");
+    job.pipeline().Run("stage_a", [] { return 1; });
+    job.Finish();
+  }
+
+  uint64_t job_span = 0, pipeline_span = 0;
+  bool found_stage = false;
+  auto spans = session.tracer()->Spans();
+  for (const SpanRecord& s : spans) {
+    if (std::strcmp(s.category, span_category::kJob) == 0 &&
+        s.name == "traced-job") {
+      EXPECT_EQ(s.parent, 0u) << "job spans are roots";
+      job_span = s.id;
+    }
+  }
+  ASSERT_NE(job_span, 0u) << "no job-category span recorded";
+  for (const SpanRecord& s : spans) {
+    if (std::strcmp(s.category, span_category::kPipeline) == 0 &&
+        s.parent == job_span) {
+      pipeline_span = s.id;
+    }
+  }
+  ASSERT_NE(pipeline_span, 0u) << "pipeline span not parented under the job";
+  for (const SpanRecord& s : spans) {
+    if (std::strcmp(s.category, span_category::kStage) == 0 &&
+        s.name == "stage_a") {
+      EXPECT_EQ(s.parent, pipeline_span);
+      found_stage = true;
+    }
+  }
+  EXPECT_TRUE(found_stage);
+  std::filesystem::remove(options.trace_path);
+}
+
+// Stress for TSan: 8 threads x 4 jobs each against ONE Session with the
+// cache enabled and a tracer attached — every moving part of the daemon's
+// request path (job registry install/uninstall, cache hits, span recording,
+// shared worker pool) racing at once. Each job still asserts its OWN
+// selection_records_out, so this doubles as isolation-under-load.
+TEST(SessionTest, ConcurrentJobStressWithSharedCache) {
+  testing::CacheWorkload w = FullDomainWorkload(17, 250);
+  testing::StagedWorkload staged(w);
+
+  ToolOptions options;
+  options.has_cache_budget = true;
+  options.cache_budget_bytes = -1;  // unbounded — the daemon default
+  options.num_workers = 4;
+  options.trace_path =
+      (std::filesystem::temp_directory_path() / "st4ml_session_stress.json")
+          .string();
+  Session session(options);
+
+  // Warm-up job: establishes the reference count and primes the cache.
+  uint64_t reference = 0;
+  {
+    Job job = session.StartJob("warmup");
+    Selector<EventRecord> selector(session.context(), w.query);
+    auto selected = job.pipeline().Run(
+        "selection", [&] { return selector.Select(staged.dir(), staged.meta()); });
+    ASSERT_TRUE(selected.ok()) << selected.status().ToString();
+    job.Finish();
+    reference = job.Metrics()[Counter::kSelectionRecordsOut];
+    ASSERT_GT(reference, 0u);
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kJobsPerThread = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int j = 0; j < kJobsPerThread; ++j) {
+        Job job = session.StartJob("stress/" + std::to_string(t) + "/" +
+                                   std::to_string(j));
+        Selector<EventRecord> selector(session.context(), w.query);
+        auto selected = job.pipeline().Run("selection", [&] {
+          return selector.Select(staged.dir(), staged.meta());
+        });
+        if (!selected.ok()) {
+          ++failures;
+          continue;
+        }
+        auto repartitioned = job.pipeline().Run(
+            "conversion",
+            [](const Dataset<EventRecord>& ds) { return ds.Repartition(3); },
+            *selected);
+        if (repartitioned.Count() == 0) ++failures;
+        job.Finish();
+        if (!job.ok() ||
+            job.Metrics()[Counter::kSelectionRecordsOut] != reference) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // The warm cache actually served the stress jobs.
+  EXPECT_GT(session.Metrics()[Counter::kCacheHits], 0u);
+  std::filesystem::remove(options.trace_path);
+}
+
+}  // namespace
+}  // namespace st4ml

@@ -58,8 +58,10 @@ TEST(ShuffleInvarianceTest, ReduceByKeyIdenticalAcrossWorkersAndPartitions) {
       ShuffleRun run = Metered(workers, [&](auto ctx) {
         auto data = Dataset<std::pair<int64_t, int64_t>>::Parallelize(
             ctx, pairs, parts);
-        collected = ReduceByKey<int64_t, int64_t>(data, std::plus<int64_t>())
-                        .Collect();
+        auto reduced =
+            TryReduceByKey<int64_t, int64_t>(data, std::plus<int64_t>());
+        ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+        collected = reduced->Collect();
       });
       if (workers == kWorkerCounts[0]) {
         reference = collected;
@@ -93,8 +95,9 @@ TEST(ShuffleInvarianceTest,
       auto ctx = ExecutionContext::Create(workers);
       auto data = Dataset<std::pair<int64_t, std::string>>::Parallelize(
           ctx, pairs, parts);
-      auto collected =
-          ReduceByKey<int64_t, std::string>(data, concat).Collect();
+      auto reduced = TryReduceByKey<int64_t, std::string>(data, concat);
+      ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+      auto collected = reduced->Collect();
       if (workers == kWorkerCounts[0]) {
         reference = collected;
         continue;
@@ -115,7 +118,9 @@ TEST(ShuffleInvarianceTest, GroupByKeyIdenticalAcrossWorkersAndPartitions) {
       ShuffleRun run = Metered(workers, [&](auto ctx) {
         auto data = Dataset<std::pair<int64_t, int64_t>>::Parallelize(
             ctx, pairs, parts);
-        collected = GroupByKey<int64_t, int64_t>(data).Collect();
+        auto grouped = TryGroupByKey<int64_t, int64_t>(data);
+        ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
+        collected = grouped->Collect();
       });
       if (workers == kWorkerCounts[0]) {
         reference = collected;
@@ -146,9 +151,10 @@ TEST(ShuffleInvarianceTest, CompositeKeysViaPairHash) {
       auto ctx = ExecutionContext::Create(workers);
       auto data =
           Dataset<std::pair<Key, int64_t>>::Parallelize(ctx, pairs, parts);
-      auto collected = ReduceByKey<Key, int64_t, std::plus<int64_t>, PairHash>(
-                           data, std::plus<int64_t>())
-                           .Collect();
+      auto reduced = TryReduceByKey<Key, int64_t, std::plus<int64_t>, PairHash>(
+          data, std::plus<int64_t>());
+      ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+      auto collected = reduced->Collect();
       if (workers == kWorkerCounts[0]) {
         reference = collected;
         continue;
@@ -222,9 +228,11 @@ TEST(ShuffleInvarianceTest, RvalueCollectMovesMatchLvalueCopies) {
   auto ctx = ExecutionContext::Create(4);
   auto data =
       Dataset<std::pair<int64_t, int64_t>>::Parallelize(ctx, pairs, 6);
-  auto grouped = GroupByKey<int64_t, int64_t>(data);
-  auto copied = grouped.Collect();           // lvalue: copies
-  auto moved = std::move(grouped).Collect();  // rvalue + sole owner: moves
+  auto grouped = TryGroupByKey<int64_t, int64_t>(data);
+  ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
+  auto copied = grouped->Collect();  // lvalue: copies
+  auto moved =
+      std::move(*grouped).Collect();  // rvalue + sole owner: moves
   EXPECT_EQ(copied, moved);
 }
 

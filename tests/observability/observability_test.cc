@@ -213,15 +213,16 @@ void RunStagedWorkload(const std::shared_ptr<ExecutionContext>& ctx) {
   auto reduced = pipeline.Run(
       "conversion",
       [](const Dataset<std::pair<int64_t, int64_t>>& in) {
-        return ReduceByKey<int64_t, int64_t>(in, std::plus<int64_t>());
+        return TryReduceByKey<int64_t, int64_t>(in, std::plus<int64_t>());
       },
       data);
+  ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
   pipeline.Run(
       "extraction",
       [](const Dataset<std::pair<int64_t, int64_t>>& in) {
         return in.Collect().size();
       },
-      reduced);
+      *reduced);
 }
 
 TEST(TraceExportTest, ChromeTraceIsValidJsonWithNestedSpans) {
@@ -322,8 +323,11 @@ TEST(CounterRegistryTest, PerOperatorShuffleSlotsPartitionTheTotals) {
       auto ctx = ExecutionContext::Create(workers);
       auto data = Dataset<std::pair<int64_t, int64_t>>::Parallelize(
           ctx, pairs, parts);
-      ReduceByKey<int64_t, int64_t>(data, std::plus<int64_t>());
-      GroupByKey<int64_t, int64_t>(data);
+      auto reduced =
+          TryReduceByKey<int64_t, int64_t>(data, std::plus<int64_t>());
+      ASSERT_TRUE(reduced.ok());
+      auto grouped = TryGroupByKey<int64_t, int64_t>(data);
+      ASSERT_TRUE(grouped.ok());
       data.Repartition(parts * 2);
       MetricsSnapshot snap = ctx->MetricsSnapshot();
 

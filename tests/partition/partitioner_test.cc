@@ -160,12 +160,13 @@ TEST(STPartitionTest, RedistributesRecordsAndTrains) {
   }
   auto data = Dataset<STEvent>::Parallelize(ctx, events, 4);
   TSTRPartitioner tstr(2, 2);
-  auto partitioned = STPartition(
+  auto partitioned = TrySTPartition(
       data, &tstr, [](const STEvent& e) { return e.ComputeSTBox(); },
       [](const STEvent& e) { return static_cast<uint64_t>(e.data.id); });
-  EXPECT_EQ(partitioned.num_partitions(),
+  ASSERT_TRUE(partitioned.ok()) << partitioned.status().ToString();
+  EXPECT_EQ(partitioned->num_partitions(),
             static_cast<size_t>(tstr.num_partitions()));
-  EXPECT_EQ(partitioned.Count(), events.size());
+  EXPECT_EQ(partitioned->Count(), events.size());
 }
 
 }  // namespace

@@ -1,0 +1,365 @@
+// End-to-end st4mld server tests (ISSUE 6): a real Server on an ephemeral
+// loopback port in front of ONE warm Session, driven through the real
+// Client. Pins the acceptance criteria: 8 concurrent clients with isolated
+// per-job metrics, warm-cache hits on repeated selections, rate-limit
+// shedding with RESOURCE_EXHAUSTED, protocol-error handling that keeps (or
+// deliberately drops) the connection, and graceful shutdown that drains
+// in-flight requests.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/property.h"
+#include "pipeline/session.h"
+#include "server/client.h"
+#include "server/json.h"
+#include "server/server.h"
+
+namespace st4ml {
+namespace server {
+namespace {
+
+ToolOptions DaemonOptions() {
+  // The daemon defaults: unbounded cache (warm requests are the point),
+  // modest worker pool.
+  ToolOptions options;
+  options.has_cache_budget = true;
+  options.cache_budget_bytes = -1;
+  options.num_workers = 4;
+  return options;
+}
+
+/// One in-process daemon: Session + Server, started on an ephemeral port.
+struct Daemon {
+  explicit Daemon(ServerOptions server_options = {})
+      : session(DaemonOptions()), server(&session, server_options) {
+    Status started = server.Start();
+    ST4ML_CHECK(started.ok()) << started.ToString();
+  }
+  ~Daemon() { server.Shutdown(); }
+
+  Client Connect() {
+    auto client = Client::Connect(server.port());
+    ST4ML_CHECK(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+
+  Session session;
+  Server server;
+};
+
+/// Staged 400-record workload shared by most tests in this file.
+testing::CacheWorkload ServeWorkload() {
+  testing::CacheWorkload w;
+  w.seed = 4242;
+  w.num_records = 400;
+  w.grid_t = 2;
+  w.grid_s = 2;
+  w.query = STBox(Mbr(0, 0, 100, 100), Duration(0, 100000));
+  return w;
+}
+
+std::string SelectRequest(const std::string& dir, int64_t t_lo, int64_t t_hi,
+                          int64_t limit = 100000) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                R"({"verb":"select","dir":"%s","mbr":[0,0,100,100],)"
+                R"("time":[%lld,%lld],"limit":%lld})",
+                dir.c_str(), static_cast<long long>(t_lo),
+                static_cast<long long>(t_hi), static_cast<long long>(limit));
+  return buf;
+}
+
+/// Calls and parses; fails the test (and returns a null value) on transport
+/// or parse errors so callers can assert on fields directly.
+JsonValue Call(Client& client, const std::string& request) {
+  auto response = client.Call(request);
+  if (!response.ok()) {
+    ADD_FAILURE() << "Call failed: " << response.status().ToString();
+    return JsonValue{};
+  }
+  auto parsed = ParseJson(*response);
+  if (!parsed.ok()) {
+    ADD_FAILURE() << "unparseable response: " << *response;
+    return JsonValue{};
+  }
+  return *parsed;
+}
+
+bool Ok(const JsonValue& response) {
+  const JsonValue* ok = response.Find("ok");
+  return ok != nullptr && ok->IsBool() && ok->bool_value;
+}
+
+std::string ErrorCode(const JsonValue& response) {
+  return response.GetString("code", "");
+}
+
+int64_t Metric(const JsonValue& response, const std::string& name) {
+  const JsonValue* metrics = response.Find("metrics");
+  if (metrics == nullptr) return -1;
+  return metrics->GetInt(name, -1);
+}
+
+TEST(ServerTest, PingStatsAndValidation) {
+  Daemon daemon;
+  Client client = daemon.Connect();
+
+  JsonValue pong = Call(client, R"({"verb":"ping"})");
+  EXPECT_TRUE(Ok(pong));
+
+  JsonValue bad_sleep = Call(client, R"({"verb":"ping","sleep_ms":60000})");
+  EXPECT_FALSE(Ok(bad_sleep));
+  EXPECT_EQ(ErrorCode(bad_sleep), "INVALID_ARGUMENT");
+
+  JsonValue stats = Call(client, R"({"verb":"stats"})");
+  EXPECT_TRUE(Ok(stats));
+  EXPECT_EQ(stats.GetInt("jobs_started", -1), 0);
+  ASSERT_NE(stats.Find("metrics"), nullptr);
+}
+
+TEST(ServerTest, ProtocolErrorsKeepTheConnectionUsable) {
+  Daemon daemon;
+  Client client = daemon.Connect();
+
+  // Malformed JSON: clean error, connection survives.
+  JsonValue garbage = Call(client, "{this is not json");
+  EXPECT_FALSE(Ok(garbage));
+  EXPECT_EQ(ErrorCode(garbage), "INVALID_ARGUMENT");
+
+  // Unknown verb: same.
+  JsonValue unknown = Call(client, R"({"verb":"launch_missiles"})");
+  EXPECT_FALSE(Ok(unknown));
+  EXPECT_EQ(ErrorCode(unknown), "INVALID_ARGUMENT");
+
+  // Non-object root: same.
+  JsonValue array_root = Call(client, R"([1,2,3])");
+  EXPECT_FALSE(Ok(array_root));
+
+  // Missing / malformed request fields on a real verb: same.
+  JsonValue no_dir = Call(client, R"({"verb":"select","mbr":[0,0,1,1],"time":[0,1]})");
+  EXPECT_FALSE(Ok(no_dir));
+  EXPECT_EQ(ErrorCode(no_dir), "INVALID_ARGUMENT");
+  JsonValue bad_mbr = Call(client, R"({"verb":"select","dir":"/x","mbr":[0,0],"time":[0,1]})");
+  EXPECT_FALSE(Ok(bad_mbr));
+
+  // After all of that, the same connection still serves a healthy request.
+  EXPECT_TRUE(Ok(Call(client, R"({"verb":"ping"})")));
+}
+
+TEST(ServerTest, OversizedFrameGetsErrorThenClose) {
+  ServerOptions options;
+  options.max_frame_bytes = 128;
+  Daemon daemon(options);
+  Client client = daemon.Connect();
+
+  std::string huge = R"({"verb":"ping","pad":")" + std::string(500, 'p') + "\"}";
+  JsonValue refused = Call(client, huge);
+  EXPECT_FALSE(Ok(refused));
+  EXPECT_EQ(ErrorCode(refused), "INVALID_ARGUMENT");
+
+  // Oversized frames are protocol-fatal: the server hung up after the error.
+  auto after = client.Call(R"({"verb":"ping"})");
+  EXPECT_FALSE(after.ok());
+}
+
+TEST(ServerTest, SelectServesRowsAndWarmCacheHits) {
+  testing::CacheWorkload w = ServeWorkload();
+  testing::StagedWorkload staged(w);
+  Daemon daemon;
+  Client client = daemon.Connect();
+
+  std::string request = SelectRequest(staged.dir(), 0, 100000);
+  JsonValue cold = Call(client, request);
+  ASSERT_TRUE(Ok(cold)) << ErrorCode(cold);
+  int64_t count = cold.GetInt("count", -1);
+  ASSERT_GT(count, 0);
+  const JsonValue* rows = cold.Find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_TRUE(rows->IsArray());
+  EXPECT_EQ(static_cast<int64_t>(rows->array.size()), count);
+  // Row shape: the fields st4ml_client prints.
+  EXPECT_GE(rows->array[0].GetInt("id", -1), 0);
+  EXPECT_GE(rows->array[0].GetInt("time", -1), 0);
+  // The cold request did real I/O.
+  EXPECT_GT(Metric(cold, "cache_misses"), 0);
+  EXPECT_GT(Metric(cold, "stpq_bytes_read"), 0);
+
+  // Same query again: served from the session's warm cache, zero disk.
+  JsonValue warm = Call(client, request);
+  ASSERT_TRUE(Ok(warm));
+  EXPECT_EQ(warm.GetInt("count", -1), count);
+  EXPECT_GT(Metric(warm, "cache_hits"), 0);
+  EXPECT_EQ(Metric(warm, "cache_misses"), 0);
+  EXPECT_EQ(Metric(warm, "stpq_bytes_read"), 0);
+
+  // The limit caps rows but not count.
+  JsonValue limited = Call(client, SelectRequest(staged.dir(), 0, 100000, 5));
+  ASSERT_TRUE(Ok(limited));
+  EXPECT_EQ(limited.GetInt("count", -1), count);
+  EXPECT_EQ(limited.Find("rows")->array.size(), 5u);
+
+  // limit=0 is the count-only fast path: same count, no rows at all.
+  JsonValue count_only =
+      Call(client, SelectRequest(staged.dir(), 0, 100000, 0));
+  ASSERT_TRUE(Ok(count_only));
+  EXPECT_EQ(count_only.GetInt("count", -1), count);
+  EXPECT_TRUE(count_only.Find("rows")->array.empty());
+
+  // A dir that does not exist is a client error, not a dead daemon.
+  JsonValue missing = Call(client, SelectRequest("/nonexistent/st4ml", 0, 1));
+  EXPECT_FALSE(Ok(missing));
+  EXPECT_NE(ErrorCode(missing), "");
+  EXPECT_TRUE(Ok(Call(client, R"({"verb":"ping"})")));
+}
+
+TEST(ServerTest, ExtractBinsPartitionTheSelection) {
+  testing::CacheWorkload w = ServeWorkload();
+  testing::StagedWorkload staged(w);
+  Daemon daemon;
+  Client client = daemon.Connect();
+
+  JsonValue selected = Call(client, SelectRequest(staged.dir(), 0, 100000));
+  ASSERT_TRUE(Ok(selected));
+  int64_t count = selected.GetInt("count", -1);
+
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                R"({"verb":"extract","dir":"%s","mbr":[0,0,100,100],)"
+                R"("time":[0,100000],"interval":25000})",
+                staged.dir().c_str());
+  JsonValue extracted = Call(client, buf);
+  ASSERT_TRUE(Ok(extracted)) << ErrorCode(extracted);
+  // Bin layout comes from the query's time range: 100000 / 25000 = 4 bins.
+  EXPECT_EQ(extracted.GetInt("num_bins", -1), 4);
+  const JsonValue* bins = extracted.Find("bins");
+  ASSERT_NE(bins, nullptr);
+  int64_t total = 0;
+  for (const JsonValue& bin : bins->array) total += bin.GetInt("count", 0);
+  // Every selected record lands in exactly one bin.
+  EXPECT_EQ(total, count);
+  EXPECT_EQ(extracted.GetInt("count", -1), count);
+}
+
+// The acceptance-criteria pin: >= 8 concurrent clients, each running a
+// DIFFERENT query, each receiving its own job's metrics delta. The
+// concurrent responses must match a serial replay of the same queries
+// exactly — count AND per-job selection_records_out — which fails if any
+// job's counters bleed into a neighbor's.
+TEST(ServerTest, EightConcurrentClientsGetIsolatedPerJobMetrics) {
+  testing::CacheWorkload w = ServeWorkload();
+  testing::StagedWorkload staged(w);
+  ServerOptions options;
+  options.max_inflight = 8;
+  Daemon daemon(options);
+
+  constexpr int kClients = 8;
+  struct Result {
+    bool ok = false;
+    int64_t count = -1;
+    int64_t records_out = -1;
+  };
+  std::vector<Result> concurrent(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client client = daemon.Connect();
+      // Distinct temporal windows → distinct result sizes per client.
+      JsonValue response =
+          Call(client, SelectRequest(staged.dir(), 0, 12500 * (i + 1)));
+      concurrent[i].ok = Ok(response);
+      concurrent[i].count = response.GetInt("count", -1);
+      concurrent[i].records_out = Metric(response, "selection_records_out");
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Serial replay: the ground truth each concurrent response must match.
+  Client replay = daemon.Connect();
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(concurrent[i].ok) << "client " << i;
+    JsonValue serial =
+        Call(replay, SelectRequest(staged.dir(), 0, 12500 * (i + 1)));
+    ASSERT_TRUE(Ok(serial));
+    EXPECT_EQ(concurrent[i].count, serial.GetInt("count", -1))
+        << "client " << i << " count diverged under concurrency";
+    EXPECT_EQ(concurrent[i].records_out,
+              Metric(serial, "selection_records_out"))
+        << "client " << i << " leaked a sibling job's counters";
+  }
+  // The widest window sees more records than the narrowest (the queries
+  // really were different work).
+  EXPECT_GT(concurrent[kClients - 1].count, concurrent[0].count);
+
+  JsonValue stats = Call(replay, R"({"verb":"stats"})");
+  EXPECT_GE(stats.GetInt("jobs_started", -1), kClients * 2);
+}
+
+TEST(ServerTest, RateLimitShedsJobVerbsButNotHealthChecks) {
+  testing::CacheWorkload w = ServeWorkload();
+  testing::StagedWorkload staged(w);
+  ServerOptions options;
+  options.rate_qps = 0.001;  // no meaningful refill within the test
+  options.rate_burst = 1;
+  Daemon daemon(options);
+  Client client = daemon.Connect();
+
+  JsonValue first = Call(client, SelectRequest(staged.dir(), 0, 100000));
+  EXPECT_TRUE(Ok(first));
+
+  JsonValue shed = Call(client, SelectRequest(staged.dir(), 0, 100000));
+  EXPECT_FALSE(Ok(shed));
+  EXPECT_EQ(ErrorCode(shed), "RESOURCE_EXHAUSTED");
+
+  // ping and stats bypass the bucket: health stays observable under load.
+  EXPECT_TRUE(Ok(Call(client, R"({"verb":"ping"})")));
+  EXPECT_TRUE(Ok(Call(client, R"({"verb":"stats"})")));
+}
+
+TEST(ServerTest, GracefulShutdownDrainsInflightRequests) {
+  Daemon daemon;
+  std::atomic<bool> connected{false};
+  std::atomic<bool> got_response{false};
+  std::thread slow([&] {
+    Client client = daemon.Connect();
+    connected = true;
+    // In flight for ~400 ms while Shutdown runs.
+    JsonValue response = Call(client, R"({"verb":"ping","sleep_ms":400})");
+    got_response = Ok(response);
+  });
+  while (!connected) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  daemon.server.Shutdown();  // must drain, not drop, the sleeping ping
+  slow.join();
+  EXPECT_TRUE(got_response.load());
+
+  // After shutdown the port no longer accepts connections.
+  auto refused = Client::Connect(daemon.server.port());
+  EXPECT_FALSE(refused.ok());
+}
+
+TEST(ServerTest, ShutdownVerbSignalsTheDaemonLoop) {
+  Daemon daemon;
+  // Nothing requested yet: the wait times out false.
+  EXPECT_FALSE(daemon.server.WaitShutdownRequested(50));
+
+  Client client = daemon.Connect();
+  JsonValue response = Call(client, R"({"verb":"shutdown"})");
+  EXPECT_TRUE(Ok(response));
+  // The daemon's main loop observes the request and calls Shutdown itself.
+  EXPECT_TRUE(daemon.server.WaitShutdownRequested(2000));
+  daemon.server.Shutdown();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace st4ml

@@ -1,0 +1,112 @@
+// st4ml_client: one-shot CLI client for st4mld. Builds the request JSON
+// from flags, performs a single framed round trip, prints the raw response
+// JSON on stdout, and exits 0 iff the server answered {"ok":true,...}.
+//
+//   st4ml_client --port=7878 ping [--sleep-ms=0]
+//   st4ml_client --port=7878 stats
+//   st4ml_client --port=7878 select --dir=stpq_store
+//       --mbr=-74.05,40.60,-73.75,40.90 --time=1577836800,1585612800
+//       [--limit=100]
+//   st4ml_client --port=7878 extract --dir=stpq_store --mbr=... --time=...
+//       [--interval=3600]
+//   st4ml_client --port=7878 shutdown
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+#include "storage/json.h"
+#include "tool_flags.h"
+#include "tool_main.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: st4ml_client --port=PORT VERB [flags]\n"
+               "  ping     [--sleep-ms=MS]\n"
+               "  stats\n"
+               "  select   --dir=DIR --mbr=x1,y1,x2,y2 --time=s,e "
+               "[--limit=N]\n"
+               "  extract  --dir=DIR --mbr=x1,y1,x2,y2 --time=s,e "
+               "[--interval=SECONDS]\n"
+               "  shutdown\n");
+  return 2;
+}
+
+std::string NumberArray(const std::vector<double>& values) {
+  std::string out = "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ",";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", values[i]);
+    out += buf;
+  }
+  return out + "]";
+}
+
+int Run(int argc, char** argv) {
+  st4ml::tools::Flags flags(argc, argv);
+  // The verb is the first non-flag argument.
+  std::string verb;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      verb = arg;
+      break;
+    }
+  }
+  int port = static_cast<int>(flags.GetInt("port", 0));
+  if (verb.empty() || port <= 0) return Usage();
+
+  st4ml::JsonObject request;
+  request.Add("verb", verb);
+  if (verb == "ping") {
+    int64_t sleep_ms = flags.GetInt("sleep-ms", 0);
+    if (sleep_ms > 0) request.Add("sleep_ms", sleep_ms);
+  } else if (verb == "select" || verb == "extract") {
+    std::string dir = flags.GetString("dir", "");
+    std::vector<double> mbr;
+    std::vector<double> time;
+    if (dir.empty() || !flags.GetDoubleList("mbr", 4, &mbr) ||
+        !flags.GetDoubleList("time", 2, &time)) {
+      return Usage();
+    }
+    request.Add("dir", dir);
+    request.AddRaw("mbr", NumberArray(mbr));
+    request.AddRaw("time", NumberArray(time));
+    if (verb == "select" && flags.Has("limit")) {
+      request.Add("limit", flags.GetInt("limit", 100));
+    }
+    if (verb == "extract" && flags.Has("interval")) {
+      request.Add("interval", flags.GetInt("interval", 3600));
+    }
+  } else if (verb != "stats" && verb != "shutdown") {
+    return Usage();
+  }
+
+  auto client = st4ml::server::Client::Connect(port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "st4ml_client: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  auto response = client->Call(request.Str());
+  if (!response.ok()) {
+    std::fprintf(stderr, "st4ml_client: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", response->c_str());
+  // Cheap ok-check on the raw text: the server always leads with
+  // {"ok":true or {"ok":false.
+  return response->rfind("{\"ok\":true", 0) == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return st4ml::tools::ToolMain("st4ml_client",
+                                [&] { return Run(argc, argv); });
+}

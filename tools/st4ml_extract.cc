@@ -16,14 +16,12 @@
 
 #include "conversion/singular_to_collective.h"
 #include "conversion/parse.h"
-#include "engine/execution_context.h"
 #include "extraction/collective_extractors.h"
-#include "pipeline/pipeline.h"
+#include "pipeline/session.h"
 #include "storage/json.h"
 #include "storage/text_import.h"
 #include "tool_flags.h"
 #include "tool_main.h"
-#include "tool_observability.h"
 
 namespace fs = std::filesystem;
 
@@ -51,11 +49,9 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
-  auto ctx = st4ml::ExecutionContext::Create();
-  st4ml::tools::ConfigureCacheFromFlags(flags, ctx);
-  st4ml::tools::Observability observability(flags, ctx);
-  auto data =
-      st4ml::Dataset<st4ml::EventRecord>::Parallelize(ctx, *records, 4);
+  st4ml::Session session(st4ml::tools::ToolOptionsFromFlags(flags));
+  auto data = st4ml::Dataset<st4ml::EventRecord>::Parallelize(
+      session.context(), *records, 4);
 
   int64_t t_min = records->front().time;
   int64_t t_max = t_min;
@@ -67,7 +63,8 @@ int Run(int argc, char** argv) {
       st4ml::TemporalStructure::RegularByInterval(
           st4ml::Duration(t_min, t_max), interval_s));
 
-  st4ml::Pipeline pipeline(ctx, "st4ml_extract");
+  st4ml::Job job = session.StartJob("st4ml_extract");
+  st4ml::Pipeline& pipeline = job.pipeline();
   auto events = pipeline.Run(
       "parse", [](const st4ml::Dataset<st4ml::EventRecord>& raw) {
         return st4ml::ParseEvents(raw);
@@ -86,10 +83,10 @@ int Run(int argc, char** argv) {
         return st4ml::ExtractTsFlow(converted);
       },
       series);
-  pipeline.Finish();
-  if (!pipeline.ok()) {
+  job.Finish();
+  if (!job.ok()) {
     std::fprintf(stderr, "st4ml_extract: %s\n",
-                 pipeline.status().ToString().c_str());
+                 job.status().ToString().c_str());
     return 1;
   }
 
@@ -103,7 +100,7 @@ int Run(int argc, char** argv) {
   }
   std::fprintf(stderr, "st4ml_extract: %zu bins over %zu events\n",
                flow.size(), records->size());
-  if (!observability.Export("st4ml_extract")) return 1;
+  if (!session.ExportArtifacts("st4ml_extract")) return 1;
   return 0;
 }
 

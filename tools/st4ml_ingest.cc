@@ -11,14 +11,12 @@
 #include <iostream>
 #include <string>
 
-#include "engine/execution_context.h"
 #include "partition/str_partitioner.h"
-#include "pipeline/pipeline.h"
+#include "pipeline/session.h"
 #include "selection/on_disk_index.h"
 #include "storage/text_import.h"
 #include "tool_flags.h"
 #include "tool_main.h"
-#include "tool_observability.h"
 
 namespace fs = std::filesystem;
 
@@ -48,30 +46,29 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
-  auto ctx = st4ml::ExecutionContext::Create();
-  st4ml::tools::Observability observability(flags, ctx);
-  auto data =
-      st4ml::Dataset<st4ml::EventRecord>::Parallelize(ctx, *events, 4);
+  st4ml::Session session(st4ml::tools::ToolOptionsFromFlags(flags));
+  auto data = st4ml::Dataset<st4ml::EventRecord>::Parallelize(
+      session.context(), *events, 4);
   st4ml::TSTRPartitioner partitioner(
       static_cast<int>(flags.GetInt("slices", 4)),
       static_cast<int>(flags.GetInt("tiles", 4)));
-  st4ml::Pipeline pipeline(ctx, "st4ml_ingest");
-  pipeline.Run(
+  st4ml::Job job = session.StartJob("st4ml_ingest");
+  job.pipeline().Run(
       "ingest",
       [&](const st4ml::Dataset<st4ml::EventRecord>& records) {
         return st4ml::BuildOnDiskIndex(records, &partitioner, dir,
                                        dir + "/index.meta");
       },
       data);
-  pipeline.Finish();
-  if (!pipeline.ok()) {
+  job.Finish();
+  if (!job.ok()) {
     std::fprintf(stderr, "st4ml_ingest: %s\n",
-                 pipeline.status().ToString().c_str());
+                 job.status().ToString().c_str());
     return 1;
   }
   std::fprintf(stderr, "st4ml_ingest: %zu events -> %d partitions under %s\n",
                events->size(), partitioner.num_partitions(), dir.c_str());
-  if (!observability.Export("st4ml_ingest")) return 1;
+  if (!session.ExportArtifacts("st4ml_ingest")) return 1;
   return 0;
 }
 

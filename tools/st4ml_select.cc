@@ -10,12 +10,10 @@
 #include <string>
 #include <vector>
 
-#include "engine/execution_context.h"
-#include "pipeline/pipeline.h"
+#include "pipeline/session.h"
 #include "selection/selector.h"
 #include "tool_flags.h"
 #include "tool_main.h"
-#include "tool_observability.h"
 
 namespace {
 
@@ -38,18 +36,16 @@ int Run(int argc, char** argv) {
       st4ml::Duration(static_cast<int64_t>(time[0]),
                       static_cast<int64_t>(time[1])));
 
-  auto ctx = st4ml::ExecutionContext::Create();
-  st4ml::tools::ConfigureCacheFromFlags(flags, ctx);
-  st4ml::tools::Observability observability(flags, ctx);
-  st4ml::Selector<st4ml::EventRecord> selector(ctx, query);
-  st4ml::Pipeline pipeline(ctx, "st4ml_select");
-  auto selected = pipeline.Run("selection", [&] {
+  st4ml::Session session(st4ml::tools::ToolOptionsFromFlags(flags));
+  st4ml::Selector<st4ml::EventRecord> selector(session.context(), query);
+  st4ml::Job job = session.StartJob("st4ml_select");
+  auto selected = job.pipeline().Run("selection", [&] {
     return selector.Select(dir, dir + "/index.meta");
   });
-  pipeline.Finish();
-  if (!pipeline.ok()) {
+  job.Finish();
+  if (!job.ok()) {
     std::fprintf(stderr, "st4ml_select: %s\n",
-                 pipeline.status().ToString().c_str());
+                 job.status().ToString().c_str());
     return 1;
   }
 
@@ -69,7 +65,7 @@ int Run(int argc, char** argv) {
                static_cast<unsigned long long>(selector.stats().bytes_loaded),
                static_cast<unsigned long long>(
                    selector.stats().bytes_selected));
-  if (!observability.Export("st4ml_select")) return 1;
+  if (!session.ExportArtifacts("st4ml_select")) return 1;
   return 0;
 }
 

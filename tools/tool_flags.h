@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "pipeline/session.h"
+
 namespace st4ml {
 namespace tools {
 
@@ -58,6 +60,27 @@ class Flags {
  private:
   std::vector<std::string> args_;
 };
+
+/// The engine flag set every Session-backed entry point shares, parsed ONCE:
+///   --cache-budget=BYTES   explicit dataset-cache budget (negative means
+///                          unbounded, 0 disables; absent keeps the
+///                          ST4ML_CACHE_BUDGET_BYTES env default)
+///   --trace=FILE           attach a Tracer; Chrome trace written on export
+///   --metrics-json=FILE    flat metrics JSON written on export
+///   --workers=N            worker pool size (0 sizes to the hardware)
+/// The batch CLIs and st4mld all feed the result to Session::Configure —
+/// one spelling of the plumbing instead of five.
+inline ToolOptions ToolOptionsFromFlags(const Flags& flags) {
+  ToolOptions options;
+  if (flags.Has("cache-budget")) {
+    options.has_cache_budget = true;
+    options.cache_budget_bytes = flags.GetInt("cache-budget", 0);
+  }
+  options.trace_path = flags.GetString("trace", "");
+  options.metrics_json_path = flags.GetString("metrics-json", "");
+  options.num_workers = static_cast<int>(flags.GetInt("workers", 0));
+  return options;
+}
 
 }  // namespace tools
 }  // namespace st4ml
