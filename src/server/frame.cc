@@ -1,5 +1,6 @@
 #include "server/frame.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -11,13 +12,16 @@ namespace server {
 
 namespace {
 
+/// MSG_NOSIGNAL: a peer that hung up before its response must surface as an
+/// EPIPE IOError on this one connection, not raise SIGPIPE and kill the
+/// whole daemon.
 Status WriteAll(int fd, const char* data, size_t size) {
   size_t written = 0;
   while (written < size) {
-    ssize_t n = ::write(fd, data + written, size - written);
+    ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::IOError(std::string("write: ") + std::strerror(errno));
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
     }
     written += static_cast<size_t>(n);
   }

@@ -280,11 +280,48 @@ std::string JsonValue::GetString(const std::string& key,
                                                : default_value;
 }
 
+namespace {
+
+// 2^63 is exactly representable as a double; INT64_MAX is not, so the usable
+// range for a UB-free cast is [-2^63, 2^63).
+constexpr double kInt64Lo = -9223372036854775808.0;
+constexpr double kInt64Hi = 9223372036854775808.0;
+
+}  // namespace
+
 int64_t JsonValue::GetInt(const std::string& key, int64_t default_value) const {
   const JsonValue* value = Find(key);
-  return value != nullptr && value->IsNumber()
-             ? static_cast<int64_t>(value->number_value)
-             : default_value;
+  if (value == nullptr || !value->IsNumber()) return default_value;
+  double v = value->number_value;
+  if (v >= kInt64Hi) return INT64_MAX;
+  if (v < kInt64Lo) return INT64_MIN;
+  return static_cast<int64_t>(v);
+}
+
+Status JsonValue::GetCheckedInt(const std::string& key, int64_t default_value,
+                                int64_t min, int64_t max, int64_t* out) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr) {
+    *out = default_value;
+    return Status::Ok();
+  }
+  if (!value->IsNumber()) {
+    return Status::InvalidArgument("'" + key + "' must be a number");
+  }
+  double v = value->number_value;
+  if (v < kInt64Lo || v >= kInt64Hi || v != std::floor(v)) {
+    return Status::InvalidArgument("'" + key + "' must be an integer");
+  }
+  int64_t n = static_cast<int64_t>(v);
+  if (n < min || n > max) {
+    std::string range = max == INT64_MAX
+                            ? ">= " + std::to_string(min)
+                            : "in [" + std::to_string(min) + ", " +
+                                  std::to_string(max) + "]";
+    return Status::InvalidArgument("'" + key + "' must be " + range);
+  }
+  *out = n;
+  return Status::Ok();
 }
 
 double JsonValue::GetDouble(const std::string& key,

@@ -39,8 +39,16 @@ class JsonValue {
   /// Typed member access with defaults, for optional request fields.
   std::string GetString(const std::string& key,
                         const std::string& default_value) const;
+  /// Saturates values beyond int64 range (the wire carries doubles; an
+  /// unchecked cast of e.g. 1e300 would be UB) and truncates fractions.
   int64_t GetInt(const std::string& key, int64_t default_value) const;
   double GetDouble(const std::string& key, double default_value) const;
+
+  /// Integer request-field validation in one place: absent → `default_value`;
+  /// non-number, non-integral, or outside [min, max] → InvalidArgument. Job
+  /// verbs use this so a hostile double (1e300, 1.5) is a clean client error.
+  Status GetCheckedInt(const std::string& key, int64_t default_value,
+                       int64_t min, int64_t max, int64_t* out) const;
 
   /// Requires `key` to be an array of exactly `count` numbers (request
   /// validation for mbr/time).

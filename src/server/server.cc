@@ -1,13 +1,16 @@
 #include "server/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <utility>
 
@@ -69,6 +72,16 @@ Status ParseQuery(const JsonValue& request, std::string* dir, STBox* query) {
   std::vector<double> time;
   ST4ML_RETURN_IF_ERROR(request.GetNumberArray("mbr", 4, &mbr));
   ST4ML_RETURN_IF_ERROR(request.GetNumberArray("time", 2, &time));
+  // The wire carries doubles; casting e.g. 1e300 to int64_t is UB, so the
+  // bounds are validated before the cast ([-2^63, 2^63) — the double-exact
+  // range; INT64_MAX itself is not representable).
+  for (double t : time) {
+    if (t < -9223372036854775808.0 || t >= 9223372036854775808.0 ||
+        t != std::floor(t)) {
+      return Status::InvalidArgument(
+          "'time' values must be integers in int64 range");
+    }
+  }
   *query = STBox(Mbr(mbr[0], mbr[1], mbr[2], mbr[3]),
                  Duration(static_cast<int64_t>(time[0]),
                           static_cast<int64_t>(time[1])));
@@ -123,29 +136,84 @@ Status Server::Start() {
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
+  // Non-blocking listener + self-pipe: the accept loop polls both, so
+  // Shutdown wakes it portably (shutdown(2) on a listening socket is
+  // Linux-only behavior) and a connection that vanishes between poll and
+  // accept just returns EAGAIN instead of blocking forever.
+  ::fcntl(listen_fd_, F_SETFL, O_NONBLOCK);
+  if (::pipe(wake_pipe_) < 0) {
+    Status status =
+        Status::IOError(std::string("pipe: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
 }
 
 void Server::AcceptLoop() {
   for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // Shutdown's wake byte.
+    if ((fds[0].revents & POLLIN) == 0) continue;
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      // shutdown(listen_fd_) during Shutdown lands here.
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+          errno == ECONNABORTED) {
+        continue;
+      }
       return;
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
+    // Each accept doubles as the reap point for handler threads that
+    // finished since the last one — a churny daemon stays at O(live
+    // connections) threads instead of one per connection ever served.
+    ReapFinishedThreads();
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        ::close(fd);
+        return;
+      }
+      if (open_fds_.size() >= options_.max_connections) {
+        shed = true;
+      } else {
+        uint64_t conn_id = next_conn_id_++;
+        open_fds_.insert(fd);
+        conn_threads_.emplace(
+            conn_id,
+            std::thread([this, conn_id, fd] { HandleConnection(conn_id, fd); }));
+      }
+    }
+    if (shed) {
+      // Over the connection cap: tell the client why, then hang up. Written
+      // outside mu_ — a slow reader must not block the whole server.
+      WriteFrame(fd, ErrorResponse(Status::ResourceExhausted(
+                         "too many connections (limit " +
+                         std::to_string(options_.max_connections) + ")")));
       ::close(fd);
-      return;
     }
-    open_fds_.insert(fd);
-    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
   }
 }
 
-void Server::HandleConnection(int fd) {
+void Server::ReapFinishedThreads() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done.swap(finished_threads_);
+  }
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::HandleConnection(uint64_t conn_id, int fd) {
   for (;;) {
     StatusOr<std::string> frame = ReadFrame(fd, options_.max_frame_bytes);
     if (!frame.ok()) {
@@ -165,6 +233,14 @@ void Server::HandleConnection(int fd) {
   std::lock_guard<std::mutex> lock(mu_);
   open_fds_.erase(fd);
   ::close(fd);
+  // Move this thread's own handle to the finished list for the accept loop
+  // (or Shutdown) to join — a thread cannot join itself. Skipped during
+  // Shutdown, which is already joining the conn_threads_ map it swapped out.
+  auto it = conn_threads_.find(conn_id);
+  if (it != conn_threads_.end()) {
+    finished_threads_.push_back(std::move(it->second));
+    conn_threads_.erase(it);
+  }
 }
 
 std::string Server::HandleRequest(const std::string& payload,
@@ -181,11 +257,9 @@ std::string Server::HandleRequest(const std::string& payload,
   std::string verb = parsed->GetString("verb", "");
 
   if (verb == "ping") {
-    int64_t sleep_ms = parsed->GetInt("sleep_ms", 0);
-    if (sleep_ms < 0 || sleep_ms > 5000) {
-      return ErrorResponse(
-          Status::InvalidArgument("sleep_ms must be in [0, 5000]"));
-    }
+    int64_t sleep_ms = 0;
+    Status status = parsed->GetCheckedInt("sleep_ms", 0, 0, 5000, &sleep_ms);
+    if (!status.ok()) return ErrorResponse(status);
     if (sleep_ms > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     }
@@ -237,10 +311,9 @@ std::string Server::HandleSelect(const JsonValue& request) {
   STBox query;
   Status status = ParseQuery(request, &dir, &query);
   if (!status.ok()) return ErrorResponse(status);
-  int64_t limit = request.GetInt("limit", 100);
-  if (limit < 0) {
-    return ErrorResponse(Status::InvalidArgument("limit must be >= 0"));
-  }
+  int64_t limit = 0;
+  status = request.GetCheckedInt("limit", 100, 0, INT64_MAX, &limit);
+  if (!status.ok()) return ErrorResponse(status);
 
   Job job = session_->StartJob("serve/select");
   Selector<EventRecord> selector(session_->context(), query);
@@ -294,10 +367,9 @@ std::string Server::HandleExtract(const JsonValue& request) {
   STBox query;
   Status status = ParseQuery(request, &dir, &query);
   if (!status.ok()) return ErrorResponse(status);
-  int64_t interval_s = request.GetInt("interval", 3600);
-  if (interval_s <= 0) {
-    return ErrorResponse(Status::InvalidArgument("interval must be > 0"));
-  }
+  int64_t interval_s = 0;
+  status = request.GetCheckedInt("interval", 3600, 1, INT64_MAX, &interval_s);
+  if (!status.ok()) return ErrorResponse(status);
 
   Job job = session_->StartJob("serve/extract");
   Selector<EventRecord> selector(session_->context(), query);
@@ -358,6 +430,16 @@ std::string Server::HandleExtract(const JsonValue& request) {
   return ErrorResponse(job.status());
 }
 
+size_t Server::ActiveConnectionsForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_fds_.size();
+}
+
+size_t Server::ConnectionThreadsForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conn_threads_.size() + finished_threads_.size();
+}
+
 bool Server::WaitShutdownRequested(int timeout_ms) {
   std::unique_lock<std::mutex> lock(mu_);
   shutdown_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
@@ -366,7 +448,6 @@ bool Server::WaitShutdownRequested(int timeout_ms) {
 }
 
 void Server::Shutdown() {
-  std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return;
@@ -377,16 +458,30 @@ void Server::Shutdown() {
   }
   // Queued-but-unadmitted jobs are shed; admitted ones run to completion.
   admission_.Close();
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
+  // One byte down the self-pipe pops the accept loop out of poll().
+  if (wake_pipe_[1] >= 0) {
+    char byte = 0;
+    ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+    (void)ignored;
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Drain every handler: still-live ones (conn_threads_) and ones that
+  // finished but were never reaped by an accept (finished_threads_).
+  std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    threads.swap(conn_threads_);
+    threads.swap(finished_threads_);
+    for (auto& [id, thread] : conn_threads_) threads.push_back(std::move(thread));
+    conn_threads_.clear();
   }
   for (std::thread& t : threads) {
     if (t.joinable()) t.join();
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (wake_pipe_[i] >= 0) {
+      ::close(wake_pipe_[i]);
+      wake_pipe_[i] = -1;
+    }
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -32,6 +33,9 @@ struct ServerOptions {
   double rate_burst = 8;
   /// Largest request frame accepted before the payload is even read.
   size_t max_frame_bytes = 4 << 20;
+  /// Concurrent-connection (and so per-connection-thread) cap; connections
+  /// beyond it are shed at accept with a RESOURCE_EXHAUSTED frame.
+  size_t max_connections = 64;
 };
 
 /// The st4mld core: accepts connections on 127.0.0.1, reads length-prefixed
@@ -82,9 +86,21 @@ class Server {
   /// complete and their responses are written before sockets close.
   void Shutdown();
 
+  /// Currently open client connections (test hook).
+  size_t ActiveConnectionsForTest();
+  /// Per-connection threads not yet joined: live handlers plus handlers that
+  /// finished since the last accept-side reap (test hook for the reaper —
+  /// a long-lived daemon must not accumulate one thread per connection ever
+  /// served).
+  size_t ConnectionThreadsForTest();
+
  private:
   void AcceptLoop();
-  void HandleConnection(int fd);
+  /// Joins handler threads that have finished since the last call; runs on
+  /// the accept thread so churny short connections are reaped as new ones
+  /// arrive rather than only at Shutdown.
+  void ReapFinishedThreads();
+  void HandleConnection(uint64_t conn_id, int fd);
   /// One request frame → one response payload. Sets *close_after for
   /// protocol-fatal inputs (oversized frame).
   std::string HandleRequest(const std::string& payload, bool* close_after);
@@ -99,13 +115,22 @@ class Server {
 
   int listen_fd_ = -1;
   int port_ = 0;
+  /// Self-pipe that unblocks the accept loop's poll() on Shutdown —
+  /// shutdown(2) on a LISTENING socket only works on Linux, so it is not
+  /// relied on for wakeup.
+  int wake_pipe_[2] = {-1, -1};
   std::thread accept_thread_;
 
   std::mutex mu_;
   std::condition_variable shutdown_cv_;
   bool shutdown_requested_ = false;
   bool stopping_ = false;
-  std::vector<std::thread> conn_threads_;
+  /// Live handler threads by connection id; a handler moves its own handle
+  /// into finished_threads_ on exit, where the accept loop (or Shutdown)
+  /// joins it.
+  uint64_t next_conn_id_ = 0;
+  std::unordered_map<uint64_t, std::thread> conn_threads_;
+  std::vector<std::thread> finished_threads_;
   std::unordered_set<int> open_fds_;
 };
 

@@ -58,6 +58,48 @@ TEST(JsonTest, ParsesTypicalRequest) {
   EXPECT_TRUE(none->IsNull());
 }
 
+// Writing a frame to a peer that already hung up must come back as an
+// IOError (EPIPE), not raise SIGPIPE — whose default action would kill the
+// whole daemon because one client disconnected early. A socketpair with a
+// closed peer triggers the signal deterministically on the first write.
+TEST(FrameTest, WriteToClosedPeerIsIOErrorNotSigpipe) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[1]);
+  Status status = WriteFrame(fds[0], R"({"verb":"ping"})");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kIOError);
+  ::close(fds[0]);
+}
+
+// The wire carries doubles; every int the server trusts must go through a
+// checked (or at least saturating) conversion — a blind cast of 1e300 to
+// int64_t is UB.
+TEST(JsonTest, IntAccessorsNeverCastOutOfRangeDoubles) {
+  auto parsed = ParseJson(
+      R"({"ok":5,"huge":1e300,"neg_huge":-1e300,"frac":2.5,"str":"x"})");
+  ASSERT_TRUE(parsed.ok());
+
+  int64_t out = 0;
+  EXPECT_TRUE(parsed->GetCheckedInt("ok", 0, 0, 10, &out).ok());
+  EXPECT_EQ(out, 5);
+  // Absent key yields the default, not an error.
+  EXPECT_TRUE(parsed->GetCheckedInt("absent", 42, 0, 100, &out).ok());
+  EXPECT_EQ(out, 42);
+  // Out-of-int64-range, non-integral, wrong type, and out-of-[min,max] are
+  // all clean InvalidArgument.
+  for (const char* key : {"huge", "neg_huge", "frac", "str"}) {
+    Status status = parsed->GetCheckedInt(key, 0, 0, INT64_MAX, &out);
+    EXPECT_FALSE(status.ok()) << key;
+    EXPECT_EQ(status.code(), Status::Code::kInvalidArgument) << key;
+  }
+  EXPECT_FALSE(parsed->GetCheckedInt("ok", 0, 10, 20, &out).ok());
+
+  // The unchecked accessor saturates instead of invoking UB.
+  EXPECT_EQ(parsed->GetInt("huge", 0), INT64_MAX);
+  EXPECT_EQ(parsed->GetInt("neg_huge", 0), INT64_MIN);
+}
+
 TEST(JsonTest, ParsesNumbersAndStringsAtRoot) {
   auto num = ParseJson("-12.5e2");
   ASSERT_TRUE(num.ok());

@@ -6,6 +6,12 @@
 // deliberately drops) the connection, and graceful shutdown that drains
 // in-flight requests.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -19,6 +25,7 @@
 #include "common/property.h"
 #include "pipeline/session.h"
 #include "server/client.h"
+#include "server/frame.h"
 #include "server/json.h"
 #include "server/server.h"
 
@@ -108,6 +115,22 @@ int64_t Metric(const JsonValue& response, const std::string& name) {
   return metrics->GetInt(name, -1);
 }
 
+/// A bare socket to the daemon, for tests that need to misbehave in ways
+/// Client cannot (hang up without reading, read without writing).
+int RawConnect(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
 TEST(ServerTest, PingStatsAndValidation) {
   Daemon daemon;
   Client client = daemon.Connect();
@@ -168,6 +191,111 @@ TEST(ServerTest, OversizedFrameGetsErrorThenClose) {
   // Oversized frames are protocol-fatal: the server hung up after the error.
   auto after = client.Call(R"({"verb":"ping"})");
   EXPECT_FALSE(after.ok());
+}
+
+// A client that hangs up (RST) before its response is written must cost the
+// daemon ONE connection, never the process or other clients' service. The
+// deterministic SIGPIPE pin is FrameTest.WriteToClosedPeerIsIOErrorNotSigpipe
+// in protocol_test.cc; this covers the full server path under a hostile
+// disconnect.
+TEST(ServerTest, ClientHangupBeforeResponseDoesNotKillTheDaemon) {
+  Daemon daemon;
+  for (int round = 0; round < 3; ++round) {
+    int fd = RawConnect(daemon.server.port());
+    ASSERT_GE(fd, 0);
+    // One round trip whose response we deliberately never read...
+    ASSERT_TRUE(WriteFrame(fd, R"({"verb":"ping"})").ok());
+    pollfd readable{fd, POLLIN, 0};
+    ASSERT_GT(::poll(&readable, 1, 2000), 0);
+    // ...then a slow request and an immediate hangup. Closing with unread
+    // data pending makes the kernel send RST, so the server's response
+    // write 150 ms later lands on a dead socket.
+    ASSERT_TRUE(WriteFrame(fd, R"({"verb":"ping","sleep_ms":150})").ok());
+    // Let the server consume the request and enter its sleep before the
+    // hangup, so the RST reliably precedes the response write.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+
+    Client alive = daemon.Connect();
+    EXPECT_TRUE(Ok(Call(alive, R"({"verb":"ping"})")));
+  }
+}
+
+// Wire-supplied numbers outside int64 range (or fractional where an integer
+// is required) are client errors on every verb — a blind cast would be UB.
+TEST(ServerTest, OutOfRangeWireNumbersAreCleanErrors) {
+  Daemon daemon;
+  Client client = daemon.Connect();
+  for (const char* request :
+       {R"({"verb":"ping","sleep_ms":1e300})",
+        R"({"verb":"ping","sleep_ms":2.5})",
+        R"({"verb":"select","dir":"/x","mbr":[0,0,1,1],"time":[0,1e300]})",
+        R"({"verb":"select","dir":"/x","mbr":[0,0,1,1],"time":[-1e300,0]})",
+        R"({"verb":"select","dir":"/x","mbr":[0,0,1,1],"time":[0,1],"limit":1e300})",
+        R"({"verb":"extract","dir":"/x","mbr":[0,0,1,1],"time":[0,1],"interval":1e19})"}) {
+    JsonValue response = Call(client, request);
+    EXPECT_FALSE(Ok(response)) << request;
+    EXPECT_EQ(ErrorCode(response), "INVALID_ARGUMENT") << request;
+  }
+  // The connection survived all of it.
+  EXPECT_TRUE(Ok(Call(client, R"({"verb":"ping"})")));
+}
+
+// A long-lived daemon serving short connections must reap handler threads as
+// it goes (not only at Shutdown), and must shed connections beyond
+// max_connections at accept.
+TEST(ServerTest, ConnectionThreadsAreReapedAndTheCapSheds) {
+  ServerOptions options;
+  options.max_connections = 4;
+  Daemon daemon(options);
+
+  // Churn 32 short-lived connections through the daemon.
+  for (int i = 0; i < 32; ++i) {
+    Client client = daemon.Connect();
+    ASSERT_TRUE(Ok(Call(client, R"({"verb":"ping"})")));
+  }
+  // Once every handler has observed its hangup, the next accept reaps them
+  // all; only the new connection's own thread may remain. Without the
+  // reaper this reads 33.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (daemon.server.ActiveConnectionsForTest() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(daemon.server.ActiveConnectionsForTest(), 0u);
+  Client fresh = daemon.Connect();
+  ASSERT_TRUE(Ok(Call(fresh, R"({"verb":"ping"})")));
+  EXPECT_EQ(daemon.server.ConnectionThreadsForTest(), 1u);
+
+  // Fill the remaining slots, then one more connection is over the cap: the
+  // server speaks first with RESOURCE_EXHAUSTED and hangs up.
+  std::vector<Client> held;
+  for (int i = 0; i < 3; ++i) {
+    held.push_back(daemon.Connect());
+    ASSERT_TRUE(Ok(Call(held.back(), R"({"verb":"ping"})")));
+  }
+  int extra = RawConnect(daemon.server.port());
+  ASSERT_GE(extra, 0);
+  auto shed = ReadFrame(extra, 1 << 20);
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  auto parsed = ParseJson(*shed);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(Ok(*parsed));
+  EXPECT_EQ(ErrorCode(*parsed), "RESOURCE_EXHAUSTED");
+  auto eof = ReadFrame(extra, 1 << 20);
+  EXPECT_FALSE(eof.ok());
+  ::close(extra);
+
+  // Dropping a held connection frees a slot for the next client.
+  held.pop_back();
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (daemon.server.ActiveConnectionsForTest() > 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  Client admitted = daemon.Connect();
+  EXPECT_TRUE(Ok(Call(admitted, R"({"verb":"ping"})")));
 }
 
 TEST(ServerTest, SelectServesRowsAndWarmCacheHits) {

@@ -4,8 +4,9 @@
 // repeated queries hit a hot cache instead of paying a cold start per
 // invocation (the batch CLIs' cost model). See DESIGN.md §10.
 //
-//   st4mld --dir-hint=stpq_store --port=7878 [--cache-budget=-1]
-//       [--max-inflight=8] [--queue-depth=16] [--rate-qps=0 --rate-burst=8]
+//   st4mld --port=7878 [--cache-budget=-1]
+//       [--max-inflight=8] [--queue-depth=16] [--max-connections=64]
+//       [--rate-qps=0 --rate-burst=8]
 //       [--port-file=FILE] [--trace=FILE] [--metrics-json=FILE]
 //
 // --port=0 binds an ephemeral port; --port-file writes the bound port for
@@ -50,6 +51,11 @@ int Run(int argc, char** argv) {
       static_cast<double>(flags.GetInt("rate-qps", 0));
   server_options.rate_burst =
       static_cast<double>(flags.GetInt("rate-burst", 8));
+  server_options.max_connections =
+      static_cast<size_t>(flags.GetInt("max-connections", 64));
+  // Frame writes already use MSG_NOSIGNAL, but a daemon must never die of
+  // SIGPIPE from any write path a disconnected client can reach.
+  std::signal(SIGPIPE, SIG_IGN);
   st4ml::server::Server server(&session, server_options);
   st4ml::Status status = server.Start();
   if (!status.ok()) {
