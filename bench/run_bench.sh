@@ -43,6 +43,7 @@ if [ $# -eq 0 ]; then
   run_one "$repo_root/build/bench/bench_shuffle"
   run_one "$repo_root/build/bench/bench_cache"
   run_one "$repo_root/build/bench/bench_serve"
+  run_one "$repo_root/build/bench/bench_simd"
 else
   run_one "$@"
 fi

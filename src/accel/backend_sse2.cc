@@ -1,0 +1,204 @@
+// SSE2 backend: 2-wide double lanes. Compiled unconditionally on x86-64
+// (SSE2 is baseline), registered whenever the CPU reports sse2. Pinned
+// bit-identical to backend_scalar.cc — see the per-kernel notes for how
+// each vector form maps onto the scalar contract.
+
+#include "accel/kernels.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <cmath>
+#include <limits>
+
+#include "accel/hash_mix.h"
+#include "geometry/point.h"
+
+namespace st4ml {
+namespace accel {
+namespace {
+
+/// 64-bit lane-wise wrapping multiply. SSE2 has no 64-bit mullo, so build
+/// it from 32x32->64 partial products: lo*lo plus the two cross terms
+/// shifted up 32 (the hi*hi term overflows past bit 63 and drops out of a
+/// wrapping multiply entirely).
+inline __m128i MulLo64(__m128i a, __m128i b) {
+  __m128i lo = _mm_mul_epu32(a, b);
+  __m128i cross = _mm_add_epi64(_mm_mul_epu32(_mm_srli_epi64(a, 32), b),
+                                _mm_mul_epu32(a, _mm_srli_epi64(b, 32)));
+  return _mm_add_epi64(lo, _mm_slli_epi64(cross, 32));
+}
+
+inline __m128i SplitMix64x2(__m128i z) {
+  const __m128i kGolden = _mm_set1_epi64x(0x9e3779b97f4a7c15ULL);
+  const __m128i kMix1 = _mm_set1_epi64x(0xbf58476d1ce4e5b9ULL);
+  const __m128i kMix2 = _mm_set1_epi64x(0x94d049bb133111ebULL);
+  z = _mm_add_epi64(z, kGolden);
+  z = MulLo64(_mm_xor_si128(z, _mm_srli_epi64(z, 30)), kMix1);
+  z = MulLo64(_mm_xor_si128(z, _mm_srli_epi64(z, 27)), kMix2);
+  return _mm_xor_si128(z, _mm_srli_epi64(z, 31));
+}
+
+class Sse2BackendImpl final : public KernelBackend {
+ public:
+  const char* name() const override { return "sse2"; }
+
+  void FilterBoxes(const BoxFilterQuery& q, const EnvelopeView& b,
+                   uint8_t* hits) const override {
+    const __m128d qx_min = _mm_set1_pd(q.x_min);
+    const __m128d qx_max = _mm_set1_pd(q.x_max);
+    const __m128d qy_min = _mm_set1_pd(q.y_min);
+    const __m128d qy_max = _mm_set1_pd(q.y_max);
+    size_t i = 0;
+    for (; i + 2 <= b.size; i += 2) {
+      __m128d bx_min = _mm_loadu_pd(b.x_min + i);
+      __m128d bx_max = _mm_loadu_pd(b.x_max + i);
+      __m128d by_min = _mm_loadu_pd(b.y_min + i);
+      __m128d by_max = _mm_loadu_pd(b.y_max + i);
+      // cmple is false on NaN operands, exactly like the scalar <=.
+      __m128d m = _mm_and_pd(_mm_cmple_pd(bx_min, bx_max),
+                             _mm_cmple_pd(by_min, by_max));
+      m = _mm_and_pd(m, _mm_cmple_pd(qx_min, bx_max));
+      m = _mm_and_pd(m, _mm_cmple_pd(bx_min, qx_max));
+      m = _mm_and_pd(m, _mm_cmple_pd(qy_min, by_max));
+      m = _mm_and_pd(m, _mm_cmple_pd(by_min, qy_max));
+      int bits = _mm_movemask_pd(m);
+      // SSE2 has no 64-bit integer compare (that's SSE4.2), so the two
+      // time-interval terms stay scalar per lane.
+      hits[i] = ((bits & 1) != 0 && q.t_min <= b.t_max[i] &&
+                 b.t_min[i] <= q.t_max)
+                    ? 1
+                    : 0;
+      hits[i + 1] = ((bits & 2) != 0 && q.t_min <= b.t_max[i + 1] &&
+                     b.t_min[i + 1] <= q.t_max)
+                        ? 1
+                        : 0;
+    }
+    for (; i < b.size; ++i) {
+      bool hit = b.x_min[i] <= b.x_max[i] && b.y_min[i] <= b.y_max[i] &&
+                 q.x_min <= b.x_max[i] && b.x_min[i] <= q.x_max &&
+                 q.y_min <= b.y_max[i] && b.y_min[i] <= q.y_max &&
+                 q.t_min <= b.t_max[i] && b.t_min[i] <= q.t_max;
+      hits[i] = hit ? 1 : 0;
+    }
+  }
+
+  void CombineHashes(const uint64_t* h1, const uint64_t* h2, size_t n,
+                     uint64_t* out) const override {
+    const __m128i kGolden = _mm_set1_epi64x(0x9e3779b97f4a7c15ULL);
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      __m128i a =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(h1 + i));
+      __m128i b =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(h2 + i));
+      // h1 ^ (h2 + golden + (h1 << 6) + (h1 >> 2)), then SplitMix64.
+      __m128i inner = _mm_add_epi64(b, kGolden);
+      inner = _mm_add_epi64(inner, _mm_slli_epi64(a, 6));
+      inner = _mm_add_epi64(inner, _mm_srli_epi64(a, 2));
+      __m128i z = SplitMix64x2(_mm_xor_si128(a, inner));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), z);
+    }
+    for (; i < n; ++i) out[i] = HashCombine(h1[i], h2[i]);
+  }
+
+  void HaversineMeters(const double* ax, const double* ay, const double* bx,
+                       const double* by, size_t n,
+                       double* out) const override {
+    // Scalar in every backend: libm sin/cos/asin have no bit-exact vector
+    // counterpart (kernels.h).
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = st4ml::HaversineMeters(Point(ax[i], ay[i]), Point(bx[i], by[i]));
+    }
+  }
+
+  void EuclideanDistance(const double* ax, const double* ay, const double* bx,
+                         const double* by, size_t n,
+                         double* out) const override {
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      __m128d dx = _mm_sub_pd(_mm_loadu_pd(ax + i), _mm_loadu_pd(bx + i));
+      __m128d dy = _mm_sub_pd(_mm_loadu_pd(ay + i), _mm_loadu_pd(by + i));
+      __m128d d = _mm_sqrt_pd(
+          _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy)));
+      _mm_storeu_pd(out + i, d);
+    }
+    for (; i < n; ++i) {
+      double dx = ax[i] - bx[i];
+      double dy = ay[i] - by[i];
+      out[i] = std::sqrt(dx * dx + dy * dy);
+    }
+  }
+
+  void MinMaxSum(const double* v, size_t n, double* min_out, double* max_out,
+                 double* sum_out) const override {
+    // The 8-lane contract as 4 two-wide accumulators: vector k holds lanes
+    // {2k, 2k+1}, so consuming 8 consecutive elements per iteration lands
+    // element j of each block in lane j — the same strided subsequences the
+    // scalar backend folds. min_pd/max_pd(acc, v) match the scalar ternary
+    // including NaN handling (unordered compare keeps the second operand).
+    const double kInf = std::numeric_limits<double>::infinity();
+    __m128d mn[4], mx[4], sm[4];
+    for (int k = 0; k < 4; ++k) {
+      mn[k] = _mm_set1_pd(kInf);
+      mx[k] = _mm_set1_pd(-kInf);
+      sm[k] = _mm_setzero_pd();
+    }
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      for (int k = 0; k < 4; ++k) {
+        __m128d x = _mm_loadu_pd(v + i + 2 * k);
+        mn[k] = _mm_min_pd(mn[k], x);
+        mx[k] = _mm_max_pd(mx[k], x);
+        sm[k] = _mm_add_pd(sm[k], x);
+      }
+    }
+    double mn_l[8], mx_l[8], sm_l[8];
+    for (int k = 0; k < 4; ++k) {
+      _mm_storeu_pd(mn_l + 2 * k, mn[k]);
+      _mm_storeu_pd(mx_l + 2 * k, mx[k]);
+      _mm_storeu_pd(sm_l + 2 * k, sm[k]);
+    }
+    for (; i < n; ++i) {
+      // i - (n & ~7) == i % 8 here: the vector loop consumed a multiple of
+      // eight elements, so the tail keeps the contract's lane mapping.
+      int j = static_cast<int>(i % 8);
+      double x = v[i];
+      mn_l[j] = mn_l[j] < x ? mn_l[j] : x;
+      mx_l[j] = mx_l[j] > x ? mx_l[j] : x;
+      sm_l[j] += x;
+    }
+    double mn_all = mn_l[0], mx_all = mx_l[0], sm_all = sm_l[0];
+    for (int j = 1; j < 8; ++j) {
+      mn_all = mn_all < mn_l[j] ? mn_all : mn_l[j];
+      mx_all = mx_all > mx_l[j] ? mx_all : mx_l[j];
+      sm_all += sm_l[j];
+    }
+    *min_out = mn_all;
+    *max_out = mx_all;
+    *sum_out = sm_all;
+  }
+};
+
+}  // namespace
+
+const KernelBackend* Sse2Backend() {
+  static const Sse2BackendImpl backend;
+  return &backend;
+}
+
+}  // namespace accel
+}  // namespace st4ml
+
+#else  // !defined(__SSE2__)
+
+namespace st4ml {
+namespace accel {
+
+const KernelBackend* Sse2Backend() { return nullptr; }
+
+}  // namespace accel
+}  // namespace st4ml
+
+#endif

@@ -1,0 +1,227 @@
+#ifndef ST4ML_ACCEL_KERNELS_H_
+#define ST4ML_ACCEL_KERNELS_H_
+
+// Vectorized columnar kernels behind a runtime CPU backend registry
+// (DESIGN.md §11). STPQ is columnar on disk but the hot loops — ST-box
+// containment in Selector, shuffle key hashing in BucketByTarget, distance
+// math in the speed extractors — evaluated one record at a time. This layer
+// restructures those loops around batch kernels over SoA columns, with a
+// scalar reference backend that defines the exact semantics and SIMD
+// backends (SSE2/AVX2, selected at runtime via CPUID) that must reproduce
+// the scalar outputs BIT-FOR-BIT. The differential property harness
+// (tests/common/property.h) and bench_simd's built-in comparison gate pin
+// that contract: a backend is a speedup, never a different answer.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/stbox.h"
+
+namespace st4ml {
+namespace accel {
+
+/// An ST query against envelope columns, flattened from an STBox. Closed
+/// intervals on every axis, exactly like STBox::Intersects. The CALLER is
+/// responsible for the query-side emptiness check (an inverted query box
+/// matches nothing); the kernel folds the record-side emptiness check into
+/// its predicate. FromBox copies the fields out of an STBox.
+struct BoxFilterQuery {
+  double x_min = 0.0;
+  double y_min = 0.0;
+  double x_max = 0.0;
+  double y_max = 0.0;
+  int64_t t_min = 0;
+  int64_t t_max = 0;
+
+  static BoxFilterQuery FromBox(const STBox& box) {
+    return BoxFilterQuery{box.mbr.x_min, box.mbr.y_min, box.mbr.x_max,
+                          box.mbr.y_max, box.time.start(), box.time.end()};
+  }
+};
+
+/// A borrowed view over per-record envelope columns (SoA): record i's ST
+/// envelope is ([x_min[i], x_max[i]] x [y_min[i], y_max[i]]) over
+/// [t_min[i], t_max[i]]. Point records (events) simply have min == max.
+/// No alignment requirement — kernels handle unaligned bases and tails.
+struct EnvelopeView {
+  const double* x_min = nullptr;
+  const double* y_min = nullptr;
+  const double* x_max = nullptr;
+  const double* y_max = nullptr;
+  const int64_t* t_min = nullptr;
+  const int64_t* t_max = nullptr;
+  size_t size = 0;
+};
+
+/// Owning envelope columns, materialized ONCE per partition (one
+/// ComputeSTBox pass) and then filtered per query by the batch kernel —
+/// the Selector stores these alongside its cached R-tree so a warm daemon
+/// query refines columns directly instead of recomputing every record's
+/// envelope (the old per-query ComputeSTBox loop).
+class EnvelopeColumns {
+ public:
+  void Reserve(size_t n) {
+    x_min_.reserve(n);
+    y_min_.reserve(n);
+    x_max_.reserve(n);
+    y_max_.reserve(n);
+    t_min_.reserve(n);
+    t_max_.reserve(n);
+  }
+
+  void Append(const STBox& box) {
+    x_min_.push_back(box.mbr.x_min);
+    y_min_.push_back(box.mbr.y_min);
+    x_max_.push_back(box.mbr.x_max);
+    y_max_.push_back(box.mbr.y_max);
+    t_min_.push_back(box.time.start());
+    t_max_.push_back(box.time.end());
+  }
+
+  size_t size() const { return x_min_.size(); }
+  bool empty() const { return x_min_.empty(); }
+
+  EnvelopeView View() const {
+    return EnvelopeView{x_min_.data(), y_min_.data(), x_max_.data(),
+                        y_max_.data(), t_min_.data(), t_max_.data(),
+                        x_min_.size()};
+  }
+
+ private:
+  std::vector<double> x_min_, y_min_, x_max_, y_max_;
+  std::vector<int64_t> t_min_, t_max_;
+};
+
+/// One CPU kernel backend. Implementations are stateless and thread-safe;
+/// every method writes exactly its output range and nothing else. All
+/// backends are pinned byte-identical to the scalar reference — the scalar
+/// bodies in backend_scalar.cc ARE the semantics, including the fixed
+/// lane/accumulation structure of the reductions (see MinMaxSum).
+class KernelBackend {
+ public:
+  virtual ~KernelBackend() = default;
+
+  /// "scalar", "sse2", "avx2" — the ST4ML_BACKEND / --backend vocabulary.
+  virtual const char* name() const = 0;
+
+  /// hits[i] = 1 iff record i's envelope is non-empty and intersects `q`
+  /// (same closed-interval predicate as STBox::Intersects with the
+  /// query-side emptiness test hoisted to the caller), else 0. NaN
+  /// coordinates never match, exactly as in the scalar predicate.
+  virtual void FilterBoxes(const BoxFilterQuery& q, const EnvelopeView& boxes,
+                           uint8_t* hits) const = 0;
+
+  /// out[i] = HashCombine(h1[i], h2[i]) — the PairHash combine, batched.
+  virtual void CombineHashes(const uint64_t* h1, const uint64_t* h2, size_t n,
+                             uint64_t* out) const = 0;
+
+  /// out[i] = great-circle meters between (ax[i], ay[i]) and (bx[i], by[i]),
+  /// bit-identical to geometry's HaversineMeters. Deliberately scalar in
+  /// every backend: sin/cos/asin have no bit-exact vector form without
+  /// vendoring a vector libm, and cross-backend identity outranks the win
+  /// (DESIGN.md §11). The batch shape keeps call sites ready for one.
+  virtual void HaversineMeters(const double* ax, const double* ay,
+                               const double* bx, const double* by, size_t n,
+                               double* out) const = 0;
+
+  /// out[i] = sqrt(dx*dx + dy*dy) — every operation IEEE-exact (vector
+  /// sqrt is correctly rounded), so SIMD lanes reproduce scalar bits.
+  virtual void EuclideanDistance(const double* ax, const double* ay,
+                                 const double* bx, const double* by, size_t n,
+                                 double* out) const = 0;
+
+  /// Column min / max / sum with a FIXED 8-lane-strided accumulation
+  /// structure: lane j folds elements j, j+8, j+16, ... in index order
+  /// (min as `acc = acc < v ? acc : v`, max as `acc = acc > v ? acc : v` —
+  /// the SSE min_pd/max_pd NaN semantics — sum as `acc += v`), then the
+  /// eight lanes combine left to right. Scalar implements the same eight
+  /// lanes, so every backend is bit-identical even under reordering-
+  /// sensitive float addition and NaN propagation. Empty input yields
+  /// (+inf, -inf, 0).
+  virtual void MinMaxSum(const double* v, size_t n, double* min_out,
+                         double* max_out, double* sum_out) const = 0;
+};
+
+/// The process-wide backend registry: knows every compiled-in backend,
+/// filters them by runtime CPU support (CPUID via __builtin_cpu_supports),
+/// and picks the active one — best available by default, overridable with
+/// ST4ML_BACKEND=scalar|sse2|avx2 or programmatically (the tools' --backend
+/// flag, the property harness's per-seed randomization). Also the home of
+/// the two batch-dispatch counters the observability layer surfaces.
+class BackendRegistry {
+ public:
+  static BackendRegistry& Instance();
+
+  /// The active backend. Never null — scalar is always compiled in.
+  const KernelBackend& backend() const {
+    return *active_.load(std::memory_order_acquire);
+  }
+  const char* active_name() const { return backend().name(); }
+
+  /// Every compiled-in backend the running CPU supports, scalar first.
+  const std::vector<const KernelBackend*>& Available() const {
+    return available_;
+  }
+
+  /// Registered backend by name, or null when not compiled in / not
+  /// supported by this CPU.
+  const KernelBackend* Find(const std::string& name) const;
+
+  /// Forces the active backend ("" restores the automatic choice: the
+  /// ST4ML_BACKEND env override when set and valid, else the best
+  /// available). InvalidArgument for names that are unknown, not compiled
+  /// in, or not supported by this CPU. Thread-safe, but meant for startup
+  /// and test seams — not for flipping mid-pipeline.
+  Status ForceBackend(const std::string& name);
+
+  /// Batch-dispatch observability: CountBatch is one batched kernel
+  /// invocation; CountFallback accounts records a host path processed
+  /// per-record because no batch kernel applies (non-batchable key types,
+  /// partitioner-virtual assignment). Surfaced by the st4mld `stats` verb
+  /// and the per-stage stderr summary.
+  void CountBatch(uint64_t records) const {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batch_records_.fetch_add(records, std::memory_order_relaxed);
+  }
+  void CountFallback(uint64_t records) const {
+    fallback_records_.fetch_add(records, std::memory_order_relaxed);
+  }
+  uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  uint64_t batch_records() const {
+    return batch_records_.load(std::memory_order_relaxed);
+  }
+  uint64_t fallback_records() const {
+    return fallback_records_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  BackendRegistry();
+
+  const KernelBackend* AutoChoice() const;
+
+  std::vector<const KernelBackend*> available_;
+  std::atomic<const KernelBackend*> active_{nullptr};
+  mutable std::atomic<uint64_t> batches_{0};
+  mutable std::atomic<uint64_t> batch_records_{0};
+  mutable std::atomic<uint64_t> fallback_records_{0};
+};
+
+/// Shorthand for the hot paths: the currently active backend.
+inline const KernelBackend& Active() {
+  return BackendRegistry::Instance().backend();
+}
+
+/// Backend factories (one .cc each, so only backend_avx2.cc is compiled
+/// with -mavx2). A factory returns null when its ISA is not compiled in.
+const KernelBackend* ScalarBackend();
+const KernelBackend* Sse2Backend();
+const KernelBackend* Avx2Backend();
+
+}  // namespace accel
+}  // namespace st4ml
+
+#endif  // ST4ML_ACCEL_KERNELS_H_

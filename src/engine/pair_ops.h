@@ -2,25 +2,33 @@
 #define ST4ML_ENGINE_PAIR_OPS_H_
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "accel/hash_mix.h"
+#include "accel/kernels.h"
 #include "common/status.h"
 #include "engine/append_only_map.h"
 #include "engine/dataset.h"
 
 namespace st4ml {
 
-/// Hash for std::pair keys (ReduceByKey over composite keys).
+/// Hash for std::pair keys (ReduceByKey over composite keys). Defined as
+/// exactly accel::HashCombine of the component hashes — the boost-style
+/// combine this used to be was weak for low-entropy components (dense cell
+/// ids x small hour bins skewed `hash % num_targets` bucketing); the
+/// SplitMix64 finalizer restores full avalanche, and the batched
+/// CombineHashes kernel reproduces it bit-for-bit (accel/hash_mix.h).
 struct PairHash {
   template <typename A, typename B>
   size_t operator()(const std::pair<A, B>& p) const {
-    size_t h1 = std::hash<A>{}(p.first);
-    size_t h2 = std::hash<B>{}(p.second);
-    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+    uint64_t h1 = static_cast<uint64_t>(std::hash<A>{}(p.first));
+    uint64_t h2 = static_cast<uint64_t>(std::hash<B>{}(p.second));
+    return static_cast<size_t>(HashCombine(h1, h2));
   }
 };
 
@@ -74,15 +82,51 @@ struct BucketedPartition {
 /// `Hash{}(key) % num_targets` — the map-side bucketing pass. Each record
 /// is hashed exactly once and copied (or moved, when `input` is an rvalue)
 /// exactly once into its bucket slot.
+/// True when the map-side bucketing can hash keys in batches: the hasher is
+/// PairHash over a std::pair key, so the combine step lifts out of the
+/// per-record loop into the CombineHashes kernel (the component std::hash
+/// calls stay scalar — for integral components they are trivial).
+template <typename K, typename Hash>
+constexpr bool kBatchablePairHash = false;
+template <typename A, typename B>
+constexpr bool kBatchablePairHash<std::pair<A, B>, PairHash> = true;
+
 template <typename K, typename V, typename Hash, typename In>
 BucketedPartition<K, V> BucketByTarget(In&& input, size_t num_targets) {
   constexpr bool kConsume = !std::is_lvalue_reference_v<In>;
   BucketedPartition<K, V> out;
   std::vector<uint32_t> targets(input.size());
   std::vector<size_t> counts(num_targets, 0);
-  for (size_t i = 0; i < input.size(); ++i) {
-    targets[i] = static_cast<uint32_t>(Hash{}(input[i].first) % num_targets);
-    ++counts[targets[i]];
+  if constexpr (kBatchablePairHash<K, Hash>) {
+    // Columnar fast path: component hashes into h1/h2 columns a chunk at a
+    // time, one CombineHashes kernel call per chunk, scalar mod. Produces
+    // exactly the per-record targets (PairHash IS HashCombine).
+    constexpr size_t kChunk = 2048;
+    std::array<uint64_t, kChunk> h1, h2, combined;
+    const accel::KernelBackend& kernels = accel::Active();
+    for (size_t base = 0; base < input.size(); base += kChunk) {
+      const size_t len = std::min(kChunk, input.size() - base);
+      for (size_t i = 0; i < len; ++i) {
+        const K& key = input[base + i].first;
+        h1[i] = static_cast<uint64_t>(
+            std::hash<typename K::first_type>{}(key.first));
+        h2[i] = static_cast<uint64_t>(
+            std::hash<typename K::second_type>{}(key.second));
+      }
+      kernels.CombineHashes(h1.data(), h2.data(), len, combined.data());
+      accel::BackendRegistry::Instance().CountBatch(len);
+      for (size_t i = 0; i < len; ++i) {
+        targets[base + i] = static_cast<uint32_t>(
+            static_cast<size_t>(combined[i]) % num_targets);
+        ++counts[targets[base + i]];
+      }
+    }
+  } else {
+    accel::BackendRegistry::Instance().CountFallback(input.size());
+    for (size_t i = 0; i < input.size(); ++i) {
+      targets[i] = static_cast<uint32_t>(Hash{}(input[i].first) % num_targets);
+      ++counts[targets[i]];
+    }
   }
   out.offsets.resize(num_targets + 1, 0);
   for (size_t t = 0; t < num_targets; ++t) {

@@ -2,6 +2,7 @@
 #define ST4ML_EXTRACTION_EXTRACTOR_H_
 
 #include <cstdint>
+#include <limits>
 #include <utility>
 
 #include "engine/execution_context.h"
@@ -39,6 +40,19 @@ struct MeanAcc {
 struct CellSpeed {
   double speed = 0.0;
   int64_t vehicles = 0;
+};
+
+/// Column statistics over a batch of per-trajectory speeds, produced by the
+/// MinMaxSum reduction kernel (accel/kernels.h): the kernel's fixed 8-lane
+/// accumulation order defines `sum`, so the value is identical on every
+/// backend. Empty input is the reduction identity.
+struct SpeedStats {
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  int64_t count = 0;
+
+  double Mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
 };
 
 /// Wraps any callable into an extractor object, so ad-hoc lambdas compose

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "accel/kernels.h"
 #include "engine/dataset.h"
 #include "extraction/extractor.h"
 #include "geometry/point.h"
@@ -69,6 +70,43 @@ inline Dataset<std::pair<int64_t, double>> ExtractTrajSpeeds(
   return trajs.Map([factor](const STTrajectory& t) {
     return std::make_pair(t.data, t.AverageSpeedMps() * factor);
   });
+}
+
+/// Whole-dataset speed statistics: min / max / sum / count over the
+/// per-trajectory average speeds. Each partition materializes its speed
+/// column and reduces it with the MinMaxSum kernel (one vectorized pass);
+/// the per-partition partials merge on the driver in partition order. The
+/// kernel's fixed 8-lane accumulation order (accel/kernels.h) makes the
+/// sum — and therefore the whole result — identical on every backend and
+/// at every worker count, since partials are per-partition slots.
+inline SpeedStats ExtractTrajSpeedStats(
+    const Dataset<STTrajectory>& trajs,
+    SpeedUnit unit = SpeedUnit::kMetersPerSecond) {
+  double factor = SpeedFactor(unit);
+  Dataset<SpeedStats> partial =
+      trajs.MapPartitions([factor](const std::vector<STTrajectory>& part) {
+        std::vector<double> speeds;
+        speeds.reserve(part.size());
+        for (const STTrajectory& t : part) {
+          speeds.push_back(t.AverageSpeedMps() * factor);
+        }
+        SpeedStats stats;
+        stats.count = static_cast<int64_t>(speeds.size());
+        accel::Active().MinMaxSum(speeds.data(), speeds.size(), &stats.min,
+                                  &stats.max, &stats.sum);
+        accel::BackendRegistry::Instance().CountBatch(speeds.size());
+        return std::vector<SpeedStats>{stats};
+      });
+  SpeedStats merged;
+  for (size_t p = 0; p < partial.num_partitions(); ++p) {
+    for (const SpeedStats& s : partial.partition(p)) {
+      merged.min = merged.min < s.min ? merged.min : s.min;
+      merged.max = merged.max > s.max ? merged.max : s.max;
+      merged.sum += s.sum;
+      merged.count += s.count;
+    }
+  }
+  return merged;
 }
 
 /// Pairs of trajectories that pass within `dist_m` meters of each other

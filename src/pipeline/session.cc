@@ -1,5 +1,6 @@
 #include "pipeline/session.h"
 
+#include "accel/kernels.h"
 #include "engine/dataset_cache.h"
 #include "observability/trace_export.h"
 
@@ -23,6 +24,10 @@ Session::Session(std::shared_ptr<ExecutionContext> ctx)
 
 void Session::Configure(const ToolOptions& options) {
   options_ = options;
+  // Empty restores the automatic choice, so a daemon reconfigured without
+  // the override returns to env/CPUID selection.
+  configure_status_ =
+      accel::BackendRegistry::Instance().ForceBackend(options.backend);
   if (options.has_cache_budget) {
     DatasetCache::Options cache;
     cache.budget_bytes =

@@ -31,6 +31,12 @@ struct ToolOptions {
   std::string metrics_json_path;
   /// 0 sizes the worker pool to the hardware.
   int num_workers = 0;
+  /// Non-empty: force the accel kernel backend ("scalar" | "sse2" |
+  /// "avx2") instead of the automatic choice (the ST4ML_BACKEND env knob,
+  /// else the widest ISA this CPU supports). An unknown or unsupported
+  /// name surfaces on Session::configure_status() so tools can refuse to
+  /// start instead of silently computing on the wrong backend.
+  std::string backend;
 };
 
 class Job;
@@ -55,9 +61,17 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  /// Applies cache budget and tracer wiring from `options` and remembers
-  /// the export paths. Call between jobs, not while one is in flight.
+  /// Applies cache budget, tracer wiring and the accel backend override
+  /// from `options` and remembers the export paths. Call between jobs, not
+  /// while one is in flight. Errors (an unknown --backend) land on
+  /// configure_status() rather than a return value so the constructor can
+  /// share the path.
   void Configure(const ToolOptions& options);
+
+  /// OK unless the last Configure was handed an invalid option (currently:
+  /// an unknown or unsupported backend name). Tools check this right after
+  /// constructing the Session and exit non-zero on failure.
+  const Status& configure_status() const { return configure_status_; }
 
   const std::shared_ptr<ExecutionContext>& context() const { return ctx_; }
   Tracer* tracer() const { return ctx_->tracer(); }
@@ -85,6 +99,7 @@ class Session {
  private:
   std::shared_ptr<ExecutionContext> ctx_;
   ToolOptions options_;
+  Status configure_status_;
   std::atomic<uint64_t> next_job_id_{1};
 };
 

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "accel/kernels.h"
 #include "common/retry.h"
 #include "common/status.h"
 #include "engine/cached_dataset.h"
@@ -25,13 +26,23 @@ namespace st4ml {
 namespace selection_internal {
 
 /// What the selector caches per STPQ file: the raw records PLUS the
-/// per-record R-tree, so a warm hit skips the file read, the parse AND the
-/// index build — only the tree query and the copy of matching records
-/// remain. The cache budget accounts the serialized record bytes; the tree
-/// is index overhead on top, as it is for the on-disk index itself.
+/// per-record envelopes in TWO forms, so a warm hit skips the file read,
+/// the parse AND every per-record ComputeSTBox — only the columnar filter
+/// and the copy of matching records remain:
+///   - `cols`: SoA envelope columns, the warm refinement path — one
+///     vectorized FilterBoxes kernel pass per query (DESIGN.md §11);
+///   - `tree`: the per-record R-tree (when the admitting selector refines
+///     through trees), kept alongside the columns for the cold
+///     `use_rtree` path and entries reloaded after eviction.
+/// `envelope` is the union of all non-degenerate record envelopes: a warm
+/// query that misses it skips the per-record pass entirely. The cache
+/// budget accounts the serialized record bytes; columns and tree are index
+/// overhead on top, as for the on-disk index itself.
 template <typename RecordT>
 struct IndexedStpqFile {
   std::vector<RecordT> records;
+  accel::EnvelopeColumns cols;  // per-record envelopes, SoA
+  STBox envelope;               // union of valid record envelopes
   RTree<STBox> tree;  // over per-record envelopes; empty when !has_tree
   bool has_tree = false;
 };
@@ -41,10 +52,21 @@ std::shared_ptr<const IndexedStpqFile<RecordT>> MakeIndexedFile(
     std::vector<RecordT> records, bool build_tree) {
   auto file = std::make_shared<IndexedStpqFile<RecordT>>();
   file->records = std::move(records);
+  std::vector<STBox> boxes;
+  boxes.reserve(file->records.size());
+  file->cols.Reserve(file->records.size());
+  for (const RecordT& r : file->records) {
+    boxes.push_back(r.ComputeSTBox());
+    file->cols.Append(boxes.back());
+    // The file envelope skips degenerate boxes (inverted — e.g. an empty
+    // trajectory — or NaN coordinates): they can never match a query, and
+    // a NaN must not poison the union into rejecting the whole file.
+    const Mbr& m = boxes.back().mbr;
+    if (m.x_min <= m.x_max && m.y_min <= m.y_max) {
+      file->envelope.Extend(boxes.back());
+    }
+  }
   if (build_tree) {
-    std::vector<STBox> boxes;
-    boxes.reserve(file->records.size());
-    for (const RecordT& r : file->records) boxes.push_back(r.ComputeSTBox());
     file->tree.Build(boxes);
     file->has_tree = true;
   }
@@ -261,10 +283,16 @@ class Selector {
 
   /// Indices of the records matching the query, in record order (the tree
   /// reports leaf order; sorting restores it so every refine path returns
-  /// identical datasets).
+  /// identical datasets). The linear path computes each record's envelope
+  /// once into columns and runs the vectorized FilterBoxes kernel over
+  /// them — the same closed-interval predicate STBox::Intersects applies,
+  /// so tree and linear refinement stay byte-identical.
   std::vector<size_t> MatchIndices(const std::vector<RecordT>& records) {
     std::vector<size_t> hits;
     if (options_.use_rtree) {
+      // Per-record tree refinement — not a batch kernel pass, so these
+      // records count as fallback work in the backend registry.
+      accel::BackendRegistry::Instance().CountFallback(records.size());
       std::vector<STBox> boxes;
       boxes.reserve(records.size());
       for (const RecordT& r : records) boxes.push_back(r.ComputeSTBox());
@@ -273,27 +301,57 @@ class Selector {
       hits = tree.Query(query_);
       std::sort(hits.begin(), hits.end());
     } else {
-      for (size_t i = 0; i < records.size(); ++i) {
-        if (records[i].ComputeSTBox().Intersects(query_)) hits.push_back(i);
-      }
+      // The kernel predicate folds in record-side degeneracy but leaves
+      // the query-side emptiness test to the host — an inverted query
+      // matches nothing, exactly as Intersects would report.
+      if (query_.mbr.IsEmpty() || records.empty()) return hits;
+      accel::EnvelopeColumns cols;
+      cols.Reserve(records.size());
+      for (const RecordT& r : records) cols.Append(r.ComputeSTBox());
+      hits = KernelMatch(cols);
+    }
+    return hits;
+  }
+
+  /// One vectorized pass of the active backend's FilterBoxes kernel over
+  /// envelope columns; returns matching indices in record order.
+  std::vector<size_t> KernelMatch(const accel::EnvelopeColumns& cols) {
+    const accel::EnvelopeView view = cols.View();
+    std::vector<uint8_t> bitmap(view.size);
+    accel::Active().FilterBoxes(accel::BoxFilterQuery::FromBox(query_), view,
+                                bitmap.data());
+    accel::BackendRegistry::Instance().CountBatch(view.size);
+    std::vector<size_t> hits;
+    for (size_t i = 0; i < view.size; ++i) {
+      if (bitmap[i] != 0) hits.push_back(i);
     }
     return hits;
   }
 
   /// Filter over a cached indexed file (borrowed, shared with the cache):
-  /// queries the pre-built tree when both sides agree on using one, and
-  /// copies out only the MATCHING records — a warm hit never pays for the
-  /// records the query rejects. The tree was built over the same envelopes
-  /// MatchIndices would compute, so the output is byte-identical to the
-  /// uncached path.
+  /// the warm columnar fast path. A query outside the file's envelope
+  /// union returns without touching a record; otherwise one FilterBoxes
+  /// kernel pass over the cached SoA columns produces the hit bitmap and
+  /// only MATCHING records are copied out — a warm hit never pays for the
+  /// records the query rejects, and never recomputes an envelope. The
+  /// columns hold exactly the envelopes the cached tree was built over and
+  /// the kernel applies exactly the STBox::Intersects predicate, so the
+  /// output is byte-identical to the tree and uncached paths (the
+  /// differential property harness pins this across backends). Entries
+  /// without columns fall back to the tree / per-record refinement.
   std::vector<RecordT> FilterIndexed(
       const selection_internal::IndexedStpqFile<RecordT>& file,
       uint64_t* bytes_selected) {
+    if (!query_.Intersects(file.envelope)) return {};
     std::vector<size_t> hits;
-    if (options_.use_rtree && file.has_tree) {
+    if (file.cols.size() == file.records.size() && !file.cols.empty()) {
+      hits = KernelMatch(file.cols);
+    } else if (options_.use_rtree && file.has_tree) {
+      accel::BackendRegistry::Instance().CountFallback(file.records.size());
       hits = file.tree.Query(query_);
       std::sort(hits.begin(), hits.end());
     } else {
+      // MatchIndices counts its records as batch or fallback itself.
       hits = MatchIndices(file.records);
     }
     std::vector<RecordT> kept;

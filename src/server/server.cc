@@ -14,6 +14,7 @@
 #include <cstring>
 #include <utility>
 
+#include "accel/kernels.h"
 #include "conversion/parse.h"
 #include "conversion/singular_to_collective.h"
 #include "extraction/collective_extractors.h"
@@ -296,11 +297,20 @@ std::string Server::HandleRequest(const std::string& payload,
 
 std::string Server::HandleStats() {
   MetricsSnapshot m = session_->Metrics();
+  const accel::BackendRegistry& accel = accel::BackendRegistry::Instance();
   JsonObject obj;
   obj.Add("ok", true)
       .Add("verb", "stats")
       .Add("jobs_started", session_->jobs_started())
       .Add("inflight", static_cast<uint64_t>(admission_.inflight()))
+      // Which kernel backend this daemon computes on, and how much of the
+      // work actually went through batch kernels vs per-record fallbacks —
+      // the first thing to check when a warm deployment is slower than the
+      // bench says it should be.
+      .Add("backend", accel.active_name())
+      .Add("backend_batches", accel.batches())
+      .Add("backend_batch_records", accel.batch_records())
+      .Add("backend_fallback_records", accel.fallback_records())
       .AddRaw("metrics", MetricsJson(m));
   return obj.Str();
 }

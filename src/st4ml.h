@@ -16,6 +16,10 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 
+// Vectorized columnar kernels behind the runtime CPU backend registry.
+#include "accel/hash_mix.h"
+#include "accel/kernels.h"
+
 // Geometry and time.
 #include "geometry/geometry.h"
 #include "geometry/linestring.h"

@@ -27,6 +27,7 @@
 
 #include <gtest/gtest.h>
 
+#include "accel/kernels.h"
 #include "common/fault_injector.h"
 #include "common/rng.h"
 #include "engine/cached_dataset.h"
@@ -50,6 +51,10 @@ struct CacheWorkload {
   uint64_t tiny_budget = 256;
   double fault_prob = 0.0;   // > 0 arms stpq/read probabilistically
   int repeats = 2;           // Select calls per run (reuse on repeat)
+  /// Kernel backend this workload runs under ("" = widest available).
+  /// ExpectIdentical ALWAYS also runs the scalar reference, so every seed
+  /// is a scalar-vs-SIMD differential on top of the cache differential.
+  std::string backend;
   STBox query;
 };
 
@@ -82,6 +87,12 @@ inline CacheWorkload RandomCacheWorkload(uint64_t seed) {
                       : static_cast<uint64_t>(rng.UniformInt(64, 4096));
   w.fault_prob = seed % 5 == 0 ? 0.1 : 0.0;
   w.repeats = 2;
+  // Random compiled-in-and-supported backend, so the seed sweep exercises
+  // every dispatch target (on top of ExpectIdentical's scalar reference).
+  const auto& available = accel::BackendRegistry::Instance().Available();
+  w.backend =
+      available[rng.UniformInt(0, static_cast<int64_t>(available.size()) - 1)]
+          ->name();
   // A random sub-box; occasionally everything or (nearly) nothing.
   double x1 = rng.Uniform(0, 80), y1 = rng.Uniform(0, 80);
   double x2 = x1 + rng.Uniform(5, 100 - x1), y2 = y1 + rng.Uniform(5, 100 - y1);
@@ -282,42 +293,70 @@ inline const std::vector<Counter>& CacheInvariantCounters() {
   return kCounters;
 }
 
+/// Forces a kernel backend for a scope; restores the automatic choice (env
+/// override, else widest ISA) on exit — including early GTest ASSERT
+/// returns, so one failing seed can't leak a forced backend into the next.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(const std::string& name) {
+    Status status = accel::BackendRegistry::Instance().ForceBackend(name);
+    ST4ML_CHECK(status.ok()) << status.ToString();
+  }
+  ~ScopedBackend() { accel::BackendRegistry::Instance().ForceBackend(""); }
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+};
+
 /// Runs `w` uncached (budget 0) and cached (budgets {0, tiny, unbounded})
-/// at worker counts {1, 8}, asserting:
+/// at worker counts {1, 8}, under the scalar backend and then under the
+/// workload's backend (when different), asserting:
 ///  - every run's output is byte-identical to the single-worker uncached
-///    reference (cache AND worker-count invariance), and
+///    SCALAR reference (cache, worker-count AND backend invariance — cold
+///    and warm paths both go through the kernels, so this is the
+///    scalar-vs-SIMD differential the accel contract promises), and
 ///  - each cached run's invariant counters equal the uncached run's at the
-///    SAME worker count (executor-shape counters legitimately vary with
-///    workers... but not with caching).
+///    SAME worker count and backend (executor-shape counters legitimately
+///    vary with workers... but not with caching or with the backend).
 inline void ExpectIdentical(const CacheWorkload& w) {
   StagedWorkload staged(w);
   const uint64_t budgets[] = {0, w.tiny_budget, DatasetCache::kUnbounded};
+  std::vector<std::string> backends = {"scalar"};
+  std::string alt =
+      w.backend.empty()
+          ? accel::BackendRegistry::Instance().Available().back()->name()
+          : w.backend;
+  if (alt != "scalar") backends.push_back(alt);
   std::string reference;
   bool have_reference = false;
-  for (int workers : {1, 8}) {
-    PipelineRun uncached = RunCachePipeline(w, staged, 0, workers);
-    ASSERT_TRUE(uncached.status.ok())
-        << "seed " << w.seed << " uncached workers " << workers << ": "
-        << uncached.status.ToString();
-    if (!have_reference) {
-      reference = uncached.output;
-      have_reference = true;
-    }
-    EXPECT_EQ(uncached.output, reference)
-        << "seed " << w.seed << ": uncached output varies with workers="
-        << workers;
-    for (uint64_t budget : budgets) {
-      PipelineRun cached = RunCachePipeline(w, staged, budget, workers);
-      ASSERT_TRUE(cached.status.ok())
-          << "seed " << w.seed << " budget " << budget << " workers "
-          << workers << ": " << cached.status.ToString();
-      EXPECT_EQ(cached.output, reference)
-          << "seed " << w.seed << ": cached output diverged at budget "
-          << budget << " workers " << workers;
-      for (Counter c : CacheInvariantCounters()) {
-        EXPECT_EQ(cached.metrics[c], uncached.metrics[c])
-            << "seed " << w.seed << ": counter " << CounterName(c)
-            << " diverged at budget " << budget << " workers " << workers;
+  for (const std::string& backend : backends) {
+    ScopedBackend forced(backend);
+    for (int workers : {1, 8}) {
+      PipelineRun uncached = RunCachePipeline(w, staged, 0, workers);
+      ASSERT_TRUE(uncached.status.ok())
+          << "seed " << w.seed << " uncached workers " << workers
+          << " backend " << backend << ": " << uncached.status.ToString();
+      if (!have_reference) {
+        reference = uncached.output;
+        have_reference = true;
+      }
+      EXPECT_EQ(uncached.output, reference)
+          << "seed " << w.seed << ": uncached output varies with workers="
+          << workers << " backend=" << backend;
+      for (uint64_t budget : budgets) {
+        PipelineRun cached = RunCachePipeline(w, staged, budget, workers);
+        ASSERT_TRUE(cached.status.ok())
+            << "seed " << w.seed << " budget " << budget << " workers "
+            << workers << " backend " << backend << ": "
+            << cached.status.ToString();
+        EXPECT_EQ(cached.output, reference)
+            << "seed " << w.seed << ": cached output diverged at budget "
+            << budget << " workers " << workers << " backend " << backend;
+        for (Counter c : CacheInvariantCounters()) {
+          EXPECT_EQ(cached.metrics[c], uncached.metrics[c])
+              << "seed " << w.seed << ": counter " << CounterName(c)
+              << " diverged at budget " << budget << " workers " << workers
+              << " backend " << backend;
+        }
       }
     }
   }

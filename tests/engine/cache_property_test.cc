@@ -4,6 +4,11 @@
 // Collect() output and identical non-cache counters. Seeds divisible by 5
 // run with probabilistic faults armed on the stpq/read site, so spill
 // reloads and cache-miss re-reads exercise the retry path mid-comparison.
+// Since ISSUE 7 every seed also draws a random kernel backend and
+// ExpectIdentical replays the whole grid under scalar AND that backend
+// (same effect as randomizing ST4ML_BACKEND, but deterministic per seed),
+// so the sweep doubles as the scalar-vs-SIMD differential on the real
+// cold and warm selection paths.
 //
 // The sweep is sharded into ranges of 10 so a regression names a small
 // seed set instead of one 50-seed monolith.
@@ -34,16 +39,24 @@ TEST(CachePropertyTest, Seeds40Through49) { SweepSeeds(40, 50); }
 // fault-armed seeds, empty-result queries, full-domain queries, and
 // pathological 1-byte budgets all appear within the 50 seeds.
 TEST(CachePropertyTest, GeneratorCoversTheInterestingRegimes) {
-  int faulty = 0, one_byte_budgets = 0;
+  int faulty = 0, one_byte_budgets = 0, non_scalar_backends = 0;
   for (uint64_t seed = 0; seed < 50; ++seed) {
     CacheWorkload w = RandomCacheWorkload(seed);
     if (w.fault_prob > 0) ++faulty;
     if (w.tiny_budget == 1) ++one_byte_budgets;
+    if (w.backend != "scalar") ++non_scalar_backends;
+    EXPECT_NE(accel::BackendRegistry::Instance().Find(w.backend), nullptr)
+        << "seed " << seed << " drew unavailable backend " << w.backend;
     EXPECT_GE(w.num_records, 1) << "seed " << seed;
     EXPECT_GE(w.repeats, 2) << "reuse needs at least two Selects";
   }
   EXPECT_GE(faulty, 5);
   EXPECT_GE(one_byte_budgets, 1);
+  // On any multi-backend build (x86-64 always has at least sse2), the
+  // sweep must actually run SIMD backends, not just draw scalar 50 times.
+  if (accel::BackendRegistry::Instance().Available().size() > 1) {
+    EXPECT_GE(non_scalar_backends, 10);
+  }
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "extraction/collective_extractors.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -7,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "conversion/singular_to_collective.h"
 #include "engine/execution_context.h"
 #include "extraction/event_extractors.h"
@@ -166,6 +168,42 @@ TEST(TrajSpeedTest, UnitConversion) {
   ASSERT_EQ(mps.size(), 1u);
   EXPECT_NEAR(mps[0].second, 1.0, 0.01);
   EXPECT_NEAR(kmh[0].second, 3.6, 0.05);
+}
+
+TEST(TrajSpeedTest, SpeedStatsMatchPerTrajectorySpeeds) {
+  auto ctx = ExecutionContext::Create(2);
+  Rng rng(17);
+  std::vector<STTrajectory> trajs;
+  for (int64_t id = 0; id < 20; ++id) {
+    STTrajectory t;
+    t.data = id;
+    int64_t time = 0;
+    double x = rng.Uniform(0, 1), y = rng.Uniform(50, 51);
+    for (int e = 0; e < 5; ++e) {
+      t.entries.push_back(EntryAt(x, y, time));
+      x += rng.Uniform(0, 0.001);
+      y += rng.Uniform(0, 0.001);
+      time += rng.UniformInt(30, 120);
+    }
+    trajs.push_back(std::move(t));
+  }
+  auto data = Dataset<STTrajectory>::Parallelize(ctx, trajs, 4);
+
+  SpeedStats stats = ExtractTrajSpeedStats(data, SpeedUnit::kKilometersPerHour);
+  auto speeds = ExtractTrajSpeeds(data, SpeedUnit::kKilometersPerHour).Collect();
+  ASSERT_EQ(stats.count, static_cast<int64_t>(speeds.size()));
+  double min = speeds[0].second, max = speeds[0].second;
+  for (const auto& [id, s] : speeds) {
+    min = std::min(min, s);
+    max = std::max(max, s);
+  }
+  // min/max are order-independent on finite inputs, so plain equality holds
+  // against the per-trajectory extraction regardless of backend.
+  EXPECT_EQ(stats.min, min);
+  EXPECT_EQ(stats.max, max);
+  EXPECT_NEAR(stats.Mean(), stats.sum / stats.count, 1e-12);
+  EXPECT_GT(stats.min, 0.0);
+  EXPECT_GE(stats.max, stats.min);
 }
 
 TEST(FunctionExtractorTest, WrapsLambdaUnderExtractInterface) {

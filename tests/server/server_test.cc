@@ -22,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include "accel/kernels.h"
 #include "common/property.h"
 #include "pipeline/session.h"
 #include "server/client.h"
@@ -146,6 +147,15 @@ TEST(ServerTest, PingStatsAndValidation) {
   EXPECT_TRUE(Ok(stats));
   EXPECT_EQ(stats.GetInt("jobs_started", -1), 0);
   ASSERT_NE(stats.Find("metrics"), nullptr);
+
+  // The daemon reports which kernel backend it computes on, and it must be
+  // one the registry actually has (DESIGN.md §11).
+  std::string backend = stats.GetString("backend", "");
+  EXPECT_NE(accel::BackendRegistry::Instance().Find(backend), nullptr)
+      << "stats reported unknown backend '" << backend << "'";
+  EXPECT_GE(stats.GetInt("backend_batches", -1), 0);
+  EXPECT_GE(stats.GetInt("backend_batch_records", -1), 0);
+  EXPECT_GE(stats.GetInt("backend_fallback_records", -1), 0);
 }
 
 TEST(ServerTest, ProtocolErrorsKeepTheConnectionUsable) {

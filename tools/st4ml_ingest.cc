@@ -47,6 +47,7 @@ int Run(int argc, char** argv) {
   }
 
   st4ml::Session session(st4ml::tools::ToolOptionsFromFlags(flags));
+  if (!st4ml::tools::CheckSessionConfig(session, "st4ml_ingest")) return 2;
   auto data = st4ml::Dataset<st4ml::EventRecord>::Parallelize(
       session.context(), *events, 4);
   st4ml::TSTRPartitioner partitioner(

@@ -28,7 +28,7 @@ int Run(int argc, char** argv) {
                  "usage: st4ml_select --dir=DIR "
                  "--mbr=x1,y1,x2,y2 --time=start,end "
                  "[--cache-budget=BYTES] [--trace=FILE] "
-                 "[--metrics-json=FILE]\n");
+                 "[--metrics-json=FILE] [--backend=scalar|sse2|avx2]\n");
     return 2;
   }
   st4ml::STBox query(
@@ -37,6 +37,7 @@ int Run(int argc, char** argv) {
                       static_cast<int64_t>(time[1])));
 
   st4ml::Session session(st4ml::tools::ToolOptionsFromFlags(flags));
+  if (!st4ml::tools::CheckSessionConfig(session, "st4ml_select")) return 2;
   st4ml::Selector<st4ml::EventRecord> selector(session.context(), query);
   st4ml::Job job = session.StartJob("st4ml_select");
   auto selected = job.pipeline().Run("selection", [&] {

@@ -40,6 +40,7 @@ int Run(int argc, char** argv) {
     options.cache_budget_bytes = -1;
   }
   st4ml::Session session(options);
+  if (!st4ml::tools::CheckSessionConfig(session, "st4mld")) return 2;
 
   st4ml::server::ServerOptions server_options;
   server_options.port = static_cast<int>(flags.GetInt("port", 0));

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -68,6 +69,11 @@ class Flags {
 ///   --trace=FILE           attach a Tracer; Chrome trace written on export
 ///   --metrics-json=FILE    flat metrics JSON written on export
 ///   --workers=N            worker pool size (0 sizes to the hardware)
+///   --backend=NAME         force the accel kernel backend
+///                          (scalar|sse2|avx2; absent keeps the automatic
+///                          choice: ST4ML_BACKEND env, else widest ISA the
+///                          CPU supports) — an invalid name surfaces on
+///                          Session::configure_status()
 /// The batch CLIs and st4mld all feed the result to Session::Configure —
 /// one spelling of the plumbing instead of five.
 inline ToolOptions ToolOptionsFromFlags(const Flags& flags) {
@@ -79,7 +85,18 @@ inline ToolOptions ToolOptionsFromFlags(const Flags& flags) {
   options.trace_path = flags.GetString("trace", "");
   options.metrics_json_path = flags.GetString("metrics-json", "");
   options.num_workers = static_cast<int>(flags.GetInt("workers", 0));
+  options.backend = flags.GetString("backend", "");
   return options;
+}
+
+/// Post-construction check the Session-backed tools share: a bad engine
+/// option (an unknown --backend) reports on stderr and exits non-zero
+/// instead of silently running misconfigured.
+inline bool CheckSessionConfig(const Session& session, const char* tool) {
+  if (session.configure_status().ok()) return true;
+  std::fprintf(stderr, "%s: %s\n", tool,
+               session.configure_status().ToString().c_str());
+  return false;
 }
 
 }  // namespace tools
