@@ -22,7 +22,7 @@ Dataset<STEvent> SelectEvents(const BenchEnv& env, const ScaledDirs& dirs,
                               const STBox& query) {
   SelectorOptions options;
   options.partitioner = std::make_shared<TSTRPartitioner>(4, 4);
-  Selector<EventRecord> selector(env.ctx, query, options);
+  Selector<EventRecord> selector(env.ctx, SelectQuery::FromBox(query), options);
   auto selected = selector.Select(dirs.st4ml_dir, dirs.st4ml_meta);
   ST4ML_CHECK(selected.ok()) << selected.status().ToString();
   return ParseEvents(*selected);
@@ -32,7 +32,7 @@ Dataset<STTrajectory> SelectTrajs(const BenchEnv& env, const ScaledDirs& dirs,
                                   const STBox& query) {
   SelectorOptions options;
   options.partitioner = std::make_shared<TSTRPartitioner>(4, 4);
-  Selector<TrajRecord> selector(env.ctx, query, options);
+  Selector<TrajRecord> selector(env.ctx, SelectQuery::FromBox(query), options);
   auto selected = selector.Select(dirs.st4ml_dir, dirs.st4ml_meta);
   ST4ML_CHECK(selected.ok()) << selected.status().ToString();
   return ParseTrajs(*selected);

@@ -24,7 +24,7 @@ Dataset<STEvent> SelectEventsC(const BenchEnv& env, const ScaledDirs& dirs,
                                const STBox& query) {
   SelectorOptions options;
   options.partitioner = std::make_shared<TSTRPartitioner>(4, 4);
-  Selector<EventRecord> selector(env.ctx, query, options);
+  Selector<EventRecord> selector(env.ctx, SelectQuery::FromBox(query), options);
   auto selected = selector.Select(dirs.st4ml_dir, dirs.st4ml_meta);
   ST4ML_CHECK(selected.ok()) << selected.status().ToString();
   return ParseEvents(*selected);
@@ -34,7 +34,7 @@ Dataset<STTrajectory> SelectTrajsC(const BenchEnv& env, const ScaledDirs& dirs,
                                    const STBox& query) {
   SelectorOptions options;
   options.partitioner = std::make_shared<TSTRPartitioner>(4, 4);
-  Selector<TrajRecord> selector(env.ctx, query, options);
+  Selector<TrajRecord> selector(env.ctx, SelectQuery::FromBox(query), options);
   auto selected = selector.Select(dirs.st4ml_dir, dirs.st4ml_meta);
   ST4ML_CHECK(selected.ok()) << selected.status().ToString();
   return ParseTrajs(*selected);

@@ -42,7 +42,7 @@ void AblateSelectionOrder(const BenchEnv& env) {
     for (const STBox& q : queries) {
       SelectorOptions options;
       options.partitioner = std::make_shared<TSTRPartitioner>(4, 8);
-      Selector<EventRecord> selector(env.ctx, q, options);
+      Selector<EventRecord> selector(env.ctx, SelectQuery::FromBox(q), options);
       auto result = selector.Select(env.nyc[2].plain_dir);
       ST4ML_CHECK(result.ok());
     }
@@ -58,8 +58,7 @@ void AblateSelectionOrder(const BenchEnv& env) {
     for (const STBox& q : queries) {
       SelectorOptions load_opts;
       load_opts.partition_after_select = false;
-      Selector<EventRecord> loader(env.ctx,
-                                   STBox(env.nyc_extent, env.nyc_range),
+      Selector<EventRecord> loader(env.ctx, SelectQuery::FromBox(STBox(env.nyc_extent, env.nyc_range)),
                                    load_opts);
       auto all = loader.Select(env.nyc[2].plain_dir);
       ST4ML_CHECK(all.ok());
@@ -91,7 +90,7 @@ void AblateConversionDesign(const BenchEnv& env) {
   SelectorOptions options;
   options.partitioner = std::make_shared<STRPartitioner>(16);
   Selector<EventRecord> selector(
-      env.ctx, STBox(env.nyc_extent, env.nyc_range), options);
+      env.ctx, SelectQuery::FromBox(STBox(env.nyc_extent, env.nyc_range)), options);
   auto selected = selector.Select(env.nyc[1].plain_dir);
   ST4ML_CHECK(selected.ok());
   auto events = ParseEvents(*selected);
@@ -138,7 +137,7 @@ void AblateOperatorChoice(const BenchEnv& env) {
   SelectorOptions options;
   options.partition_after_select = false;
   Selector<EventRecord> selector(
-      env.ctx, STBox(env.nyc_extent, env.nyc_range), options);
+      env.ctx, SelectQuery::FromBox(STBox(env.nyc_extent, env.nyc_range)), options);
   auto events = selector.Select(env.nyc[2].plain_dir);
   ST4ML_CHECK(events.ok());
   auto keyed = events->Map([](const EventRecord& r) {
@@ -183,7 +182,7 @@ void AblateInMemoryIndex(const BenchEnv& env) {
       SelectorOptions options;
       options.partition_after_select = false;
       options.use_rtree = use_rtree;
-      Selector<EventRecord> selector(env.ctx, q, options);
+      Selector<EventRecord> selector(env.ctx, SelectQuery::FromBox(q), options);
       total_e += TimeIt([&] {
         auto r = selector.Select(env.nyc[2].plain_dir);
         ST4ML_CHECK(r.ok());
@@ -194,7 +193,7 @@ void AblateInMemoryIndex(const BenchEnv& env) {
       SelectorOptions options;
       options.partition_after_select = false;
       options.use_rtree = use_rtree;
-      Selector<TrajRecord> selector(env.ctx, q, options);
+      Selector<TrajRecord> selector(env.ctx, SelectQuery::FromBox(q), options);
       total_t += TimeIt([&] {
         auto r = selector.Select(env.porto[2].plain_dir);
         ST4ML_CHECK(r.ok());

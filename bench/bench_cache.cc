@@ -80,7 +80,7 @@ PassResult RunBudget(const std::string& dir, const std::string& meta,
     options.budget_bytes = budget;
     ctx->ConfigureCache(std::move(options));
 
-    Selector<EventRecord> cold_selector(ctx, query);
+    Selector<EventRecord> cold_selector(ctx, SelectQuery::FromBox(query));
     Stopwatch cold_watch;
     auto first = cold_selector.Select(dir, meta);
     double first_seconds = cold_watch.ElapsedSeconds();
@@ -89,7 +89,7 @@ PassResult RunBudget(const std::string& dir, const std::string& meta,
       std::exit(1);
     }
 
-    Selector<EventRecord> warm_selector(ctx, query);
+    Selector<EventRecord> warm_selector(ctx, SelectQuery::FromBox(query));
     Stopwatch warm_watch;
     auto second = warm_selector.Select(dir, meta);
     double second_seconds = warm_watch.ElapsedSeconds();

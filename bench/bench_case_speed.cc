@@ -39,7 +39,7 @@ size_t St4mlDailySpeed(const BenchEnv& env, const std::string& data_dir,
                        std::shared_ptr<const RasterStructure> raster) {
   SelectorOptions options;
   options.partitioner = std::make_shared<TSTRPartitioner>(4, 4);
-  Selector<TrajRecord> selector(env.ctx, day_query, options);
+  Selector<TrajRecord> selector(env.ctx, SelectQuery::FromBox(day_query), options);
   auto selected = selector.Select(data_dir, meta);
   ST4ML_CHECK(selected.ok()) << selected.status().ToString();
   auto trajs = ParseTrajs(*selected);

@@ -27,7 +27,7 @@ Dataset<RecordT> LoadAll(const BenchEnv& env, const ScaledDirs& dirs,
                          const Mbr& extent, const Duration& range) {
   SelectorOptions options;
   options.partitioner = std::make_shared<HashPartitioner>(16);
-  Selector<RecordT> selector(env.ctx, STBox(extent, range), options);
+  Selector<RecordT> selector(env.ctx, SelectQuery::FromBox(STBox(extent, range)), options);
   auto selected = selector.Select(dirs.plain_dir);
   ST4ML_CHECK(selected.ok()) << selected.status().ToString();
   return *selected;

@@ -30,7 +30,7 @@ void RunSweep(const BenchEnv& env, const char* dataset_name,
   {
     SelectorOptions options;
     options.partition_after_select = false;
-    Selector<RecordT> warm(env.ctx, STBox(extent, range), options);
+    Selector<RecordT> warm(env.ctx, SelectQuery::FromBox(STBox(extent, range)), options);
     (void)warm.Select(dirs.plain_dir);
     (void)warm.Select(dirs.st4ml_dir, dirs.st4ml_meta);
   }
@@ -43,7 +43,7 @@ void RunSweep(const BenchEnv& env, const char* dataset_name,
       options.partition_after_select = false;
 
       // Noise-robust estimate: best of `repeat` runs per query.
-      Selector<RecordT> native(env.ctx, q, options);
+      Selector<RecordT> native(env.ctx, SelectQuery::FromBox(q), options);
       double best_native = 1e30;
       for (int r = 0; r < repeat; ++r) {
         best_native = std::min(best_native, TimeIt([&] {
@@ -54,7 +54,7 @@ void RunSweep(const BenchEnv& env, const char* dataset_name,
       t_native += best_native;
       native_loaded += native.stats().bytes_loaded;
 
-      Selector<RecordT> indexed(env.ctx, q, options);
+      Selector<RecordT> indexed(env.ctx, SelectQuery::FromBox(q), options);
       double best_indexed = 1e30;
       for (int r = 0; r < repeat; ++r) {
         best_indexed = std::min(best_indexed, TimeIt([&] {

@@ -254,7 +254,7 @@ int Run(int argc, char** argv) {
     cache_options.budget_bytes = DatasetCache::kUnbounded;
     ctx->ConfigureCache(std::move(cache_options));
 
-    Selector<EventRecord> prime(ctx, e2e_query);
+    Selector<EventRecord> prime(ctx, SelectQuery::FromBox(e2e_query));
     auto cold = prime.Select(dir, meta);
     if (!cold.ok()) {
       std::cerr << "bench_simd: " << cold.status().ToString() << "\n";
@@ -262,7 +262,7 @@ int Run(int argc, char** argv) {
     }
     uint64_t sum = 0;
     double warm_seconds = Best(reps, [&] {
-      Selector<EventRecord> warm(ctx, e2e_query);
+      Selector<EventRecord> warm(ctx, SelectQuery::FromBox(e2e_query));
       auto selected = warm.Select(dir, meta);
       ST4ML_CHECK(selected.ok());
       sum = Checksum(std::move(*selected).Collect());

@@ -36,7 +36,7 @@ std::vector<RecordT> LoadRecords(const BenchEnv& env, const ScaledDirs& dirs,
                                  const Mbr& extent, const Duration& range) {
   SelectorOptions options;
   options.partition_after_select = false;
-  Selector<RecordT> selector(env.ctx, STBox(extent, range), options);
+  Selector<RecordT> selector(env.ctx, SelectQuery::FromBox(STBox(extent, range)), options);
   auto data = selector.Select(dirs.plain_dir);
   ST4ML_CHECK(data.ok()) << data.status().ToString();
   return data->Collect();
@@ -58,7 +58,7 @@ double TimeSelections(const BenchEnv& env, std::vector<RecordT> records,
     for (const STBox& q : queries) {
       SelectorOptions options;
       options.partition_after_select = false;
-      Selector<RecordT> selector(env.ctx, q, options);
+      Selector<RecordT> selector(env.ctx, SelectQuery::FromBox(q), options);
       auto result = selector.Select(dir, dir + "/meta");
       ST4ML_CHECK(result.ok()) << result.status().ToString();
     }

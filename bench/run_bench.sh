@@ -44,6 +44,7 @@ if [ $# -eq 0 ]; then
   run_one "$repo_root/build/bench/bench_cache"
   run_one "$repo_root/build/bench/bench_serve"
   run_one "$repo_root/build/bench/bench_simd"
+  run_one "$repo_root/build/bench/bench_coldstart"
 else
   run_one "$@"
 fi

@@ -32,7 +32,7 @@ int main() {
   // operation → task automatically.
   STBox query(gen.extent,
               Duration(gen.range.start(), gen.range.start() + 86400));
-  Selector<EventRecord> selector(ctx, query);
+  Selector<EventRecord> selector(ctx, SelectQuery::FromBox(query));
   Pipeline pipeline(ctx, "hourly_flow");
 
   // Selection: one city-scale day.

@@ -1,0 +1,678 @@
+#include "index/stix.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <unordered_set>
+#include <utility>
+
+namespace st4ml {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Byte offsets of every section plus the total file size, derived ONLY
+/// from the three header counts — the writer lays files out with it and
+/// Open recomputes it to audit an untrusted header. Counts are capped at
+/// 2^32 before this runs, so no product here can overflow.
+struct StixLayout {
+  uint64_t off[kStixNumSections] = {};
+  uint64_t total = 0;
+};
+
+StixLayout ComputeStixLayout(uint64_t records, uint64_t nodes, uint64_t ids) {
+  auto align = [](uint64_t v) {
+    return (v + kStixSectionAlign - 1) / kStixSectionAlign * kStixSectionAlign;
+  };
+  StixLayout layout;
+  uint64_t pos = sizeof(StixHeader);
+  auto place = [&](StixSection s, uint64_t bytes) {
+    pos = align(pos);
+    layout.off[s] = pos;
+    pos += bytes;
+  };
+  place(kStixNodes, nodes * sizeof(StixNode));
+  place(kStixOrder, records * sizeof(uint32_t));
+  place(kStixColXMin, records * sizeof(double));
+  place(kStixColYMin, records * sizeof(double));
+  place(kStixColXMax, records * sizeof(double));
+  place(kStixColYMax, records * sizeof(double));
+  place(kStixColTMin, records * sizeof(int64_t));
+  place(kStixColTMax, records * sizeof(int64_t));
+  place(kStixRecOffsets, (records + 1) * sizeof(uint64_t));
+  place(kStixIdDir, ids * sizeof(StixIdEntry));
+  place(kStixPostings, records * sizeof(uint32_t));
+  layout.total = pos;
+  return layout;
+}
+
+/// A record envelope that can match SOME query: non-inverted, NaN-free.
+/// Degenerate envelopes are skipped when extending node boxes (they can
+/// never match, and a NaN must not poison a node box into pruning valid
+/// siblings — the same rule MakeIndexedFile applies to the file envelope).
+bool ValidBox(const STBox& box) {
+  return box.mbr.x_min <= box.mbr.x_max && box.mbr.y_min <= box.mbr.y_max &&
+         box.time.start() <= box.time.end();
+}
+
+StixNode EmptyNode() {
+  StixNode node;
+  node.x_min = 1.0;  // inverted: matches nothing until extended
+  node.x_max = 0.0;
+  node.y_min = 1.0;
+  node.y_max = 0.0;
+  node.t_min = 1;
+  node.t_max = 0;
+  return node;
+}
+
+void ExtendNode(StixNode* node, double x_min, double y_min, double x_max,
+                double y_max, int64_t t_min, int64_t t_max) {
+  if (node->x_min > node->x_max) {  // still empty: adopt
+    node->x_min = x_min;
+    node->y_min = y_min;
+    node->x_max = x_max;
+    node->y_max = y_max;
+    node->t_min = t_min;
+    node->t_max = t_max;
+    return;
+  }
+  node->x_min = std::min(node->x_min, x_min);
+  node->y_min = std::min(node->y_min, y_min);
+  node->x_max = std::max(node->x_max, x_max);
+  node->y_max = std::max(node->y_max, y_max);
+  node->t_min = std::min(node->t_min, t_min);
+  node->t_max = std::max(node->t_max, t_max);
+}
+
+bool NodeValid(const StixNode& node) {
+  return node.x_min <= node.x_max && node.y_min <= node.y_max &&
+         node.t_min <= node.t_max;
+}
+
+/// Node-vs-query intersection: the same closed-interval predicate as
+/// STBox::Intersects, with the query-side emptiness test hoisted to the
+/// query entry points (kernel contract). An empty node matches nothing.
+bool NodeIntersects(const accel::BoxFilterQuery& q, const StixNode& node) {
+  return NodeValid(node) && node.x_min <= q.x_max && q.x_min <= node.x_max &&
+         node.y_min <= q.y_max && q.y_min <= node.y_max &&
+         node.t_min <= q.t_max && q.t_min <= node.t_max;
+}
+
+/// Distinct 4 KiB pages a query touched. Absolute file byte ranges go in;
+/// pages_read comes out once per query.
+class PageTouches {
+ public:
+  void Touch(uint64_t begin, uint64_t bytes) {
+    if (bytes == 0) return;
+    uint64_t first = begin / kStixPageBytes;
+    uint64_t last = (begin + bytes - 1) / kStixPageBytes;
+    for (uint64_t p = first; p <= last; ++p) pages_.insert(p);
+  }
+  uint64_t count() const { return pages_.size(); }
+
+ private:
+  std::unordered_set<uint64_t> pages_;
+};
+
+/// The 3-d STR ordering (slabs by x, sub-slabs by y, runs by t), mirroring
+/// RTree::Pack but over precomputed sort keys with NaN replaced by 0 — a
+/// NaN coordinate must not break the comparators' strict weak ordering.
+std::vector<uint32_t> StrOrder(const std::vector<STBox>& boxes) {
+  const size_t n = boxes.size();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  if (n == 0) return order;
+
+  auto key = [](double a, double b) {
+    double sum = a + b;
+    return std::isnan(sum) ? 0.0 : sum;
+  };
+  std::vector<double> kx(n), ky(n), kt(n);
+  for (size_t i = 0; i < n; ++i) {
+    kx[i] = key(boxes[i].mbr.x_min, boxes[i].mbr.x_max);
+    ky[i] = key(boxes[i].mbr.y_min, boxes[i].mbr.y_max);
+    kt[i] = static_cast<double>(boxes[i].time.start()) +
+            static_cast<double>(boxes[i].time.end());
+  }
+
+  const size_t cap = kStixNodeCapacity;
+  size_t leaves = (n + cap - 1) / cap;
+  size_t s =
+      static_cast<size_t>(std::ceil(std::cbrt(static_cast<double>(leaves))));
+  size_t slab = s * s * cap;
+  size_t subslab = s * cap;
+
+  std::sort(order.begin(), order.end(),
+            [&](uint32_t a, uint32_t b) { return kx[a] < kx[b]; });
+  for (size_t lo = 0; lo < n; lo += slab) {
+    size_t hi = std::min(lo + slab, n);
+    std::sort(order.begin() + lo, order.begin() + hi,
+              [&](uint32_t a, uint32_t b) { return ky[a] < ky[b]; });
+    for (size_t slo = lo; slo < hi; slo += subslab) {
+      size_t shi = std::min(slo + subslab, hi);
+      std::sort(order.begin() + slo, order.begin() + shi,
+                [&](uint32_t a, uint32_t b) { return kt[a] < kt[b]; });
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::string StixPathFor(const std::string& stpq_path) {
+  return fs::path(stpq_path).replace_extension(".stix").string();
+}
+
+int64_t FileMtimeStamp(const std::string& path) {
+  std::error_code ec;
+  auto mtime = fs::last_write_time(path, ec);
+  return ec ? 0 : static_cast<int64_t>(mtime.time_since_epoch().count());
+}
+
+Status WriteStixFile(const std::string& stix_path, const StixBuildInput& input,
+                     uint64_t source_size, int64_t source_mtime,
+                     uint64_t* io_bytes) {
+  const uint64_t n = input.boxes.size();
+  if (input.ids.size() != n || input.offsets.size() != n + 1) {
+    return Status::InvalidArgument("stix build input arrays disagree for " +
+                                   stix_path);
+  }
+  if (n > UINT32_MAX) {
+    return Status::InvalidArgument("too many records for a stix sidecar: " +
+                                   stix_path);
+  }
+
+  // STR bulk load: order the records, pack leaves over consecutive runs,
+  // then internal levels bottom-up until one root (root is the LAST node).
+  std::vector<uint32_t> order = StrOrder(input.boxes);
+  std::vector<StixNode> nodes;
+  size_t level_begin = 0;
+  for (uint64_t lo = 0; lo < n; lo += kStixNodeCapacity) {
+    StixNode node = EmptyNode();
+    node.leaf = 1;
+    node.first = static_cast<uint32_t>(lo);
+    node.count = static_cast<uint32_t>(
+        std::min<uint64_t>(kStixNodeCapacity, n - lo));
+    for (uint32_t i = 0; i < node.count; ++i) {
+      const STBox& box = input.boxes[order[lo + i]];
+      if (!ValidBox(box)) continue;
+      ExtendNode(&node, box.mbr.x_min, box.mbr.y_min, box.mbr.x_max,
+                 box.mbr.y_max, box.time.start(), box.time.end());
+    }
+    nodes.push_back(node);
+  }
+  while (nodes.size() - level_begin > 1) {
+    size_t level_end = nodes.size();
+    for (size_t lo = level_begin; lo < level_end; lo += kStixNodeCapacity) {
+      StixNode node = EmptyNode();
+      node.leaf = 0;
+      node.first = static_cast<uint32_t>(lo);
+      node.count = static_cast<uint32_t>(
+          std::min<size_t>(kStixNodeCapacity, level_end - lo));
+      for (uint32_t i = 0; i < node.count; ++i) {
+        const StixNode& child = nodes[lo + i];
+        if (!NodeValid(child)) continue;
+        ExtendNode(&node, child.x_min, child.y_min, child.x_max, child.y_max,
+                   child.t_min, child.t_max);
+      }
+      nodes.push_back(node);
+    }
+    level_begin = level_end;
+  }
+
+  // Envelope columns in LEAF order, so a leaf hit refines over one
+  // contiguous zero-copy column run.
+  std::vector<double> cx_min(n), cy_min(n), cx_max(n), cy_max(n);
+  std::vector<int64_t> ct_min(n), ct_max(n);
+  for (uint64_t j = 0; j < n; ++j) {
+    const STBox& box = input.boxes[order[j]];
+    cx_min[j] = box.mbr.x_min;
+    cy_min[j] = box.mbr.y_min;
+    cx_max[j] = box.mbr.x_max;
+    cy_max[j] = box.mbr.y_max;
+    ct_min[j] = box.time.start();
+    ct_max[j] = box.time.end();
+  }
+
+  // Inverted index: postings are LEAF positions grouped by id (directory
+  // sorted by id), so a lookup refines straight over the stored columns.
+  std::vector<std::pair<int64_t, uint32_t>> by_id;
+  by_id.reserve(n);
+  for (uint64_t j = 0; j < n; ++j) {
+    by_id.emplace_back(input.ids[order[j]], static_cast<uint32_t>(j));
+  }
+  std::sort(by_id.begin(), by_id.end());
+  std::vector<StixIdEntry> id_dir;
+  std::vector<uint32_t> postings;
+  postings.reserve(n);
+  for (uint64_t j = 0; j < n;) {
+    StixIdEntry entry;
+    entry.id = by_id[j].first;
+    entry.first = postings.size();
+    while (j < n && by_id[j].first == entry.id) {
+      postings.push_back(by_id[j].second);
+      ++j;
+    }
+    entry.count = postings.size() - entry.first;
+    id_dir.push_back(entry);
+  }
+
+  StixLayout layout = ComputeStixLayout(n, nodes.size(), id_dir.size());
+  StixHeader header;
+  std::memcpy(header.magic, kStixMagic, sizeof(kStixMagic));
+  header.version = kStixVersion;
+  header.record_count = n;
+  header.node_count = nodes.size();
+  header.id_count = id_dir.size();
+  header.source_size = source_size;
+  header.source_mtime = source_mtime;
+  header.file_bytes = layout.total;
+  for (uint32_t s = 0; s < kStixNumSections; ++s) {
+    header.section_off[s] = layout.off[s];
+  }
+
+  std::error_code ec;
+  fs::path parent = fs::path(stix_path).parent_path();
+  if (!parent.empty()) fs::create_directories(parent, ec);
+  std::ofstream out(stix_path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + stix_path);
+  }
+  uint64_t pos = 0;
+  auto write_raw = [&](const void* data, uint64_t bytes) {
+    out.write(reinterpret_cast<const char*>(data),
+              static_cast<std::streamsize>(bytes));
+    pos += bytes;
+  };
+  auto pad_to = [&](uint64_t target) {
+    static constexpr char kZeros[kStixSectionAlign] = {};
+    while (pos < target) {
+      uint64_t chunk = std::min<uint64_t>(sizeof(kZeros), target - pos);
+      write_raw(kZeros, chunk);
+    }
+  };
+  write_raw(&header, sizeof(header));
+  auto section = [&](StixSection s, const void* data, uint64_t bytes) {
+    pad_to(layout.off[s]);
+    write_raw(data, bytes);
+  };
+  section(kStixNodes, nodes.data(), nodes.size() * sizeof(StixNode));
+  section(kStixOrder, order.data(), order.size() * sizeof(uint32_t));
+  section(kStixColXMin, cx_min.data(), n * sizeof(double));
+  section(kStixColYMin, cy_min.data(), n * sizeof(double));
+  section(kStixColXMax, cx_max.data(), n * sizeof(double));
+  section(kStixColYMax, cy_max.data(), n * sizeof(double));
+  section(kStixColTMin, ct_min.data(), n * sizeof(int64_t));
+  section(kStixColTMax, ct_max.data(), n * sizeof(int64_t));
+  section(kStixRecOffsets, input.offsets.data(), (n + 1) * sizeof(uint64_t));
+  section(kStixIdDir, id_dir.data(), id_dir.size() * sizeof(StixIdEntry));
+  section(kStixPostings, postings.data(), postings.size() * sizeof(uint32_t));
+
+  // Same explicit flush/close epilogue as the STPQ writers: the
+  // destructor's flush is too late to report an error from.
+  out.flush();
+  if (!out.good()) return Status::IOError("short write to " + stix_path);
+  out.close();
+  if (out.fail()) return Status::IOError("failed to close " + stix_path);
+  if (io_bytes != nullptr) *io_bytes += pos;
+  return Status::Ok();
+}
+
+StixIndex::~StixIndex() { Unmap(); }
+
+void StixIndex::Unmap() {
+  if (base_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(base_), map_len_);
+    base_ = nullptr;
+    map_len_ = 0;
+  }
+}
+
+StixIndex::StixIndex(StixIndex&& other) noexcept { *this = std::move(other); }
+
+StixIndex& StixIndex::operator=(StixIndex&& other) noexcept {
+  if (this == &other) return *this;
+  Unmap();
+  header_ = other.header_;
+  base_ = other.base_;
+  map_len_ = other.map_len_;
+  nodes_ = other.nodes_;
+  order_ = other.order_;
+  col_x_min_ = other.col_x_min_;
+  col_y_min_ = other.col_y_min_;
+  col_x_max_ = other.col_x_max_;
+  col_y_max_ = other.col_y_max_;
+  col_t_min_ = other.col_t_min_;
+  col_t_max_ = other.col_t_max_;
+  rec_offsets_ = other.rec_offsets_;
+  id_dir_ = other.id_dir_;
+  postings_ = other.postings_;
+  other.base_ = nullptr;
+  other.map_len_ = 0;
+  return *this;
+}
+
+StatusOr<StixIndex> StixIndex::Open(const std::string& stix_path,
+                                    const std::string& stpq_path) {
+  StixIndex index;
+  ST4ML_RETURN_IF_ERROR(index.Validate(stix_path, stpq_path));
+  return index;
+}
+
+Status StixIndex::Validate(const std::string& stix_path,
+                           const std::string& stpq_path) {
+  int fd = ::open(stix_path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such stix file: " + stix_path);
+    }
+    return Status::IOError("cannot open " + stix_path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat " + stix_path);
+  }
+  const uint64_t actual_bytes = static_cast<uint64_t>(st.st_size);
+  if (actual_bytes < sizeof(StixHeader)) {
+    ::close(fd);
+    return Status::InvalidArgument("truncated stix header in " + stix_path);
+  }
+  void* map = ::mmap(nullptr, actual_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping outlives the descriptor
+  if (map == MAP_FAILED) {
+    return Status::IOError("cannot mmap " + stix_path);
+  }
+  base_ = static_cast<const uint8_t*>(map);
+  map_len_ = static_cast<size_t>(actual_bytes);
+
+  std::memcpy(&header_, base_, sizeof(header_));
+  if (std::memcmp(header_.magic, kStixMagic, sizeof(kStixMagic)) != 0) {
+    return Status::InvalidArgument("bad stix magic in " + stix_path);
+  }
+  if (header_.version != kStixVersion) {
+    return Status::InvalidArgument("unsupported stix version in " + stix_path);
+  }
+  // Count-overflow guards BEFORE the layout audit: with every count capped
+  // at 2^32 the layout arithmetic below cannot wrap, so a forged header
+  // cannot alias a bogus section on top of a plausible file size.
+  const uint64_t n = header_.record_count;
+  if (n > UINT32_MAX || header_.node_count > UINT32_MAX ||
+      header_.id_count > n) {
+    return Status::InvalidArgument("stix count overflow in " + stix_path);
+  }
+  if ((n == 0) != (header_.node_count == 0)) {
+    return Status::InvalidArgument("stix node/record counts disagree in " +
+                                   stix_path);
+  }
+  StixLayout layout =
+      ComputeStixLayout(n, header_.node_count, header_.id_count);
+  if (header_.file_bytes != layout.total || actual_bytes != layout.total) {
+    return Status::InvalidArgument("truncated stix page table in " +
+                                   stix_path);
+  }
+  for (uint32_t s = 0; s < kStixNumSections; ++s) {
+    if (header_.section_off[s] != layout.off[s]) {
+      return Status::InvalidArgument("bad stix section layout in " +
+                                     stix_path);
+    }
+  }
+
+  nodes_ = reinterpret_cast<const StixNode*>(base_ + layout.off[kStixNodes]);
+  order_ = reinterpret_cast<const uint32_t*>(base_ + layout.off[kStixOrder]);
+  col_x_min_ =
+      reinterpret_cast<const double*>(base_ + layout.off[kStixColXMin]);
+  col_y_min_ =
+      reinterpret_cast<const double*>(base_ + layout.off[kStixColYMin]);
+  col_x_max_ =
+      reinterpret_cast<const double*>(base_ + layout.off[kStixColXMax]);
+  col_y_max_ =
+      reinterpret_cast<const double*>(base_ + layout.off[kStixColYMax]);
+  col_t_min_ =
+      reinterpret_cast<const int64_t*>(base_ + layout.off[kStixColTMin]);
+  col_t_max_ =
+      reinterpret_cast<const int64_t*>(base_ + layout.off[kStixColTMax]);
+  rec_offsets_ =
+      reinterpret_cast<const uint64_t*>(base_ + layout.off[kStixRecOffsets]);
+  id_dir_ =
+      reinterpret_cast<const StixIdEntry*>(base_ + layout.off[kStixIdDir]);
+  postings_ =
+      reinterpret_cast<const uint32_t*>(base_ + layout.off[kStixPostings]);
+
+  // Node structure: children strictly below their parent (the bottom-up
+  // packing invariant), leaf runs inside the record range, no empty nodes.
+  for (uint64_t i = 0; i < header_.node_count; ++i) {
+    const StixNode& node = nodes_[i];
+    const uint64_t first = node.first;
+    const uint64_t count = node.count;
+    if (count == 0) {
+      return Status::InvalidArgument("empty stix node in " + stix_path);
+    }
+    if (node.leaf != 0) {
+      if (first + count > n) {
+        return Status::InvalidArgument("stix leaf run out of bounds in " +
+                                       stix_path);
+      }
+    } else if (first + count > i) {
+      return Status::InvalidArgument("stix child range out of bounds in " +
+                                     stix_path);
+    }
+  }
+  // `order` and `postings` must each be a permutation of the record
+  // positions — duplicates would return duplicated records.
+  std::vector<bool> seen(static_cast<size_t>(n), false);
+  for (uint64_t j = 0; j < n; ++j) {
+    if (order_[j] >= n || seen[order_[j]]) {
+      return Status::InvalidArgument("stix order is not a permutation in " +
+                                     stix_path);
+    }
+    seen[order_[j]] = true;
+  }
+  seen.assign(static_cast<size_t>(n), false);
+  for (uint64_t j = 0; j < n; ++j) {
+    if (postings_[j] >= n || seen[postings_[j]]) {
+      return Status::InvalidArgument(
+          "stix postings are not a permutation in " + stix_path);
+    }
+    seen[postings_[j]] = true;
+  }
+  // Record offsets: monotone, starting at or after the STPQ header, ending
+  // inside the source file — a postings/leaf hit can never resolve to a
+  // byte range past EOF.
+  if (n > 0 && rec_offsets_[0] < kStpqHeaderBytes) {
+    return Status::InvalidArgument("stix record offsets below header in " +
+                                   stix_path);
+  }
+  for (uint64_t j = 0; j < n; ++j) {
+    if (rec_offsets_[j] > rec_offsets_[j + 1]) {
+      return Status::InvalidArgument("stix record offsets not monotone in " +
+                                     stix_path);
+    }
+  }
+  if (rec_offsets_[n] > header_.source_size) {
+    return Status::InvalidArgument("stix record offsets past EOF in " +
+                                   stix_path);
+  }
+  // Id directory: sorted, postings runs in bounds and covering exactly
+  // the postings section.
+  uint64_t postings_total = 0;
+  for (uint64_t d = 0; d < header_.id_count; ++d) {
+    const StixIdEntry& entry = id_dir_[d];
+    if (d > 0 && id_dir_[d - 1].id >= entry.id) {
+      return Status::InvalidArgument("stix id directory unsorted in " +
+                                     stix_path);
+    }
+    if (entry.first + entry.count > n || entry.count == 0) {
+      return Status::InvalidArgument("stix postings run out of bounds in " +
+                                     stix_path);
+    }
+    postings_total += entry.count;
+  }
+  if (postings_total != n) {
+    return Status::InvalidArgument("stix postings do not cover records in " +
+                                   stix_path);
+  }
+  // Staleness: the sidecar must describe the CURRENT source file. Same
+  // size|mtime key as the dataset cache, so a rewritten partition
+  // invalidates both in the same breath.
+  if (FileSizeBytes(stpq_path) != header_.source_size ||
+      FileMtimeStamp(stpq_path) != header_.source_mtime) {
+    return Status::InvalidArgument("stale stix sidecar for " + stpq_path);
+  }
+  return Status::Ok();
+}
+
+void StixIndex::QueryBox(const accel::BoxFilterQuery& query,
+                         std::vector<uint32_t>* hits,
+                         StixQueryStats* stats) const {
+  hits->clear();
+  if (header_.node_count == 0) return;
+  PageTouches pages;
+  const uint64_t nodes_off = header_.section_off[kStixNodes];
+
+  // Root-to-leaf walk over the mapped nodes; every visited node is a page
+  // touch whether or not it prunes.
+  std::vector<uint32_t> stack;
+  stack.push_back(static_cast<uint32_t>(header_.node_count - 1));
+  std::vector<std::pair<uint32_t, uint32_t>> runs;
+  while (!stack.empty()) {
+    uint32_t idx = stack.back();
+    stack.pop_back();
+    const StixNode& node = nodes_[idx];
+    pages.Touch(nodes_off + idx * sizeof(StixNode), sizeof(StixNode));
+    if (!NodeIntersects(query, node)) continue;
+    if (node.leaf != 0) {
+      runs.emplace_back(node.first, node.first + node.count);
+    } else {
+      for (uint32_t c = 0; c < node.count; ++c) stack.push_back(node.first + c);
+    }
+  }
+  std::sort(runs.begin(), runs.end());
+  // Coalesce adjacent leaf runs into maximal contiguous column spans: one
+  // kernel pass (and one page-touch accounting) per span.
+  size_t out = 0;
+  for (const auto& run : runs) {
+    if (out > 0 && run.first <= runs[out - 1].second) {
+      runs[out - 1].second = std::max(runs[out - 1].second, run.second);
+    } else {
+      runs[out++] = run;
+    }
+  }
+  runs.resize(out);
+
+  std::vector<uint8_t> bitmap;
+  for (const auto& [lo, hi] : runs) {
+    const size_t len = hi - lo;
+    accel::EnvelopeView view{col_x_min_ + lo, col_y_min_ + lo,
+                             col_x_max_ + lo, col_y_max_ + lo,
+                             col_t_min_ + lo, col_t_max_ + lo, len};
+    bitmap.assign(len, 0);
+    accel::Active().FilterBoxes(query, view, bitmap.data());
+    accel::BackendRegistry::Instance().CountBatch(len);
+    for (uint32_t s = kStixColXMin; s <= kStixColTMax; ++s) {
+      // Every column is 8 bytes wide (f64 or i64).
+      pages.Touch(header_.section_off[s] + static_cast<uint64_t>(lo) * 8,
+                  len * 8);
+    }
+    pages.Touch(header_.section_off[kStixOrder] +
+                    static_cast<uint64_t>(lo) * sizeof(uint32_t),
+                len * sizeof(uint32_t));
+    for (size_t j = 0; j < len; ++j) {
+      if (bitmap[j] != 0) hits->push_back(order_[lo + j]);
+    }
+  }
+  std::sort(hits->begin(), hits->end());
+  if (stats != nullptr) stats->pages_read += pages.count();
+}
+
+void StixIndex::LookupIds(const std::vector<int64_t>& ids,
+                          const accel::BoxFilterQuery& query, bool apply_box,
+                          std::vector<uint32_t>* hits,
+                          StixQueryStats* stats) const {
+  hits->clear();
+  if (header_.id_count == 0) return;
+  PageTouches pages;
+  const uint64_t dir_off = header_.section_off[kStixIdDir];
+  const uint64_t post_off = header_.section_off[kStixPostings];
+
+  std::vector<uint32_t> candidates;
+  for (int64_t id : ids) {
+    // Manual binary search so every probed directory entry counts as a
+    // page touch — that IS the I/O an external-memory lookup pays.
+    uint64_t lo = 0;
+    uint64_t hi = header_.id_count;
+    const StixIdEntry* found = nullptr;
+    while (lo < hi) {
+      uint64_t mid = lo + (hi - lo) / 2;
+      pages.Touch(dir_off + mid * sizeof(StixIdEntry), sizeof(StixIdEntry));
+      if (id_dir_[mid].id < id) {
+        lo = mid + 1;
+      } else if (id_dir_[mid].id > id) {
+        hi = mid;
+      } else {
+        found = &id_dir_[mid];
+        break;
+      }
+    }
+    if (found == nullptr) continue;
+    pages.Touch(post_off + found->first * sizeof(uint32_t),
+                found->count * sizeof(uint32_t));
+    if (stats != nullptr) stats->postings_hits += found->count;
+    for (uint64_t p = 0; p < found->count; ++p) {
+      candidates.push_back(postings_[found->first + p]);
+    }
+  }
+
+  if (apply_box && !candidates.empty()) {
+    // Gather the candidates' envelopes into a small SoA batch and refine
+    // through ONE kernel pass — the exact predicate every other path uses.
+    const size_t len = candidates.size();
+    std::vector<double> gx_min(len), gy_min(len), gx_max(len), gy_max(len);
+    std::vector<int64_t> gt_min(len), gt_max(len);
+    for (size_t j = 0; j < len; ++j) {
+      const uint32_t pos = candidates[j];
+      gx_min[j] = col_x_min_[pos];
+      gy_min[j] = col_y_min_[pos];
+      gx_max[j] = col_x_max_[pos];
+      gy_max[j] = col_y_max_[pos];
+      gt_min[j] = col_t_min_[pos];
+      gt_max[j] = col_t_max_[pos];
+      for (uint32_t s = kStixColXMin; s <= kStixColTMax; ++s) {
+        pages.Touch(header_.section_off[s] + static_cast<uint64_t>(pos) * 8,
+                    8);
+      }
+    }
+    accel::EnvelopeView view{gx_min.data(), gy_min.data(), gx_max.data(),
+                             gy_max.data(), gt_min.data(), gt_max.data(),
+                             len};
+    std::vector<uint8_t> bitmap(len, 0);
+    accel::Active().FilterBoxes(query, view, bitmap.data());
+    accel::BackendRegistry::Instance().CountBatch(len);
+    size_t kept = 0;
+    for (size_t j = 0; j < len; ++j) {
+      if (bitmap[j] != 0) candidates[kept++] = candidates[j];
+    }
+    candidates.resize(kept);
+  }
+
+  for (uint32_t pos : candidates) {
+    pages.Touch(header_.section_off[kStixOrder] +
+                    static_cast<uint64_t>(pos) * sizeof(uint32_t),
+                sizeof(uint32_t));
+    hits->push_back(order_[pos]);
+  }
+  std::sort(hits->begin(), hits->end());
+  if (stats != nullptr) stats->pages_read += pages.count();
+}
+
+}  // namespace st4ml

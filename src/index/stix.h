@@ -1,0 +1,239 @@
+#ifndef ST4ML_INDEX_STIX_H_
+#define ST4ML_INDEX_STIX_H_
+
+// STIX — the persistent external-memory ST index (ROADMAP #2, DESIGN.md
+// §12). At ingest time an STR bulk loader runs over each STPQ partition and
+// serializes a page-oriented packed R-tree PLUS a trajectory-id inverted
+// index (postings lists per id) into a sidecar `part-NNNNN.stix` next to
+// the `part-NNNNN.stpq`. At query time the sidecar is mmap'd, so a COLD
+// selection walks index pages, refines leaf hits through the vectorized
+// FilterBoxes kernel over mmap'd SoA envelope columns, and then seeks and
+// reads only the bytes of matching records — instead of parsing the whole
+// file and building an R-tree in memory first. Warm paths keep the
+// in-memory cached index (DatasetCache); the QueryPlanner picks per file.
+//
+// Invalidation: the header embeds the source file's size and mtime — the
+// same key the dataset cache uses — so a rewritten partition invalidates
+// its sidecar and the planner falls back to a linear scan instead of
+// serving stale hits.
+//
+// File layout (native-endian, like STPQ — never leaves the machine):
+//   StixHeader | 64-byte-aligned sections:
+//     nodes        StixNode[node_count]   packed STR tree, root LAST
+//     order        u32[n]                 leaf position -> record index
+//     x_min..t_max f64[n] x4, i64[n] x2   envelope columns in LEAF order
+//     rec_offsets  u64[n + 1]             record byte offsets, RECORD order
+//     id_dir       StixIdEntry[id_count]  sorted by id
+//     postings     u32[n]                 leaf positions, grouped by id
+//
+// Columns live in leaf order so a leaf hit is a CONTIGUOUS column run: the
+// query path points an EnvelopeView straight into the mapped pages (the
+// view has no alignment requirement) and runs the active SIMD backend over
+// them, zero-copy. `order` maps refined hits back to record indices and
+// `rec_offsets` turns those into the byte runs StpqReader reads.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/kernels.h"
+#include "common/env.h"
+#include "common/status.h"
+#include "index/stbox.h"
+#include "storage/stpq.h"
+
+namespace st4ml {
+
+inline constexpr char kStixMagic[4] = {'S', 'T', 'I', 'X'};
+inline constexpr uint32_t kStixVersion = 1;
+/// The transfer unit kIndexPagesRead counts: 4 KiB, the mmap page size.
+inline constexpr uint64_t kStixPageBytes = 4096;
+/// STR fan-out, matching the in-memory RTree so both halves of the index
+/// prune comparably.
+inline constexpr uint32_t kStixNodeCapacity = 16;
+inline constexpr uint64_t kStixSectionAlign = 64;
+
+/// Section order in the offset table (and in the file).
+enum StixSection : uint32_t {
+  kStixNodes = 0,
+  kStixOrder,
+  kStixColXMin,
+  kStixColYMin,
+  kStixColXMax,
+  kStixColYMax,
+  kStixColTMin,
+  kStixColTMax,
+  kStixRecOffsets,
+  kStixIdDir,
+  kStixPostings,
+  kStixNumSections,
+};
+
+/// One packed STR node, exactly 64 bytes so nodes never straddle more
+/// mapped pages than they must. Children always precede their parent
+/// (bottom-up packing), so a root-to-leaf walk only ever moves to LOWER
+/// node indices — Open exploits that for a cycle-free structural check.
+struct StixNode {
+  double x_min = 0.0;
+  double y_min = 0.0;
+  double x_max = 0.0;
+  double y_max = 0.0;
+  int64_t t_min = 0;
+  int64_t t_max = 0;
+  uint32_t first = 0;  // leaf: first leaf position; internal: first child
+  uint32_t count = 0;
+  uint32_t leaf = 0;  // 1 = leaf
+  uint32_t pad = 0;
+};
+static_assert(sizeof(StixNode) == 64, "StixNode must pack to 64 bytes");
+
+/// One inverted-index directory entry: this id's postings run.
+struct StixIdEntry {
+  int64_t id = 0;
+  uint64_t first = 0;  // index into the postings section
+  uint64_t count = 0;
+};
+static_assert(sizeof(StixIdEntry) == 24, "StixIdEntry must pack to 24 bytes");
+
+struct StixHeader {
+  char magic[4] = {0, 0, 0, 0};
+  uint32_t version = 0;
+  uint64_t record_count = 0;
+  uint64_t node_count = 0;
+  uint64_t id_count = 0;
+  uint64_t source_size = 0;   // .stpq size at build time (invalidation key)
+  int64_t source_mtime = 0;   // .stpq mtime at build time (invalidation key)
+  uint64_t file_bytes = 0;    // total .stix size the layout implies
+  uint64_t section_off[kStixNumSections] = {};
+};
+static_assert(sizeof(StixHeader) == 144, "StixHeader must pack to 144 bytes");
+
+/// Sidecar path for an STPQ partition: the extension swapped to `.stix`.
+std::string StixPathFor(const std::string& stpq_path);
+
+/// The ST4ML_DISK_INDEX env knob: any value but "off" (the default is on)
+/// lets the QueryPlanner consider mmap'd sidecars. SelectorOptions reads
+/// this once at construction; tests override the field directly.
+inline bool DiskIndexEnabledByEnv() {
+  return GetEnvString("ST4ML_DISK_INDEX", "on") != "off";
+}
+
+/// Everything the bulk loader needs about one partition, in record order.
+struct StixBuildInput {
+  std::vector<STBox> boxes;       // record envelopes (ComputeSTBox)
+  std::vector<int64_t> ids;       // record ids
+  std::vector<uint64_t> offsets;  // n + 1 byte offsets into the .stpq
+};
+
+/// Serializes `input` as a v1 sidecar at `stix_path`, keyed to a source
+/// file of `source_size` bytes / `source_mtime`. When non-null, `io_bytes`
+/// accumulates the bytes written (the STPQ writer convention).
+Status WriteStixFile(const std::string& stix_path, const StixBuildInput& input,
+                     uint64_t source_size, int64_t source_mtime,
+                     uint64_t* io_bytes = nullptr);
+
+/// Stat-based invalidation stamp of one file, matching what WriteStixFile
+/// embeds and what StixIndex::Open re-checks; 0 when unreadable.
+int64_t FileMtimeStamp(const std::string& path);
+
+/// The STR bulk loader for one just-written partition: computes envelopes,
+/// ids and record byte offsets from `records` (which must be exactly the
+/// records inside `stpq_path`), stats the file for the invalidation key,
+/// and writes the sidecar next to it.
+template <typename RecordT>
+Status BuildStixForStpq(const std::string& stpq_path,
+                        const std::vector<RecordT>& records,
+                        uint64_t* io_bytes = nullptr) {
+  StixBuildInput input;
+  input.boxes.reserve(records.size());
+  input.ids.reserve(records.size());
+  input.offsets.reserve(records.size() + 1);
+  uint64_t offset = kStpqHeaderBytes;
+  input.offsets.push_back(offset);
+  for (const RecordT& r : records) {
+    input.boxes.push_back(r.ComputeSTBox());
+    input.ids.push_back(r.id);
+    offset += StpqRecordBytes(r);
+    input.offsets.push_back(offset);
+  }
+  return WriteStixFile(StixPathFor(stpq_path), input, FileSizeBytes(stpq_path),
+                       FileMtimeStamp(stpq_path), io_bytes);
+}
+
+/// Per-query index observability, fed into kIndexPagesRead / kPostingsHits.
+struct StixQueryStats {
+  uint64_t pages_read = 0;     // distinct 4 KiB index pages touched
+  uint64_t postings_hits = 0;  // postings entries resolved for queried ids
+};
+
+/// A validated, mmap'd sidecar. Open performs the FULL corruption audit up
+/// front — magic/version, exact section layout against the header counts,
+/// node structure (children strictly below parents, leaf runs in bounds),
+/// `order` a permutation, record offsets monotone and inside the source
+/// file, id directory sorted with postings runs in bounds — plus the
+/// staleness check against the live `.stpq`, so the query methods can walk
+/// raw mapped memory without per-access checks. The audit is a few
+/// sequential integer scans over the mapped pages: a fraction of the
+/// parse-and-build it replaces. Any violation returns InvalidArgument (bad
+/// bytes) or IOError (can't map), and the planner falls back to the
+/// linear-scan plan.
+class StixIndex {
+ public:
+  static StatusOr<StixIndex> Open(const std::string& stix_path,
+                                  const std::string& stpq_path);
+
+  StixIndex() = default;
+  ~StixIndex();
+  StixIndex(StixIndex&& other) noexcept;
+  StixIndex& operator=(StixIndex&& other) noexcept;
+  StixIndex(const StixIndex&) = delete;
+  StixIndex& operator=(const StixIndex&) = delete;
+
+  uint64_t record_count() const { return header_.record_count; }
+  uint64_t node_count() const { return header_.node_count; }
+  uint64_t id_count() const { return header_.id_count; }
+  uint64_t file_bytes() const { return header_.file_bytes; }
+  const StixHeader& header() const { return header_; }
+
+  /// Record indices (ascending) whose envelope intersects `query` — the
+  /// exact FilterBoxes predicate, so results are byte-identical to a
+  /// linear kernel scan of the parsed file. The CALLER does the query-side
+  /// emptiness check, as everywhere else in the kernel contract.
+  void QueryBox(const accel::BoxFilterQuery& query,
+                std::vector<uint32_t>* hits, StixQueryStats* stats) const;
+
+  /// Record indices (ascending) whose id is in `ids` (sorted unique) AND —
+  /// when `apply_box` — whose envelope passes `query`, refined through the
+  /// stored columns with the same kernel predicate.
+  void LookupIds(const std::vector<int64_t>& ids,
+                 const accel::BoxFilterQuery& query, bool apply_box,
+                 std::vector<uint32_t>* hits, StixQueryStats* stats) const;
+
+  /// Byte offset of record `index` in the source .stpq (index may be n:
+  /// the end offset of the last record).
+  uint64_t RecordOffset(uint64_t index) const { return rec_offsets_[index]; }
+
+ private:
+  Status Validate(const std::string& stix_path, const std::string& stpq_path);
+  void Unmap();
+
+  StixHeader header_;
+  const uint8_t* base_ = nullptr;
+  size_t map_len_ = 0;
+  const StixNode* nodes_ = nullptr;
+  const uint32_t* order_ = nullptr;
+  const double* col_x_min_ = nullptr;
+  const double* col_y_min_ = nullptr;
+  const double* col_x_max_ = nullptr;
+  const double* col_y_max_ = nullptr;
+  const int64_t* col_t_min_ = nullptr;
+  const int64_t* col_t_max_ = nullptr;
+  const uint64_t* rec_offsets_ = nullptr;
+  const StixIdEntry* id_dir_ = nullptr;
+  const uint32_t* postings_ = nullptr;
+};
+
+}  // namespace st4ml
+
+#endif  // ST4ML_INDEX_STIX_H_

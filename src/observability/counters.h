@@ -35,6 +35,14 @@ namespace st4ml {
 ///    kCacheSpillBytes / kCacheReloadBytes count STPQ bytes the cache wrote
 ///    to and read back from its scratch or origin files (DESIGN.md §9).
 ///    A disabled cache (budget 0) touches none of these.
+///  - kIndexFilesMmapped counts `.stix` sidecars a selection mmapped;
+///    kIndexPagesRead counts the distinct 4 KiB index pages those queries
+///    touched (nodes walked, column runs refined, postings resolved);
+///    kPostingsHits counts inverted-index postings entries resolved for
+///    requested ids (DESIGN.md §12).
+///  - kPlanner{MmapIndex,CachedIndex,LinearScan} count the per-file plan the
+///    QueryPlanner actually EXECUTED: an intended mmap plan whose sidecar
+///    fails validation falls back to — and is counted as — a linear scan.
 enum class Counter : uint32_t {
   kShuffleRecords = 0,
   kShuffleBytes,
@@ -69,6 +77,12 @@ enum class Counter : uint32_t {
   kCacheEvictions,
   kCacheSpillBytes,
   kCacheReloadBytes,
+  kIndexFilesMmapped,
+  kIndexPagesRead,
+  kPostingsHits,
+  kPlannerMmapIndex,
+  kPlannerCachedIndex,
+  kPlannerLinearScan,
   kNumCounters,
 };
 
@@ -111,6 +125,12 @@ inline const char* CounterName(Counter c) {
       "cache_evictions",
       "cache_spill_bytes",
       "cache_reload_bytes",
+      "index_files_mmapped",
+      "index_pages_read",
+      "postings_hits",
+      "planner_mmap_index",
+      "planner_cached_index",
+      "planner_linear_scan",
   };
   return kNames[static_cast<size_t>(c)];
 }

@@ -9,6 +9,7 @@
 #include "common/retry.h"
 #include "common/status.h"
 #include "engine/dataset.h"
+#include "index/stix.h"
 #include "partition/partitioner.h"
 #include "storage/stpq.h"
 
@@ -46,6 +47,24 @@ Status WritePartFileWithRetry(const std::string& path,
   return Status::Ok();
 }
 
+/// The STR bulk-load step of ingestion: serializes the partition's packed
+/// R-tree + id postings sidecar next to its just-written `.stpq`, retried
+/// like the part file itself (the truncating writer is idempotent). Runs
+/// AFTER the part file is durable so the sidecar's size|mtime key matches
+/// what a later Open stats.
+template <typename RecordT>
+Status WriteStixWithRetry(const std::string& stpq_path,
+                          const std::vector<RecordT>& records,
+                          const RetryPolicy& retry,
+                          CounterRegistry& counters) {
+  // Sidecar bytes stay OUT of kStpqBytesWritten: that counter means STPQ
+  // record bytes, and its read-side twin likewise never counts index pages
+  // (those are kIndexPagesRead currency).
+  return retry.Run(
+      [&]() -> Status { return BuildStixForStpq(stpq_path, records); },
+      &counters);
+}
+
 }  // namespace selection_internal
 
 /// Writes a dataset to `dir` as one STPQ file per engine partition, with no
@@ -63,16 +82,21 @@ Status PersistDataset(const Dataset<RecordT>& data, const std::string& dir,
   return Status::Ok();
 }
 
-/// ST4ML's ingestion (paper §3.1): train `partitioner` on every record
-/// envelope, place each record in its ONE primary partition, write one STPQ
-/// file per partition, and record each file's tight ST envelope in a
-/// metadata sidecar. Selection later prunes whole files against that
-/// metadata before touching their bytes.
+/// ST4ML's ingestion (paper §3.1 + ROADMAP #2): train `partitioner` on
+/// every record envelope, place each record in its ONE primary partition,
+/// write one STPQ file per partition, bulk-load each partition's `.stix`
+/// sidecar index (STR-packed R-tree + id postings — the persistent
+/// external-memory index cold selection mmaps), and record each file's
+/// tight ST envelope in a metadata sidecar. Selection later prunes whole
+/// files against that metadata before touching their bytes, and serves
+/// survivors through the planner's best per-file plan. Pass
+/// `build_sidecar_index = false` to get the PR-7-era layout (no `.stix`).
 template <typename RecordT>
 Status BuildOnDiskIndex(const Dataset<RecordT>& data,
                         STPartitioner* partitioner, const std::string& dir,
                         const std::string& meta_path,
-                        const RetryPolicy& retry = {}) {
+                        const RetryPolicy& retry = {},
+                        bool build_sidecar_index = true) {
   if (partitioner == nullptr) {
     return Status::InvalidArgument("BuildOnDiskIndex requires a partitioner");
   }
@@ -105,6 +129,10 @@ Status BuildOnDiskIndex(const Dataset<RecordT>& data,
     std::string name = selection_internal::PartFileName(p);
     ST4ML_RETURN_IF_ERROR(selection_internal::WritePartFileWithRetry(
         dir + "/" + name, parts[p], retry, counters));
+    if (build_sidecar_index) {
+      ST4ML_RETURN_IF_ERROR(selection_internal::WriteStixWithRetry(
+          dir + "/" + name, parts[p], retry, counters));
+    }
     StpqPartMeta entry;
     entry.file = std::move(name);
     entry.box = bounds[p];

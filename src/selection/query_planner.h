@@ -1,0 +1,81 @@
+#ifndef ST4ML_SELECTION_QUERY_PLANNER_H_
+#define ST4ML_SELECTION_QUERY_PLANNER_H_
+
+#include <filesystem>
+#include <string>
+
+#include "engine/dataset_cache.h"
+#include "index/stix.h"
+#include "observability/counters.h"
+
+namespace st4ml {
+
+/// How one STPQ file is served by a Select (DESIGN.md §12 decision tree).
+enum class FilePlan : uint8_t {
+  kLinearScan = 0,   // parse the whole file, filter in memory (seed path)
+  kCachedIndex = 1,  // in-memory cached index: hit, or miss-load-and-admit
+  kMmapIndex = 2,    // mmap the .stix sidecar, read only matching bytes
+};
+
+inline const char* FilePlanName(FilePlan plan) {
+  switch (plan) {
+    case FilePlan::kLinearScan:
+      return "scan";
+    case FilePlan::kCachedIndex:
+      return "cached";
+    case FilePlan::kMmapIndex:
+      return "mmap";
+  }
+  return "unknown";
+}
+
+/// Picks, PER FILE, which of the three plans a Select executes. Precedence:
+///
+///  1. An enabled DatasetCache always wins (kCachedIndex) — on a hit the
+///     warm in-memory index answers with zero I/O, and on a miss the file
+///     is loaded ONCE and admitted so every later query is warm. That is
+///     the daemon's reason to exist; the mmap index must not starve it.
+///  2. Otherwise, with the disk index enabled and a sidecar present,
+///     kMmapIndex: cold selection becomes an index-page walk plus ranged
+///     record reads.
+///  3. Otherwise kLinearScan — the seed behavior, and the fallback a
+///     corrupt or stale sidecar demotes an intended kMmapIndex to at
+///     execution time (the planner's stat cannot see bad bytes).
+///
+/// The plan here is INTENT (one existence stat, no parsing); the Selector
+/// records the plan each file was actually served by into the
+/// kPlanner{MmapIndex,CachedIndex,LinearScan} counters.
+class QueryPlanner {
+ public:
+  QueryPlanner(DatasetCache* cache, bool use_disk_index)
+      : cache_(cache), use_disk_index_(use_disk_index) {}
+
+  FilePlan Plan(const std::string& stpq_path) const {
+    if (cache_ != nullptr) return FilePlan::kCachedIndex;
+    if (use_disk_index_) {
+      std::error_code ec;
+      if (std::filesystem::exists(StixPathFor(stpq_path), ec)) {
+        return FilePlan::kMmapIndex;
+      }
+    }
+    return FilePlan::kLinearScan;
+  }
+
+  /// Folds per-file EXECUTED plans into the planner counters.
+  static void CountExecuted(CounterRegistry& counters, uint64_t mmap_files,
+                            uint64_t cached_files, uint64_t scan_files) {
+    if (mmap_files > 0) counters.Add(Counter::kPlannerMmapIndex, mmap_files);
+    if (cached_files > 0) {
+      counters.Add(Counter::kPlannerCachedIndex, cached_files);
+    }
+    if (scan_files > 0) counters.Add(Counter::kPlannerLinearScan, scan_files);
+  }
+
+ private:
+  DatasetCache* cache_;
+  bool use_disk_index_;
+};
+
+}  // namespace st4ml
+
+#endif  // ST4ML_SELECTION_QUERY_PLANNER_H_

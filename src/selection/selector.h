@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 #include <system_error>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -16,9 +17,12 @@
 #include "engine/cached_dataset.h"
 #include "engine/dataset.h"
 #include "index/rtree.h"
+#include "index/stix.h"
 #include "partition/partitioner.h"
 #include "partition/st_partition_ops.h"
 #include "partition/str_partitioner.h"
+#include "selection/query_planner.h"
+#include "selection/select_query.h"
 #include "storage/stpq.h"
 
 namespace st4ml {
@@ -106,26 +110,45 @@ struct SelectorOptions {
   /// and re-indexing the file. Off, or with the cache disabled, every
   /// Select reads its files — the seed behavior.
   bool use_cache = true;
+  /// Let the QueryPlanner serve COLD files (no enabled cache) from their
+  /// mmap'd `.stix` sidecar when one is present and valid: index pages are
+  /// walked, leaf hits refine through the kernel over mapped columns, and
+  /// only matching record bytes are read. Results are byte-identical to
+  /// the linear scan (the differential property harness pins it); only the
+  /// I/O counters differ. Defaults from ST4ML_DISK_INDEX ("off" disables).
+  bool use_disk_index = DiskIndexEnabledByEnv();
 };
 
 /// I/O accounting, accumulated across Select calls: how many file bytes were
 /// read, and how many bytes of records survived the ST predicate. The gap
-/// between the two is what metadata pruning saves.
+/// between the two is what metadata pruning (and the mmap index's ranged
+/// reads) save.
 struct SelectorStats {
   uint64_t bytes_loaded = 0;
   uint64_t bytes_selected = 0;
 };
 
-/// The selection stage (paper §3.1): load persisted records intersecting an
-/// ST query. One-argument Select scans a plain directory end to end; the
-/// two-argument form prunes whole files through the on-disk metadata first
-/// and only opens survivors.
+/// The selection stage (paper §3.1): load persisted records matching a
+/// SelectQuery — ST box AND optional id set. One-argument Select scans a
+/// plain directory end to end; the two-argument form prunes whole files
+/// through the on-disk metadata first and only opens survivors. Per file,
+/// the QueryPlanner picks the cached-index, mmap-index, or linear-scan
+/// plan; every plan returns byte-identical records.
 template <typename RecordT>
 class Selector {
  public:
+  Selector(std::shared_ptr<ExecutionContext> ctx, SelectQuery query,
+           SelectorOptions options = {})
+      : ctx_(std::move(ctx)),
+        query_(std::move(query)),
+        options_(std::move(options)) {}
+
+  /// Legacy spelling, predating SelectQuery: a bare ST box.
+  [[deprecated("construct with a SelectQuery (SelectQuery::FromBox)")]]
   Selector(std::shared_ptr<ExecutionContext> ctx, const STBox& query,
            SelectorOptions options = {})
-      : ctx_(std::move(ctx)), query_(query), options_(std::move(options)) {}
+      : Selector(std::move(ctx), SelectQuery::FromBox(query),
+                 std::move(options)) {}
 
   /// Full scan of every STPQ file in `dir`.
   StatusOr<Dataset<RecordT>> Select(const std::string& dir) {
@@ -144,7 +167,7 @@ class Selector {
     std::vector<std::string> paths;
     for (const StpqPartMeta& part : *meta) {
       // Empty partitions have inverted envelopes and never match.
-      if (part.box.Intersects(query_)) {
+      if (part.box.Intersects(query_.box)) {
         paths.push_back(dir + "/" + part.file);
       }
     }
@@ -154,23 +177,29 @@ class Selector {
   }
 
   const SelectorStats& stats() const { return stats_; }
+  const SelectQuery& query() const { return query_; }
 
  private:
-  /// Loads and ST-filters `paths` IN PARALLEL, one Status-returning task
+  /// Loads and filters `paths` IN PARALLEL, one Status-returning task
   /// per file, so a per-file IOError propagates to the caller instead of
   /// failing the process (and a transient one is retried per
   /// options_.retry before it counts as a failure). Partition i of the
   /// result is always file i — the parallel fill is index-addressed, so the
   /// output is byte-identical to the old sequential load.
   ///
-  /// With caching on (options_.use_cache and an enabled context cache) each
-  /// file's records and built R-tree are kept under a key derived from the
-  /// file's path, size and mtime: a later Select over any query probes the
-  /// cached index instead of re-reading and re-indexing the file, and a
-  /// rewritten file gets a fresh key instead of stale bytes. Hit or miss,
-  /// the refine step evaluates the same envelopes against the same query,
-  /// so the selected output is byte-identical either way; only the I/O
-  /// counters differ.
+  /// Each file executes the plan the QueryPlanner picked:
+  ///   - kCachedIndex: probe the DatasetCache; a hit refines the warm
+  ///     in-memory index, a miss loads the file once and admits it. The
+  ///     cache key folds in size|mtime, so a rewritten file gets a fresh
+  ///     entry instead of stale bytes.
+  ///   - kMmapIndex: mmap the validated `.stix` sidecar, walk index pages,
+  ///     refine leaf hits through the kernel over mapped columns, and
+  ///     ranged-read ONLY the matching record bytes. A sidecar that fails
+  ///     its validation audit demotes the file to a linear scan.
+  ///   - kLinearScan: full parse + in-memory filter (the seed path).
+  /// Every plan evaluates the same envelopes against the same query, so
+  /// the selected output is byte-identical across plans; only the I/O and
+  /// planner counters differ.
   StatusOr<Dataset<RecordT>> LoadAndFilter(
       const std::vector<std::string>& paths) {
     ScopedSpan op(ctx_->tracer(), span_category::kOperation,
@@ -181,17 +210,25 @@ class Selector {
     DatasetCache* cache =
         options_.use_cache && ctx_->cache().enabled() ? &ctx_->cache()
                                                       : nullptr;
+    QueryPlanner planner(cache, options_.use_disk_index);
     typename Dataset<RecordT>::Partitions parts(paths.size());
     // Per-file accounting slots, folded into stats_/counters on the driver
     // after the join — worker tasks never touch shared mutable state.
     std::vector<uint64_t> read_bytes(paths.size(), 0);
     std::vector<uint64_t> selected_bytes(paths.size(), 0);
     std::vector<uint8_t> file_read(paths.size(), 0);
+    std::vector<uint8_t> plan_run(paths.size(),
+                                  static_cast<uint8_t>(FilePlan::kLinearScan));
+    std::vector<uint8_t> mmapped(paths.size(), 0);
+    std::vector<uint64_t> pages_read(paths.size(), 0);
+    std::vector<uint64_t> postings_hits(paths.size(), 0);
     auto load_task = [&](size_t i) -> Status {
       ScopedSpan io(tracer, span_category::kIo, "stpq_read", op_span);
-      uint64_t key = 0;
-      if (cache != nullptr) {
-        key = cache->InternDatasetId(FileCacheName(paths[i]));
+      const FilePlan plan = planner.Plan(paths[i]);
+      if (plan == FilePlan::kCachedIndex) {
+        plan_run[i] = static_cast<uint8_t>(FilePlan::kCachedIndex);
+        io.AddArg("plan_cached", 1);
+        uint64_t key = cache->InternDatasetId(FileCacheName(paths[i]));
         auto got = cache->Get(key, 0);
         if (!got.ok()) return got.status();
         if (*got != nullptr) {
@@ -202,7 +239,45 @@ class Selector {
           parts[i] = FilterIndexed(*file, &selected_bytes[i]);
           return Status::Ok();
         }
+        uint64_t attempts = 0;
+        auto records = options_.retry.Run(
+            [&]() -> StatusOr<std::vector<RecordT>> {
+              uint64_t bytes = 0;
+              auto loaded = ReadStpqFile<RecordT>(paths[i], &bytes);
+              if (loaded.ok()) read_bytes[i] = bytes;
+              return loaded;
+            },
+            &counters, &attempts);
+        io.AddArg("bytes", read_bytes[i]);
+        if (attempts > 1) io.AddArg("attempts", attempts);
+        if (!records.ok()) return records.status();
+        file_read[i] = 1;
+        // Miss: admit the records (indexed, when this selector refines
+        // through the tree), with the source file as the reload path —
+        // eviction drops memory without writing anything.
+        auto file = selection_internal::MakeIndexedFile<RecordT>(
+            std::move(records).value(), options_.use_rtree);
+        cache->PutWithOrigin(key, 0, file, read_bytes[i], paths[i],
+                             &selection_internal::ReloadIndexedFile<RecordT>);
+        parts[i] = FilterIndexed(*file, &selected_bytes[i]);
+        return Status::Ok();
       }
+      if (plan == FilePlan::kMmapIndex) {
+        auto served = ServeViaStix(paths[i], &parts[i], &read_bytes[i],
+                                   &selected_bytes[i], &file_read[i],
+                                   &pages_read[i], &postings_hits[i],
+                                   &mmapped[i], counters);
+        if (!served.ok()) return served.status();  // hard I/O or corruption
+        if (*served) {
+          plan_run[i] = static_cast<uint8_t>(FilePlan::kMmapIndex);
+          io.AddArg("plan_mmap", 1);
+          io.AddArg("bytes", read_bytes[i]);
+          return Status::Ok();
+        }
+        // Invalid / stale sidecar: fall through to the linear scan.
+      }
+      plan_run[i] = static_cast<uint8_t>(FilePlan::kLinearScan);
+      io.AddArg("plan_scan", 1);
       uint64_t attempts = 0;
       auto records = options_.retry.Run(
           [&]() -> StatusOr<std::vector<RecordT>> {
@@ -216,19 +291,7 @@ class Selector {
       if (attempts > 1) io.AddArg("attempts", attempts);
       if (!records.ok()) return records.status();
       file_read[i] = 1;
-      if (cache != nullptr) {
-        // Miss: admit the records (indexed, when this selector refines
-        // through the tree), with the source file as the reload path —
-        // eviction drops memory without writing anything.
-        auto file = selection_internal::MakeIndexedFile<RecordT>(
-            std::move(records).value(), options_.use_rtree);
-        cache->PutWithOrigin(key, 0, file, read_bytes[i], paths[i],
-                             &selection_internal::ReloadIndexedFile<RecordT>);
-        parts[i] = FilterIndexed(*file, &selected_bytes[i]);
-      } else {
-        parts[i] =
-            FilterRecords(std::move(records).value(), &selected_bytes[i]);
-      }
+      parts[i] = FilterRecords(std::move(records).value(), &selected_bytes[i]);
       return Status::Ok();
     };
     ST4ML_RETURN_IF_ERROR(
@@ -238,21 +301,40 @@ class Selector {
     uint64_t loaded_bytes = 0;
     uint64_t kept_bytes = 0;
     uint64_t files_read = 0;
+    uint64_t plan_counts[3] = {0, 0, 0};
+    uint64_t files_mmapped = 0;
+    uint64_t pages_total = 0;
+    uint64_t postings_total = 0;
     for (size_t i = 0; i < paths.size(); ++i) {
       records_out += parts[i].size();
       loaded_bytes += read_bytes[i];
       kept_bytes += selected_bytes[i];
       files_read += file_read[i];
+      plan_counts[plan_run[i]] += 1;
+      files_mmapped += mmapped[i];
+      pages_total += pages_read[i];
+      postings_total += postings_hits[i];
     }
     stats_.bytes_loaded += loaded_bytes;
     stats_.bytes_selected += kept_bytes;
     counters.Add(Counter::kStpqBytesRead, loaded_bytes);
     counters.Add(Counter::kStpqFilesRead, files_read);
     // Scanned counts files CONSULTED (pruned + scanned == total), whether
-    // their bytes came from disk or from the cache.
+    // their bytes came from disk, the cache, or the mmap'd index.
     counters.Add(Counter::kPartitionsScanned, paths.size());
     counters.Add(Counter::kSelectionRecordsOut, records_out);
     counters.Add(Counter::kSelectionBytesSelected, kept_bytes);
+    QueryPlanner::CountExecuted(
+        counters, plan_counts[static_cast<size_t>(FilePlan::kMmapIndex)],
+        plan_counts[static_cast<size_t>(FilePlan::kCachedIndex)],
+        plan_counts[static_cast<size_t>(FilePlan::kLinearScan)]);
+    if (files_mmapped > 0) {
+      counters.Add(Counter::kIndexFilesMmapped, files_mmapped);
+    }
+    if (pages_total > 0) counters.Add(Counter::kIndexPagesRead, pages_total);
+    if (postings_total > 0) {
+      counters.Add(Counter::kPostingsHits, postings_total);
+    }
     op.AddArg("files", paths.size());
     op.AddArg("records_out", records_out);
     auto selected = Dataset<RecordT>::FromPartitions(ctx_, std::move(parts));
@@ -265,6 +347,74 @@ class Selector {
       selected = std::move(partitioned).value();
     }
     return selected;
+  }
+
+  /// The kMmapIndex plan for one file. Returns false (not an error) when
+  /// the sidecar is missing, stale, or fails its validation audit — the
+  /// caller demotes the file to a linear scan, which is also what the
+  /// corruption-hardening contract promises (DESIGN.md §12). Returns a
+  /// non-OK Status only for hard failures AFTER a valid index: a ranged
+  /// read that misses its promised byte run (Corruption) or an I/O error
+  /// the retry policy could not absorb.
+  StatusOr<bool> ServeViaStix(const std::string& path,
+                              std::vector<RecordT>* out, uint64_t* read_bytes,
+                              uint64_t* selected_bytes, uint8_t* file_read,
+                              uint64_t* pages, uint64_t* postings,
+                              uint8_t* mmapped, CounterRegistry& counters) {
+    auto opened = StixIndex::Open(StixPathFor(path), path);
+    if (!opened.ok()) return false;
+    *mmapped = 1;
+    StixIndex index = std::move(*opened);
+    StixQueryStats qstats;
+    std::vector<uint32_t> hits;
+    // Query-side emptiness stays a host check (kernel contract): an
+    // inverted query box matches nothing and touches no pages.
+    if (!query_.box.mbr.IsEmpty()) {
+      const auto q = accel::BoxFilterQuery::FromBox(query_.box);
+      if (query_.has_ids) {
+        index.LookupIds(query_.ids, q, /*apply_box=*/true, &hits, &qstats);
+      } else {
+        index.QueryBox(q, &hits, &qstats);
+      }
+    }
+    *pages = qstats.pages_read;
+    *postings = qstats.postings_hits;
+    out->clear();
+    if (hits.empty()) return true;  // no match: the .stpq is never opened
+    constexpr uint8_t kind = std::is_same_v<RecordT, EventRecord>
+                                 ? kStpqKindEvent
+                                 : kStpqKindTraj;
+    uint64_t attempts = 0;
+    Status read = options_.retry.Run(
+        [&]() -> Status {
+          out->clear();
+          auto reader = StpqReader::Open(path, kind);
+          if (!reader.ok()) return reader.status();
+          if (reader->record_count() != index.record_count()) {
+            return Status::Corruption(
+                "stix sidecar record count disagrees with " + path);
+          }
+          // Coalesce consecutive hit indices into maximal byte runs: one
+          // seek-and-read per run, records emerging in ascending record
+          // order — byte-identical to the linear filter.
+          size_t a = 0;
+          while (a < hits.size()) {
+            size_t b = a + 1;
+            while (b < hits.size() && hits[b] == hits[b - 1] + 1) ++b;
+            ST4ML_RETURN_IF_ERROR(reader->template ReadRecordsAt<RecordT>(
+                index.RecordOffset(hits[a]),
+                index.RecordOffset(hits[b - 1] + 1),
+                b - a, out));
+            a = b;
+          }
+          *read_bytes = reader->bytes_read();
+          return Status::Ok();
+        },
+        &counters, &attempts);
+    if (!read.ok()) return read;
+    *file_read = 1;
+    for (const RecordT& r : *out) *selected_bytes += StpqRecordBytes(r);
+    return true;
   }
 
   /// Cache key for one STPQ file: path plus size and mtime, so a rewritten
@@ -281,12 +431,25 @@ class Selector {
            std::to_string(stamp);
   }
 
+  /// Drops hits whose record id is outside the query's id set. A no-op
+  /// without an id predicate; hit order is preserved.
+  void FilterHitsById(const std::vector<RecordT>& records,
+                      std::vector<size_t>* hits) {
+    if (!query_.has_ids) return;
+    size_t kept = 0;
+    for (size_t i : *hits) {
+      if (query_.MatchesId(records[i].id)) (*hits)[kept++] = i;
+    }
+    hits->resize(kept);
+  }
+
   /// Indices of the records matching the query, in record order (the tree
   /// reports leaf order; sorting restores it so every refine path returns
   /// identical datasets). The linear path computes each record's envelope
   /// once into columns and runs the vectorized FilterBoxes kernel over
   /// them — the same closed-interval predicate STBox::Intersects applies,
-  /// so tree and linear refinement stay byte-identical.
+  /// so tree and linear refinement stay byte-identical. The id predicate
+  /// composes afterwards (AND), identically on every path.
   std::vector<size_t> MatchIndices(const std::vector<RecordT>& records) {
     std::vector<size_t> hits;
     if (options_.use_rtree) {
@@ -298,18 +461,19 @@ class Selector {
       for (const RecordT& r : records) boxes.push_back(r.ComputeSTBox());
       RTree<STBox> tree;
       tree.Build(boxes);
-      hits = tree.Query(query_);
+      hits = tree.Query(query_.box);
       std::sort(hits.begin(), hits.end());
     } else {
       // The kernel predicate folds in record-side degeneracy but leaves
       // the query-side emptiness test to the host — an inverted query
       // matches nothing, exactly as Intersects would report.
-      if (query_.mbr.IsEmpty() || records.empty()) return hits;
+      if (query_.box.mbr.IsEmpty() || records.empty()) return hits;
       accel::EnvelopeColumns cols;
       cols.Reserve(records.size());
       for (const RecordT& r : records) cols.Append(r.ComputeSTBox());
       hits = KernelMatch(cols);
     }
+    FilterHitsById(records, &hits);
     return hits;
   }
 
@@ -318,8 +482,8 @@ class Selector {
   std::vector<size_t> KernelMatch(const accel::EnvelopeColumns& cols) {
     const accel::EnvelopeView view = cols.View();
     std::vector<uint8_t> bitmap(view.size);
-    accel::Active().FilterBoxes(accel::BoxFilterQuery::FromBox(query_), view,
-                                bitmap.data());
+    accel::Active().FilterBoxes(accel::BoxFilterQuery::FromBox(query_.box),
+                                view, bitmap.data());
     accel::BackendRegistry::Instance().CountBatch(view.size);
     std::vector<size_t> hits;
     for (size_t i = 0; i < view.size; ++i) {
@@ -342,16 +506,19 @@ class Selector {
   std::vector<RecordT> FilterIndexed(
       const selection_internal::IndexedStpqFile<RecordT>& file,
       uint64_t* bytes_selected) {
-    if (!query_.Intersects(file.envelope)) return {};
+    if (!query_.box.Intersects(file.envelope)) return {};
     std::vector<size_t> hits;
     if (file.cols.size() == file.records.size() && !file.cols.empty()) {
       hits = KernelMatch(file.cols);
+      FilterHitsById(file.records, &hits);
     } else if (options_.use_rtree && file.has_tree) {
       accel::BackendRegistry::Instance().CountFallback(file.records.size());
-      hits = file.tree.Query(query_);
+      hits = file.tree.Query(query_.box);
       std::sort(hits.begin(), hits.end());
+      FilterHitsById(file.records, &hits);
     } else {
-      // MatchIndices counts its records as batch or fallback itself.
+      // MatchIndices counts its records as batch or fallback itself, and
+      // applies the id predicate itself.
       hits = MatchIndices(file.records);
     }
     std::vector<RecordT> kept;
@@ -373,7 +540,7 @@ class Selector {
   }
 
   std::shared_ptr<ExecutionContext> ctx_;
-  STBox query_;
+  SelectQuery query_;
   SelectorOptions options_;
   SelectorStats stats_;
 };

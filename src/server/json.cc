@@ -331,6 +331,35 @@ double JsonValue::GetDouble(const std::string& key,
                                                : default_value;
 }
 
+Status JsonValue::GetCheckedIntArray(const std::string& key, size_t max_count,
+                                     std::vector<int64_t>* out) const {
+  out->clear();
+  const JsonValue* value = Find(key);
+  if (value == nullptr) return Status::Ok();
+  if (!value->IsArray() || value->array.empty()) {
+    return Status::InvalidArgument("'" + key +
+                                   "' must be a non-empty array of integers");
+  }
+  if (value->array.size() > max_count) {
+    return Status::InvalidArgument("'" + key + "' holds more than " +
+                                   std::to_string(max_count) + " entries");
+  }
+  out->reserve(value->array.size());
+  for (const JsonValue& element : value->array) {
+    if (!element.IsNumber()) {
+      return Status::InvalidArgument("'" + key +
+                                     "' must be a non-empty array of integers");
+    }
+    double v = element.number_value;
+    if (v < kInt64Lo || v >= kInt64Hi || v != std::floor(v)) {
+      return Status::InvalidArgument("'" + key +
+                                     "' entries must be integers in int64 range");
+    }
+    out->push_back(static_cast<int64_t>(v));
+  }
+  return Status::Ok();
+}
+
 Status JsonValue::GetNumberArray(const std::string& key, size_t count,
                                  std::vector<double>* out) const {
   const JsonValue* value = Find(key);

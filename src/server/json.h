@@ -54,6 +54,14 @@ class JsonValue {
   /// validation for mbr/time).
   Status GetNumberArray(const std::string& key, size_t count,
                         std::vector<double>* out) const;
+
+  /// Integer-array request field (the lookup_id `ids` list): absent leaves
+  /// `out` empty and is Ok — the caller decides whether the field was
+  /// required. Present, it must be a non-empty array of at most `max_count`
+  /// int64-exact numbers, each validated like GetCheckedInt, so a hostile
+  /// 1e300 or 1.5 entry is a clean client error.
+  Status GetCheckedIntArray(const std::string& key, size_t max_count,
+                            std::vector<int64_t>* out) const;
 };
 
 /// Parses one JSON document (any value type at the root). Rejects trailing

@@ -12,12 +12,16 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
+#include <map>
 #include <utility>
 
 #include "accel/kernels.h"
 #include "conversion/parse.h"
 #include "conversion/singular_to_collective.h"
 #include "extraction/collective_extractors.h"
+#include "index/stix.h"
+#include "selection/select_query.h"
 #include "selection/selector.h"
 #include "server/frame.h"
 #include "storage/json.h"
@@ -50,7 +54,8 @@ std::string ErrorResponse(const Status& status) {
 
 /// The per-job counter subset worth shipping to a client: enough to verify
 /// cache behavior (the CI smoke asserts cache_hits > 0 on the second
-/// request) and record flow, without dumping all 33 slots per response.
+/// request), record flow, and which plan the planner actually executed per
+/// file, without dumping all 39 slots per response.
 std::string MetricsJson(const MetricsSnapshot& m) {
   JsonObject obj;
   obj.Add("cache_hits", m[Counter::kCacheHits])
@@ -59,33 +64,57 @@ std::string MetricsJson(const MetricsSnapshot& m) {
       .Add("partitions_pruned", m[Counter::kPartitionsPruned])
       .Add("partitions_scanned", m[Counter::kPartitionsScanned])
       .Add("selection_records_out", m[Counter::kSelectionRecordsOut])
-      .Add("parallel_jobs", m[Counter::kParallelJobs]);
+      .Add("parallel_jobs", m[Counter::kParallelJobs])
+      .Add("index_files_mmapped", m[Counter::kIndexFilesMmapped])
+      .Add("index_pages_read", m[Counter::kIndexPagesRead])
+      .Add("postings_hits", m[Counter::kPostingsHits])
+      .Add("planner_mmap_index", m[Counter::kPlannerMmapIndex])
+      .Add("planner_cached_index", m[Counter::kPlannerCachedIndex])
+      .Add("planner_linear_scan", m[Counter::kPlannerLinearScan]);
   return obj.Str();
 }
 
-/// Parses the shared select/extract query fields into an STBox.
-Status ParseQuery(const JsonValue& request, std::string* dir, STBox* query) {
+/// Largest id list a lookup_id/select request may carry — bounds the memory
+/// one frame can pin before any work starts.
+constexpr size_t kMaxRequestIds = 65536;
+
+/// Parses the shared job-verb query fields into the ONE SelectQuery type.
+/// `require_box` is set for select/extract (mbr+time mandatory, unchanged
+/// wire contract); lookup_id passes false — omitting both means the id
+/// predicate alone drives selection, but a client that sends either of
+/// mbr/time must send a complete, valid box.
+Status ParseQuery(const JsonValue& request, bool require_box,
+                  std::string* dir, SelectQuery* query) {
   *dir = request.GetString("dir", "");
   if (dir->empty()) {
     return Status::InvalidArgument("missing required field 'dir'");
   }
-  std::vector<double> mbr;
-  std::vector<double> time;
-  ST4ML_RETURN_IF_ERROR(request.GetNumberArray("mbr", 4, &mbr));
-  ST4ML_RETURN_IF_ERROR(request.GetNumberArray("time", 2, &time));
-  // The wire carries doubles; casting e.g. 1e300 to int64_t is UB, so the
-  // bounds are validated before the cast ([-2^63, 2^63) — the double-exact
-  // range; INT64_MAX itself is not representable).
-  for (double t : time) {
-    if (t < -9223372036854775808.0 || t >= 9223372036854775808.0 ||
-        t != std::floor(t)) {
-      return Status::InvalidArgument(
-          "'time' values must be integers in int64 range");
+  *query = SelectQuery();
+  if (require_box || request.Find("mbr") != nullptr ||
+      request.Find("time") != nullptr) {
+    std::vector<double> mbr;
+    std::vector<double> time;
+    ST4ML_RETURN_IF_ERROR(request.GetNumberArray("mbr", 4, &mbr));
+    ST4ML_RETURN_IF_ERROR(request.GetNumberArray("time", 2, &time));
+    // The wire carries doubles; casting e.g. 1e300 to int64_t is UB, so the
+    // bounds are validated before the cast ([-2^63, 2^63) — the double-exact
+    // range; INT64_MAX itself is not representable).
+    for (double t : time) {
+      if (t < -9223372036854775808.0 || t >= 9223372036854775808.0 ||
+          t != std::floor(t)) {
+        return Status::InvalidArgument(
+            "'time' values must be integers in int64 range");
+      }
     }
+    query->box = STBox(Mbr(mbr[0], mbr[1], mbr[2], mbr[3]),
+                       Duration(static_cast<int64_t>(time[0]),
+                                static_cast<int64_t>(time[1])));
+  } else {
+    query->box = SelectQuery::EverythingBox();
   }
-  *query = STBox(Mbr(mbr[0], mbr[1], mbr[2], mbr[3]),
-                 Duration(static_cast<int64_t>(time[0]),
-                          static_cast<int64_t>(time[1])));
+  std::vector<int64_t> ids;
+  ST4ML_RETURN_IF_ERROR(request.GetCheckedIntArray("ids", kMaxRequestIds, &ids));
+  if (!ids.empty()) query->SetIds(std::move(ids));
   return Status::Ok();
 }
 
@@ -281,23 +310,66 @@ std::string Server::HandleRequest(const std::string& payload,
     return obj.Str();
   }
 
-  if (verb == "select" || verb == "extract") {
+  if (verb == "select" || verb == "lookup_id" || verb == "extract") {
     if (!rate_limiter_.TryAcquire()) {
       return ErrorResponse(
           Status::ResourceExhausted("request rate limit exceeded"));
     }
     AdmissionTicket ticket(&admission_);
     if (!ticket.admitted()) return ErrorResponse(ticket.status());
-    return verb == "select" ? HandleSelect(*parsed) : HandleExtract(*parsed);
+    if (verb == "extract") return HandleExtract(*parsed);
+    return HandleSelect(*parsed, /*lookup_by_id=*/verb == "lookup_id");
   }
 
   return ErrorResponse(
       Status::InvalidArgument("unknown verb '" + verb + "'"));
 }
 
+void Server::RecordServedDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  served_dirs_.insert(dir);
+}
+
 std::string Server::HandleStats() {
   MetricsSnapshot m = session_->Metrics();
   const accel::BackendRegistry& accel = accel::BackendRegistry::Instance();
+  // Per-dataset index coverage: for every dir a job verb has served, how
+  // many .stpq part files exist and how many of them have a .stix sidecar —
+  // the operator's answer to "why is this dataset cold-selecting via linear
+  // scan". Walked at stats time (not cached) so a rebuilt index shows up
+  // without a daemon restart. std::map keeps the listing deterministic.
+  std::map<std::string, std::pair<uint64_t, uint64_t>> datasets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string& dir : served_dirs_) datasets[dir] = {0, 0};
+  }
+  for (auto& [dir, counts] : datasets) {
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) continue;
+    for (const auto& entry : it) {
+      if (entry.path().extension() != ".stpq") continue;
+      ++counts.first;
+      std::error_code exists_ec;
+      if (std::filesystem::exists(StixPathFor(entry.path().string()),
+                                  exists_ec)) {
+        ++counts.second;
+      }
+    }
+  }
+  std::string dataset_rows = "[";
+  bool first = true;
+  for (const auto& [dir, counts] : datasets) {
+    JsonObject row;
+    row.Add("dir", dir)
+        .Add("stpq_files", counts.first)
+        .Add("stix_files", counts.second);
+    if (!first) dataset_rows += ",";
+    dataset_rows += row.Str();
+    first = false;
+  }
+  dataset_rows += "]";
+
   JsonObject obj;
   obj.Add("ok", true)
       .Add("verb", "stats")
@@ -311,21 +383,32 @@ std::string Server::HandleStats() {
       .Add("backend_batches", accel.batches())
       .Add("backend_batch_records", accel.batch_records())
       .Add("backend_fallback_records", accel.fallback_records())
+      .AddRaw("datasets", dataset_rows)
       .AddRaw("metrics", MetricsJson(m));
   return obj.Str();
 }
 
-std::string Server::HandleSelect(const JsonValue& request) {
+std::string Server::HandleSelect(const JsonValue& request, bool lookup_by_id) {
   auto start = std::chrono::steady_clock::now();
+  const char* verb = lookup_by_id ? "lookup_id" : "select";
   std::string dir;
-  STBox query;
-  Status status = ParseQuery(request, &dir, &query);
+  SelectQuery query;
+  Status status =
+      ParseQuery(request, /*require_box=*/!lookup_by_id, &dir, &query);
   if (!status.ok()) return ErrorResponse(status);
+  if (lookup_by_id && !query.has_ids) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing required field 'ids'"));
+  }
   int64_t limit = 0;
   status = request.GetCheckedInt("limit", 100, 0, INT64_MAX, &limit);
   if (!status.ok()) return ErrorResponse(status);
+  query.limit = limit;
+  query.count_only = limit == 0;
+  RecordServedDir(dir);
 
-  Job job = session_->StartJob("serve/select");
+  Job job = session_->StartJob(lookup_by_id ? "serve/lookup_id"
+                                            : "serve/select");
   Selector<EventRecord> selector(session_->context(), query);
   auto selected = job.pipeline().Run(
       "selection", [&] { return selector.Select(dir, dir + "/index.meta"); });
@@ -362,7 +445,7 @@ std::string Server::HandleSelect(const JsonValue& request) {
 
   JsonObject obj;
   obj.Add("ok", true)
-      .Add("verb", "select")
+      .Add("verb", verb)
       .Add("job_id", job.id())
       .Add("count", count)
       .AddRaw("rows", rows)
@@ -374,12 +457,13 @@ std::string Server::HandleSelect(const JsonValue& request) {
 std::string Server::HandleExtract(const JsonValue& request) {
   auto start = std::chrono::steady_clock::now();
   std::string dir;
-  STBox query;
-  Status status = ParseQuery(request, &dir, &query);
+  SelectQuery query;
+  Status status = ParseQuery(request, /*require_box=*/true, &dir, &query);
   if (!status.ok()) return ErrorResponse(status);
   int64_t interval_s = 0;
   status = request.GetCheckedInt("interval", 3600, 1, INT64_MAX, &interval_s);
   if (!status.ok()) return ErrorResponse(status);
+  RecordServedDir(dir);
 
   Job job = session_->StartJob("serve/extract");
   Selector<EventRecord> selector(session_->context(), query);
@@ -390,7 +474,7 @@ std::string Server::HandleExtract(const JsonValue& request) {
     // the same request always yields the same bins regardless of which
     // records currently match.
     auto structure = std::make_shared<TemporalStructure>(
-        TemporalStructure::RegularByInterval(query.time, interval_s));
+        TemporalStructure::RegularByInterval(query.box.time, interval_s));
     auto events = job.pipeline().Run(
         "parse",
         [](const Dataset<EventRecord>& raw) { return ParseEvents(raw); },

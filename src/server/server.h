@@ -46,19 +46,26 @@ struct ServerOptions {
 ///
 /// Verbs:
 ///   ping      {"verb":"ping"[,"sleep_ms":N<=5000]}        liveness / drain
-///   stats     {"verb":"stats"}                            session counters
-///   select    {"verb":"select","dir":D,"mbr":[4],"time":[2][,"limit":N]}
+///   stats     {"verb":"stats"}           session counters + dataset indexes
+///   select    {"verb":"select","dir":D,"mbr":[4],"time":[2]
+///              [,"ids":[...]][,"limit":N]}
+///   lookup_id {"verb":"lookup_id","dir":D,"ids":[...]
+///              [,"mbr":[4],"time":[2]][,"limit":N]}
 ///   extract   {"verb":"extract","dir":D,"mbr":[4],"time":[2]
 ///              [,"interval":S]}
 ///   shutdown  {"verb":"shutdown"}                         graceful stop
+///
+/// select/lookup_id/extract all parse into the ONE SelectQuery type; a
+/// lookup_id with no mbr/time spans everything and lets the id postings
+/// (disk index) or id filter (other plans) drive selection alone.
 ///
 /// Responses are {"ok":true,...} or {"ok":false,"code":C,"error":M} with C
 /// in {NOT_FOUND, INVALID_ARGUMENT, IO_ERROR, CORRUPTION, INTERNAL,
 /// RESOURCE_EXHAUSTED}. Job verbs attach the request's OWN metrics delta
 /// (per-job counters, not session totals) plus elapsed_us.
 ///
-/// Overload: select/extract pass the token-bucket rate limiter and the
-/// bounded admission queue; both shed with RESOURCE_EXHAUSTED. ping/stats
+/// Overload: select/lookup_id/extract pass the token-bucket rate limiter and
+/// the bounded admission queue; both shed with RESOURCE_EXHAUSTED. ping/stats
 /// bypass both so health stays observable under load.
 ///
 /// Shutdown is graceful: stop accepting, unblock idle readers, let in-flight
@@ -104,9 +111,15 @@ class Server {
   /// One request frame → one response payload. Sets *close_after for
   /// protocol-fatal inputs (oversized frame).
   std::string HandleRequest(const std::string& payload, bool* close_after);
-  std::string HandleSelect(const JsonValue& request);
+  /// select and lookup_id share one implementation: both run the Selector on
+  /// a SelectQuery and render sorted rows; lookup_id just makes `ids`
+  /// mandatory and mbr/time optional.
+  std::string HandleSelect(const JsonValue& request, bool lookup_by_id);
   std::string HandleExtract(const JsonValue& request);
   std::string HandleStats();
+  /// Remembers a dataset dir a job verb touched, so stats can report each
+  /// one's on-disk index coverage.
+  void RecordServedDir(const std::string& dir);
 
   Session* session_;
   ServerOptions options_;
@@ -132,6 +145,9 @@ class Server {
   std::unordered_map<uint64_t, std::thread> conn_threads_;
   std::vector<std::thread> finished_threads_;
   std::unordered_set<int> open_fds_;
+  /// Dataset dirs served so far (guarded by mu_); stats walks each one to
+  /// report how many .stpq files have a .stix sidecar next to them.
+  std::unordered_set<std::string> served_dirs_;
 };
 
 }  // namespace server

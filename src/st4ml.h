@@ -28,9 +28,11 @@
 #include "geometry/polygon.h"
 #include "temporal/duration.h"
 
-// Spatio-temporal indexing.
+// Spatio-temporal indexing, including the persistent mmap'd `.stix`
+// sidecar index selection cold-starts from.
 #include "index/rtree.h"
 #include "index/stbox.h"
+#include "index/stix.h"
 #include "index/zcurve.h"
 
 // Observability: typed engine counters, nested-span tracing, exporters.
@@ -73,6 +75,8 @@
 #include "partition/str_partitioner.h"
 #include "partition/tbalance_partitioner.h"
 #include "selection/on_disk_index.h"
+#include "selection/query_planner.h"
+#include "selection/select_query.h"
 #include "selection/selector.h"
 
 // Stage 2: conversion between instances.

@@ -90,6 +90,47 @@ Status CheckHeader(std::ifstream& in, const std::string& path,
   return Status::Ok();
 }
 
+// Per-record parsers shared by the full readers and StpqReader's ranged
+// reads, so both paths apply identical bounds checks. `file_bytes` caps the
+// untrusted length fields (overflow-safe: compared, never multiplied).
+Status ReadOneEvent(std::ifstream& in, uint64_t file_bytes,
+                    const std::string& path, EventRecord* r) {
+  uint32_t len = 0;
+  if (!ReadRaw(in, &r->id) || !ReadRaw(in, &r->x) || !ReadRaw(in, &r->y) ||
+      !ReadRaw(in, &r->time) || !ReadRaw(in, &len)) {
+    return Status::Corruption("truncated STPQ record in " + path);
+  }
+  if (static_cast<uint64_t>(len) > file_bytes) {
+    return Status::Corruption("implausible attr length in " + path);
+  }
+  r->attr.resize(len);
+  in.read(r->attr.data(), len);
+  if (in.gcount() != static_cast<std::streamsize>(len)) {
+    return Status::Corruption("truncated STPQ record in " + path);
+  }
+  return Status::Ok();
+}
+
+Status ReadOneTraj(std::ifstream& in, uint64_t file_bytes,
+                   const std::string& path, TrajRecord* r) {
+  uint64_t n = 0;
+  if (!ReadRaw(in, &r->id) || !ReadRaw(in, &n)) {
+    return Status::Corruption("truncated STPQ record in " + path);
+  }
+  // `n * 24 > file_bytes` wraps for n near 2^64 and the following
+  // resize(n) would throw; divide instead of multiply.
+  if (n > file_bytes / kTrajPointBytes) {
+    return Status::Corruption("implausible point count in " + path);
+  }
+  r->points.resize(static_cast<size_t>(n));
+  for (TrajPointRecord& p : r->points) {
+    if (!ReadRaw(in, &p.x) || !ReadRaw(in, &p.y) || !ReadRaw(in, &p.time)) {
+      return Status::Corruption("truncated STPQ record in " + path);
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Status WriteStpqFile(const std::string& path,
@@ -147,21 +188,7 @@ StatusOr<std::vector<EventRecord>> ReadStpqEvents(const std::string& path,
       std::min(count, file_bytes / kMinEventRecordBytes)));
   for (uint64_t i = 0; i < count; ++i) {
     EventRecord r;
-    uint32_t len = 0;
-    if (!ReadRaw(in, &r.id) || !ReadRaw(in, &r.x) || !ReadRaw(in, &r.y) ||
-        !ReadRaw(in, &r.time) || !ReadRaw(in, &len)) {
-      return Status::Corruption("truncated STPQ record in " + path);
-    }
-    // Overflow-safe plausibility check: len is compared as u64 against the
-    // file size, never multiplied, so no wraparound before resize.
-    if (static_cast<uint64_t>(len) > file_bytes) {
-      return Status::Corruption("implausible attr length in " + path);
-    }
-    r.attr.resize(len);
-    in.read(r.attr.data(), len);
-    if (in.gcount() != static_cast<std::streamsize>(len)) {
-      return Status::Corruption("truncated STPQ record in " + path);
-    }
+    ST4ML_RETURN_IF_ERROR(ReadOneEvent(in, file_bytes, path, &r));
     records.push_back(std::move(r));
   }
   return records;
@@ -183,24 +210,95 @@ StatusOr<std::vector<TrajRecord>> ReadStpqTrajs(const std::string& path,
       std::min(count, file_bytes / kMinTrajRecordBytes)));
   for (uint64_t i = 0; i < count; ++i) {
     TrajRecord r;
-    uint64_t n = 0;
-    if (!ReadRaw(in, &r.id) || !ReadRaw(in, &n)) {
-      return Status::Corruption("truncated STPQ record in " + path);
-    }
-    // Overflow-safe: `n * 24 > file_bytes` wraps for n near 2^64 and the
-    // following resize(n) would throw; divide instead of multiply.
-    if (n > file_bytes / kTrajPointBytes) {
-      return Status::Corruption("implausible point count in " + path);
-    }
-    r.points.resize(static_cast<size_t>(n));
-    for (TrajPointRecord& p : r.points) {
-      if (!ReadRaw(in, &p.x) || !ReadRaw(in, &p.y) || !ReadRaw(in, &p.time)) {
-        return Status::Corruption("truncated STPQ record in " + path);
-      }
-    }
+    ST4ML_RETURN_IF_ERROR(ReadOneTraj(in, file_bytes, path, &r));
     records.push_back(std::move(r));
   }
   return records;
+}
+
+StatusOr<uint8_t> ReadStpqKind(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("no such STPQ file: " + path);
+  char magic[sizeof(kStpqMagic)];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(magic)) ||
+      std::memcmp(magic, kStpqMagic, sizeof(magic)) != 0) {
+    return Status::Corruption("bad STPQ magic in " + path);
+  }
+  uint8_t kind = 0;
+  if (!ReadRaw(in, &kind)) {
+    return Status::Corruption("truncated STPQ header in " + path);
+  }
+  if (kind != kStpqKindEvent && kind != kStpqKindTraj) {
+    return Status::Corruption("unknown STPQ record kind in " + path);
+  }
+  return kind;
+}
+
+StatusOr<StpqReader> StpqReader::Open(const std::string& path,
+                                      uint8_t expected_kind) {
+  ST4ML_RETURN_IF_ERROR(
+      GlobalFaultInjector().MaybeFail(fault_site::kStpqRead, path));
+  StpqReader reader;
+  reader.path_ = path;
+  reader.in_.open(path, std::ios::binary);
+  if (!reader.in_.is_open()) {
+    return Status::NotFound("no such STPQ file: " + path);
+  }
+  ST4ML_RETURN_IF_ERROR(
+      CheckHeader(reader.in_, path, expected_kind, &reader.record_count_));
+  reader.file_bytes_ = FileSizeBytes(path);
+  reader.bytes_read_ = kStpqHeaderBytes;
+  return reader;
+}
+
+Status StpqReader::CheckRange(uint64_t offset, uint64_t end_offset) const {
+  if (offset < kStpqHeaderBytes || end_offset < offset ||
+      end_offset > file_bytes_) {
+    return Status::Corruption("record range outside file bounds in " + path_);
+  }
+  return Status::Ok();
+}
+
+Status StpqReader::ReadEventsAt(uint64_t offset, uint64_t end_offset,
+                                uint64_t count,
+                                std::vector<EventRecord>* out) {
+  ST4ML_RETURN_IF_ERROR(CheckRange(offset, end_offset));
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(offset));
+  if (!in_.good()) return Status::IOError("seek failed in " + path_);
+  for (uint64_t i = 0; i < count; ++i) {
+    EventRecord r;
+    ST4ML_RETURN_IF_ERROR(ReadOneEvent(in_, file_bytes_, path_, &r));
+    out->push_back(std::move(r));
+  }
+  // The records must consume EXACTLY the promised run: a sidecar whose
+  // offsets disagree with the file is corruption, not silently wrong data.
+  std::streamoff pos = static_cast<std::streamoff>(in_.tellg());
+  if (pos < 0 || static_cast<uint64_t>(pos) != end_offset) {
+    return Status::Corruption("record range mismatch in " + path_);
+  }
+  bytes_read_ += end_offset - offset;
+  return Status::Ok();
+}
+
+Status StpqReader::ReadTrajsAt(uint64_t offset, uint64_t end_offset,
+                               uint64_t count, std::vector<TrajRecord>* out) {
+  ST4ML_RETURN_IF_ERROR(CheckRange(offset, end_offset));
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(offset));
+  if (!in_.good()) return Status::IOError("seek failed in " + path_);
+  for (uint64_t i = 0; i < count; ++i) {
+    TrajRecord r;
+    ST4ML_RETURN_IF_ERROR(ReadOneTraj(in_, file_bytes_, path_, &r));
+    out->push_back(std::move(r));
+  }
+  std::streamoff pos = static_cast<std::streamoff>(in_.tellg());
+  if (pos < 0 || static_cast<uint64_t>(pos) != end_offset) {
+    return Status::Corruption("record range mismatch in " + path_);
+  }
+  bytes_read_ += end_offset - offset;
+  return Status::Ok();
 }
 
 std::vector<std::string> ListStpqFiles(const std::string& dir) {

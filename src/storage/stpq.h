@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -27,6 +28,16 @@ namespace st4ml {
 inline constexpr char kStpqMagic[5] = {'S', 'T', 'P', 'Q', '1'};
 inline constexpr uint8_t kStpqKindEvent = 0;
 inline constexpr uint8_t kStpqKindTraj = 1;
+
+/// Bytes before the first record: magic, kind tag, record count. This is
+/// offset 0 of record 0 — the base the `.stix` sidecar's record-offset
+/// table is expressed against.
+inline constexpr uint64_t kStpqHeaderBytes = sizeof(kStpqMagic) + 1 + 8;
+
+/// The record-kind tag of an STPQ file, from its header alone (Corruption
+/// on a bad magic). Lets kind-agnostic tooling (st4ml_index) dispatch
+/// without guessing.
+StatusOr<uint8_t> ReadStpqKind(const std::string& path);
 
 /// Serialized size of one record — the unit `bytes_selected` counts in.
 inline uint64_t StpqRecordBytes(const EventRecord& r) {
@@ -64,6 +75,59 @@ StatusOr<std::vector<RecordT>> ReadStpqFile(const std::string& path,
     return ReadStpqTrajs(path, io_bytes);
   }
 }
+
+/// Ranged record reads, for index-directed selection: Open validates the
+/// header once (firing the same kStpqRead fault site as the full readers),
+/// then ReadRecordsAt parses exactly the records inside one
+/// [offset, end_offset) byte run — the unit the mmap'd `.stix` sidecar
+/// resolves leaf hits into — so a cold indexed selection reads only the
+/// bytes of matching records instead of the whole file. Offsets come from
+/// the sidecar's record-offset table; ReadRecordsAt re-verifies that the
+/// parsed records consume EXACTLY the promised byte run, so a sidecar that
+/// disagrees with its file surfaces as Corruption, never as silently wrong
+/// records. bytes_read() accounts the header plus every run's bytes, the
+/// same currency as the full readers' io_bytes.
+class StpqReader {
+ public:
+  static StatusOr<StpqReader> Open(const std::string& path,
+                                   uint8_t expected_kind);
+
+  StpqReader() = default;
+  StpqReader(StpqReader&&) = default;
+  StpqReader& operator=(StpqReader&&) = default;
+
+  Status ReadEventsAt(uint64_t offset, uint64_t end_offset, uint64_t count,
+                      std::vector<EventRecord>* out);
+  Status ReadTrajsAt(uint64_t offset, uint64_t end_offset, uint64_t count,
+                     std::vector<TrajRecord>* out);
+
+  template <typename RecordT>
+  Status ReadRecordsAt(uint64_t offset, uint64_t end_offset, uint64_t count,
+                       std::vector<RecordT>* out) {
+    if constexpr (std::is_same_v<RecordT, EventRecord>) {
+      return ReadEventsAt(offset, end_offset, count, out);
+    } else {
+      static_assert(std::is_same_v<RecordT, TrajRecord>,
+                    "STPQ stores EventRecord or TrajRecord");
+      return ReadTrajsAt(offset, end_offset, count, out);
+    }
+  }
+
+  /// The header's record count (untrusted until records deserialize).
+  uint64_t record_count() const { return record_count_; }
+  uint64_t file_bytes() const { return file_bytes_; }
+  /// Header + run bytes consumed so far.
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  Status CheckRange(uint64_t offset, uint64_t end_offset) const;
+
+  std::ifstream in_;
+  std::string path_;
+  uint64_t file_bytes_ = 0;
+  uint64_t record_count_ = 0;
+  uint64_t bytes_read_ = 0;
+};
 
 /// Paths of every *.stpq file directly inside `dir`, sorted by name.
 std::vector<std::string> ListStpqFiles(const std::string& dir);

@@ -106,7 +106,7 @@ TEST_F(BaselineEqualityTest, AllThreeSystemsSelectTheSameRecords) {
   };
   for (const STBox& query : queries) {
     // ST4ML: metadata-pruned selection.
-    Selector<EventRecord> selector(ctx_, query);
+    Selector<EventRecord> selector(ctx_, SelectQuery::FromBox(query));
     auto st4ml_result = selector.Select(st4ml_dir_, meta_);
     ASSERT_TRUE(st4ml_result.ok());
     std::vector<int64_t> st4ml_ids;

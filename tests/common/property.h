@@ -168,9 +168,12 @@ struct PipelineRun {
 /// selection and run two extractors against Load() (the CachedDataset
 /// reuse). Every collected record and extracted value is appended to
 /// `output` in order, so two runs agree iff their outputs match bytewise.
+/// `disk_index` toggles the mmap'd `.stix` plan for cache-less runs (with a
+/// cache enabled the planner always prefers it, so the knob is inert there).
 inline PipelineRun RunCachePipeline(const CacheWorkload& w,
                                     const StagedWorkload& staged,
-                                    uint64_t budget, int workers) {
+                                    uint64_t budget, int workers,
+                                    bool disk_index = true) {
   PipelineRun run;
   auto ctx = ExecutionContext::Create(workers);
   DatasetCache::Options cache_options;
@@ -191,11 +194,12 @@ inline PipelineRun RunCachePipeline(const CacheWorkload& w,
   SelectorOptions selector_options;
   selector_options.retry.max_attempts = 8;
   selector_options.retry.initial_backoff = std::chrono::milliseconds(0);
+  selector_options.use_disk_index = disk_index;
 
   Pipeline pipeline(ctx, "cache_property");
   Dataset<EventRecord> last;
   for (int r = 0; r < w.repeats; ++r) {
-    Selector<EventRecord> selector(ctx, w.query, selector_options);
+    Selector<EventRecord> selector(ctx, SelectQuery::FromBox(w.query), selector_options);
     auto selected = pipeline.Run("selection", [&] {
       return selector.Select(staged.dir(), staged.meta());
     });
@@ -331,7 +335,10 @@ inline void ExpectIdentical(const CacheWorkload& w) {
   for (const std::string& backend : backends) {
     ScopedBackend forced(backend);
     for (int workers : {1, 8}) {
-      PipelineRun uncached = RunCachePipeline(w, staged, 0, workers);
+      // The reference run is linear-scan (disk index off): the seed path
+      // every other plan must reproduce byte for byte.
+      PipelineRun uncached = RunCachePipeline(w, staged, 0, workers,
+                                              /*disk_index=*/false);
       ASSERT_TRUE(uncached.status.ok())
           << "seed " << w.seed << " uncached workers " << workers
           << " backend " << backend << ": " << uncached.status.ToString();
@@ -342,6 +349,24 @@ inline void ExpectIdentical(const CacheWorkload& w) {
       EXPECT_EQ(uncached.output, reference)
           << "seed " << w.seed << ": uncached output varies with workers="
           << workers << " backend=" << backend;
+      // Disk-index differential: the same cache-less run served through the
+      // mmap'd .stix sidecars must agree bytewise AND keep every record-flow
+      // counter (only the I/O-shape counters may change — exactly the
+      // index's job).
+      PipelineRun mmapped = RunCachePipeline(w, staged, 0, workers,
+                                             /*disk_index=*/true);
+      ASSERT_TRUE(mmapped.status.ok())
+          << "seed " << w.seed << " disk-index workers " << workers
+          << " backend " << backend << ": " << mmapped.status.ToString();
+      EXPECT_EQ(mmapped.output, reference)
+          << "seed " << w.seed << ": disk-index output diverged at workers "
+          << workers << " backend " << backend;
+      for (Counter c : CacheInvariantCounters()) {
+        EXPECT_EQ(mmapped.metrics[c], uncached.metrics[c])
+            << "seed " << w.seed << ": counter " << CounterName(c)
+            << " diverged with the disk index at workers " << workers
+            << " backend " << backend;
+      }
       for (uint64_t budget : budgets) {
         PipelineRun cached = RunCachePipeline(w, staged, budget, workers);
         ASSERT_TRUE(cached.status.ok())

@@ -128,7 +128,7 @@ TEST(StatusPipelineTest, SelectorPropagatesCorruption) {
 
   auto ctx = ExecutionContext::Create(2);
   STBox query(Mbr(-10, -10, 10, 10), Duration(0, 1000));
-  Selector<EventRecord> selector(ctx, query);
+  Selector<EventRecord> selector(ctx, SelectQuery::FromBox(query));
   auto selected = selector.Select(dir);
   ASSERT_FALSE(selected.ok());
   EXPECT_EQ(selected.status().code(), Status::Code::kCorruption);
@@ -137,7 +137,7 @@ TEST(StatusPipelineTest, SelectorPropagatesCorruption) {
 TEST(StatusPipelineTest, SelectorOnEmptyDirIsNotFound) {
   std::string dir = TempDir("empty");
   auto ctx = ExecutionContext::Create(2);
-  Selector<EventRecord> selector(ctx, STBox(Mbr(0, 0, 1, 1), Duration(0, 1)));
+  Selector<EventRecord> selector(ctx, SelectQuery::FromBox(STBox(Mbr(0, 0, 1, 1), Duration(0, 1))));
   auto selected = selector.Select(dir);
   ASSERT_FALSE(selected.ok());
   EXPECT_EQ(selected.status().code(), Status::Code::kNotFound);
@@ -162,15 +162,14 @@ TEST(StatusPipelineTest, MetaPrunedSelectSkipsCorruptFileOutsideQuery) {
 
   auto ctx = ExecutionContext::Create(2);
   STBox query(Mbr(-1, -1, 3, 3), Duration(0, 1000));
-  Selector<EventRecord> selector(ctx, query);
+  Selector<EventRecord> selector(ctx, SelectQuery::FromBox(query));
   auto selected = selector.Select(dir, dir + "/index.meta");
   ASSERT_TRUE(selected.ok()) << selected.status().ToString();
   EXPECT_EQ(selected->Count(), 4u);
 
   // Widen the query to cover the corrupt file: now it must be opened, and
   // the corruption must propagate.
-  Selector<EventRecord> wide(ctx,
-                             STBox(Mbr(-100, -100, 100, 100), Duration(0, 9000)));
+  Selector<EventRecord> wide(ctx, SelectQuery::FromBox(STBox(Mbr(-100, -100, 100, 100), Duration(0, 9000))));
   auto bad = wide.Select(dir, dir + "/index.meta");
   ASSERT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), Status::Code::kCorruption);

@@ -93,7 +93,7 @@ TEST(SessionTest, PipelineResetRecoversAfterFailedStage) {
   uint64_t reference_count = 0;
   {
     Job job = session.StartJob("reference");
-    Selector<EventRecord> selector(session.context(), w.query);
+    Selector<EventRecord> selector(session.context(), SelectQuery::FromBox(w.query));
     auto selected = job.pipeline().Run(
         "selection", [&] { return selector.Select(staged.dir(), staged.meta()); });
     ASSERT_TRUE(selected.ok()) << selected.status().ToString();
@@ -103,7 +103,7 @@ TEST(SessionTest, PipelineResetRecoversAfterFailedStage) {
 
   Job job = session.StartJob("fail-then-succeed");
   {
-    Selector<EventRecord> selector(session.context(), w.query);
+    Selector<EventRecord> selector(session.context(), SelectQuery::FromBox(w.query));
     auto missing = job.pipeline().Run("selection", [&] {
       return selector.Select(staged.dir() + "/missing",
                              staged.meta() + ".missing");
@@ -118,7 +118,7 @@ TEST(SessionTest, PipelineResetRecoversAfterFailedStage) {
   job.pipeline().Reset();
   EXPECT_TRUE(job.ok()) << "Reset must clear the latched failure";
 
-  Selector<EventRecord> selector(session.context(), w.query);
+  Selector<EventRecord> selector(session.context(), SelectQuery::FromBox(w.query));
   auto selected = job.pipeline().Run(
       "selection", [&] { return selector.Select(staged.dir(), staged.meta()); });
   ASSERT_TRUE(selected.ok()) << selected.status().ToString();
@@ -194,7 +194,7 @@ TEST(SessionTest, ConcurrentJobStressWithSharedCache) {
   uint64_t reference = 0;
   {
     Job job = session.StartJob("warmup");
-    Selector<EventRecord> selector(session.context(), w.query);
+    Selector<EventRecord> selector(session.context(), SelectQuery::FromBox(w.query));
     auto selected = job.pipeline().Run(
         "selection", [&] { return selector.Select(staged.dir(), staged.meta()); });
     ASSERT_TRUE(selected.ok()) << selected.status().ToString();
@@ -213,7 +213,7 @@ TEST(SessionTest, ConcurrentJobStressWithSharedCache) {
       for (int j = 0; j < kJobsPerThread; ++j) {
         Job job = session.StartJob("stress/" + std::to_string(t) + "/" +
                                    std::to_string(j));
-        Selector<EventRecord> selector(session.context(), w.query);
+        Selector<EventRecord> selector(session.context(), SelectQuery::FromBox(w.query));
         auto selected = job.pipeline().Run("selection", [&] {
           return selector.Select(staged.dir(), staged.meta());
         });

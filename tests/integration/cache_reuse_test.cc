@@ -28,7 +28,7 @@ TEST(CacheReuseTest, SecondPassIsServedFromCache) {
   Pipeline pipeline(ctx, "cache_reuse");
 
   // ---- Selection, cold pass: every surviving file is read from disk.
-  Selector<EventRecord> selector_a(ctx, w.query);
+  Selector<EventRecord> selector_a(ctx, SelectQuery::FromBox(w.query));
   auto first = pipeline.Run("selection", [&] {
     return selector_a.Select(staged.dir(), staged.meta());
   });
@@ -41,7 +41,7 @@ TEST(CacheReuseTest, SecondPassIsServedFromCache) {
 
   // ---- Selection, warm pass: an INDEPENDENT selector over the same data
   // (interned file keys are shared) must not touch the files again.
-  Selector<EventRecord> selector_b(ctx, w.query);
+  Selector<EventRecord> selector_b(ctx, SelectQuery::FromBox(w.query));
   auto second = pipeline.Run("selection", [&] {
     return selector_b.Select(staged.dir(), staged.meta());
   });

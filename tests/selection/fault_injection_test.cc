@@ -86,14 +86,14 @@ class FaultInjectionTest : public ::testing::Test {
 TEST_F(FaultInjectionTest, TransientReadFaultIsRetriedToIdenticalBytes) {
   STBox query(Mbr(10, 10, 80, 80), Duration(0, 90000));
 
-  Selector<EventRecord> clean(ctx_, query);
+  Selector<EventRecord> clean(ctx_, SelectQuery::FromBox(query));
   auto clean_result = clean.Select(dir_, meta_);
   ASSERT_TRUE(clean_result.ok()) << clean_result.status().ToString();
   std::string clean_bytes = ResultBytes(*clean_result, "clean");
 
   ctx_->ResetMetrics();
   GlobalFaultInjector().FailNext(fault_site::kStpqRead, 1);
-  Selector<EventRecord> faulted(ctx_, query);  // default retry: 3 attempts
+  Selector<EventRecord> faulted(ctx_, SelectQuery::FromBox(query));  // default retry: 3 attempts
   auto faulted_result = faulted.Select(dir_, meta_);
   ASSERT_TRUE(faulted_result.ok()) << faulted_result.status().ToString();
 
@@ -110,7 +110,7 @@ TEST_F(FaultInjectionTest, PersistentReadFaultSurfacesAsIOError) {
   // injected IOError — no throw, no deadlock, no partial result.
   GlobalFaultInjector().FailNext(fault_site::kStpqRead, 1000);
   STBox query(Mbr(0, 0, 100, 100), Duration(0, 100000));
-  Selector<EventRecord> selector(ctx_, query);
+  Selector<EventRecord> selector(ctx_, SelectQuery::FromBox(query));
   auto result = selector.Select(dir_, meta_);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), Status::Code::kIOError);
@@ -134,7 +134,7 @@ TEST_F(FaultInjectionTest, TransientWriteFaultIsRetriedDuringIndexBuild) {
 
   // The rebuilt index serves the full query set.
   STBox query(Mbr(0, 0, 100, 100), Duration(0, 100000));
-  Selector<EventRecord> selector(ctx_, query);
+  Selector<EventRecord> selector(ctx_, SelectQuery::FromBox(query));
   auto result = selector.Select(dir, dir + "/index.meta");
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->Count(), events_.size());

@@ -12,9 +12,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -356,6 +358,126 @@ TEST(ServerTest, SelectServesRowsAndWarmCacheHits) {
   EXPECT_FALSE(Ok(missing));
   EXPECT_NE(ErrorCode(missing), "");
   EXPECT_TRUE(Ok(Call(client, R"({"verb":"ping"})")));
+}
+
+// lookup_id pinned against the select reference: the ids the daemon served
+// for a full-window select must come back, record for record, through the
+// id-directed verb — with and without a spatio-temporal box.
+TEST(ServerTest, LookupIdMatchesSelectReference) {
+  testing::CacheWorkload w = ServeWorkload();
+  testing::StagedWorkload staged(w);
+  Daemon daemon;
+  Client client = daemon.Connect();
+
+  JsonValue all = Call(client, SelectRequest(staged.dir(), 0, 100000));
+  ASSERT_TRUE(Ok(all));
+  const JsonValue* rows = all.Find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_FALSE(rows->array.empty());
+  // Per-id record counts from the reference selection.
+  std::map<int64_t, int64_t> by_id;
+  for (const JsonValue& row : rows->array) ++by_id[row.GetInt("id", -1)];
+  std::vector<int64_t> wanted;
+  for (const auto& [id, n] : by_id) {
+    wanted.push_back(id);
+    if (wanted.size() == 3) break;
+  }
+  ASSERT_EQ(wanted.size(), 3u);
+  int64_t expected = 0;
+  for (int64_t id : wanted) expected += by_id[id];
+
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                R"({"verb":"lookup_id","dir":"%s","ids":[%lld,%lld,%lld],)"
+                R"("limit":100000})",
+                staged.dir().c_str(), static_cast<long long>(wanted[0]),
+                static_cast<long long>(wanted[1]),
+                static_cast<long long>(wanted[2]));
+  JsonValue looked = Call(client, buf);
+  ASSERT_TRUE(Ok(looked)) << ErrorCode(looked);
+  EXPECT_EQ(looked.GetInt("count", -1), expected);
+  const JsonValue* id_rows = looked.Find("rows");
+  ASSERT_NE(id_rows, nullptr);
+  for (const JsonValue& row : id_rows->array) {
+    int64_t id = row.GetInt("id", -1);
+    EXPECT_TRUE(std::find(wanted.begin(), wanted.end(), id) != wanted.end())
+        << "lookup_id returned a record for unrequested id " << id;
+  }
+
+  // With a box the id predicate composes: a narrower window returns a
+  // subset, never extra records.
+  std::snprintf(buf, sizeof(buf),
+                R"({"verb":"lookup_id","dir":"%s","ids":[%lld,%lld,%lld],)"
+                R"("mbr":[0,0,100,100],"time":[0,50000],"limit":100000})",
+                staged.dir().c_str(), static_cast<long long>(wanted[0]),
+                static_cast<long long>(wanted[1]),
+                static_cast<long long>(wanted[2]));
+  JsonValue boxed = Call(client, buf);
+  ASSERT_TRUE(Ok(boxed)) << ErrorCode(boxed);
+  EXPECT_LE(boxed.GetInt("count", -1), expected);
+  EXPECT_GE(boxed.GetInt("count", -1), 0);
+}
+
+TEST(ServerTest, LookupIdValidatesItsIds) {
+  testing::CacheWorkload w = ServeWorkload();
+  testing::StagedWorkload staged(w);
+  Daemon daemon;
+  Client client = daemon.Connect();
+
+  char prefix[256];
+  std::snprintf(prefix, sizeof(prefix), R"({"verb":"lookup_id","dir":"%s")",
+                staged.dir().c_str());
+  const std::string base(prefix);
+  for (const std::string& request :
+       {base + "}",                         // ids missing entirely
+        base + R"(,"ids":[]})",             // empty array
+        base + R"(,"ids":"7"})",            // wrong type
+        base + R"(,"ids":[1,"two"]})",      // non-numeric entry
+        base + R"(,"ids":[1.5]})",          // fractional
+        base + R"(,"ids":[1e300]})"}) {     // out of int64 range
+    JsonValue response = Call(client, request);
+    EXPECT_FALSE(Ok(response)) << request;
+    EXPECT_EQ(ErrorCode(response), "INVALID_ARGUMENT") << request;
+  }
+  // The connection survived the abuse.
+  EXPECT_TRUE(Ok(Call(client, R"({"verb":"ping"})")));
+}
+
+// stats reports which datasets the daemon has served, whether their `.stix`
+// sidecars are present, and the planner's per-file decisions.
+TEST(ServerTest, StatsListsServedDatasetsAndPlannerCounters) {
+  testing::CacheWorkload w = ServeWorkload();
+  testing::StagedWorkload staged(w);
+  Daemon daemon;
+  Client client = daemon.Connect();
+
+  JsonValue cold = Call(client, SelectRequest(staged.dir(), 0, 100000));
+  ASSERT_TRUE(Ok(cold));
+  // The daemon runs with its cache enabled, so the planner routes every
+  // file through the cached-index plan (DESIGN.md §12 decision tree).
+  EXPECT_GT(Metric(cold, "planner_cached_index"), 0);
+  EXPECT_EQ(Metric(cold, "planner_mmap_index"), 0);
+
+  JsonValue stats = Call(client, R"({"verb":"stats"})");
+  ASSERT_TRUE(Ok(stats));
+  const JsonValue* datasets = stats.Find("datasets");
+  ASSERT_NE(datasets, nullptr);
+  ASSERT_TRUE(datasets->IsArray());
+  bool found = false;
+  for (const JsonValue& row : datasets->array) {
+    if (row.GetString("dir", "") != staged.dir()) continue;
+    found = true;
+    int64_t stpq = row.GetInt("stpq_files", -1);
+    EXPECT_GT(stpq, 0);
+    // Ingest bulk-loads one sidecar per part file.
+    EXPECT_EQ(row.GetInt("stix_files", -1), stpq);
+  }
+  EXPECT_TRUE(found) << "served dataset missing from stats";
+  const JsonValue* metrics = stats.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_GE(metrics->GetInt("planner_cached_index", -1), 0);
+  EXPECT_GE(metrics->GetInt("index_files_mmapped", -1), 0);
+  EXPECT_GE(metrics->GetInt("postings_hits", -1), 0);
 }
 
 TEST(ServerTest, ExtractBinsPartitionTheSelection) {

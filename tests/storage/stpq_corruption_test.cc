@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "index/stix.h"
 
 namespace st4ml {
 namespace {
@@ -227,6 +228,89 @@ TEST(StpqCorruptionTest, BadMetaLineIsCorruption) {
   auto loaded = ReadStpqMeta(path);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+// ---- ranged reads: a sidecar that disagrees with its file must surface as
+// Corruption from ReadRecordsAt, never as silently wrong records.
+
+TEST(StpqCorruptionTest, RangedReadVerifiesPromisedByteRun) {
+  std::string dir = TempDir("range");
+  std::string path = dir + "/part.stpq";
+  auto events = SomeEvents(5);
+  ASSERT_TRUE(WriteStpqFile(path, events).ok());
+  uint64_t first_bytes = StpqRecordBytes(events[0]);
+
+  auto reader = StpqReader::Open(path, kStpqKindEvent);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  std::vector<EventRecord> out;
+  // Promise one record but a byte run that spans two: parse must notice
+  // the leftover bytes instead of returning a short read.
+  Status mismatched = reader->ReadRecordsAt(
+      kStpqHeaderBytes, kStpqHeaderBytes + first_bytes + 4, 1, &out);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.code(), Status::Code::kCorruption);
+}
+
+TEST(StpqCorruptionTest, RangedReadRejectsRunPastEof) {
+  std::string dir = TempDir("rangeeof");
+  std::string path = dir + "/part.stpq";
+  ASSERT_TRUE(WriteStpqFile(path, SomeEvents(3)).ok());
+  auto reader = StpqReader::Open(path, kStpqKindEvent);
+  ASSERT_TRUE(reader.ok());
+  std::vector<EventRecord> out;
+  uint64_t eof = reader->file_bytes();
+  Status past = reader->ReadRecordsAt(eof - 4, eof + 64, 1, &out);
+  ASSERT_FALSE(past.ok());
+  EXPECT_EQ(past.code(), Status::Code::kCorruption);
+}
+
+// ---- `.stix` sidecar: a damaged index must be rejected by Open's
+// validation (InvalidArgument), leaving the planner to fall back to a
+// linear scan of the intact .stpq. The full mutation matrix lives in
+// stix_test.cc; this spot-checks the reader-facing contract.
+
+TEST(StpqCorruptionTest, StixBadMagicIsInvalidArgument) {
+  std::string dir = TempDir("stixmagic");
+  std::string path = dir + "/part.stpq";
+  auto events = SomeEvents(50);
+  ASSERT_TRUE(WriteStpqFile(path, events).ok());
+  ASSERT_TRUE(BuildStixForStpq(path, events).ok());
+  std::string stix = StixPathFor(path);
+  std::string bytes = Slurp(stix);
+  bytes[0] = 'Q';
+  Dump(stix, bytes);
+  auto index = StixIndex::Open(stix, path);
+  ASSERT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), Status::Code::kInvalidArgument);
+  // The data file itself is untouched and still loads.
+  EXPECT_TRUE(ReadStpqEvents(path).ok());
+}
+
+TEST(StpqCorruptionTest, StixTruncationIsInvalidArgument) {
+  std::string dir = TempDir("stixtrunc");
+  std::string path = dir + "/part.stpq";
+  auto events = SomeEvents(50);
+  ASSERT_TRUE(WriteStpqFile(path, events).ok());
+  ASSERT_TRUE(BuildStixForStpq(path, events).ok());
+  std::string stix = StixPathFor(path);
+  std::string bytes = Slurp(stix);
+  Dump(stix, bytes.substr(0, bytes.size() / 3));
+  auto index = StixIndex::Open(stix, path);
+  ASSERT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(StpqCorruptionTest, StixStaleAfterSourceRewriteIsInvalidArgument) {
+  std::string dir = TempDir("stixstale");
+  std::string path = dir + "/part.stpq";
+  auto events = SomeEvents(50);
+  ASSERT_TRUE(WriteStpqFile(path, events).ok());
+  ASSERT_TRUE(BuildStixForStpq(path, events).ok());
+  ASSERT_TRUE(WriteStpqFile(path, SomeEvents(60)).ok());  // invalidates
+  auto index = StixIndex::Open(StixPathFor(path), path);
+  ASSERT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(index.status().message().find("stale"), std::string::npos);
 }
 
 }  // namespace

@@ -6,7 +6,9 @@
 //   st4ml_client --port=7878 stats
 //   st4ml_client --port=7878 select --dir=stpq_store
 //       --mbr=-74.05,40.60,-73.75,40.90 --time=1577836800,1585612800
-//       [--limit=100]
+//       [--ids=1,2,3] [--limit=100]
+//   st4ml_client --port=7878 lookup_id --dir=stpq_store --ids=1,2,3
+//       [--mbr=... --time=...] [--limit=100]
 //   st4ml_client --port=7878 extract --dir=stpq_store --mbr=... --time=...
 //       [--interval=3600]
 //   st4ml_client --port=7878 shutdown
@@ -27,9 +29,11 @@ int Usage() {
                "usage: st4ml_client --port=PORT VERB [flags]\n"
                "  ping     [--sleep-ms=MS]\n"
                "  stats\n"
-               "  select   --dir=DIR --mbr=x1,y1,x2,y2 --time=s,e "
-               "[--limit=N]\n"
-               "  extract  --dir=DIR --mbr=x1,y1,x2,y2 --time=s,e "
+               "  select    --dir=DIR --mbr=x1,y1,x2,y2 --time=s,e "
+               "[--ids=1,2,3] [--limit=N]\n"
+               "  lookup_id --dir=DIR --ids=1,2,3 "
+               "[--mbr=x1,y1,x2,y2 --time=s,e] [--limit=N]\n"
+               "  extract   --dir=DIR --mbr=x1,y1,x2,y2 --time=s,e "
                "[--interval=SECONDS]\n"
                "  shutdown\n");
   return 2;
@@ -42,6 +46,15 @@ std::string NumberArray(const std::vector<double>& values) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.17g", values[i]);
     out += buf;
+  }
+  return out + "]";
+}
+
+std::string IntArray(const std::vector<int64_t>& values) {
+  std::string out = "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(values[i]);
   }
   return out + "]";
 }
@@ -65,18 +78,27 @@ int Run(int argc, char** argv) {
   if (verb == "ping") {
     int64_t sleep_ms = flags.GetInt("sleep-ms", 0);
     if (sleep_ms > 0) request.Add("sleep_ms", sleep_ms);
-  } else if (verb == "select" || verb == "extract") {
+  } else if (verb == "select" || verb == "lookup_id" || verb == "extract") {
     std::string dir = flags.GetString("dir", "");
+    if (dir.empty()) return Usage();
+    request.Add("dir", dir);
+    // The box is mandatory for select/extract; lookup_id may omit it (the
+    // server then spans everything and the id predicate selects alone).
     std::vector<double> mbr;
     std::vector<double> time;
-    if (dir.empty() || !flags.GetDoubleList("mbr", 4, &mbr) ||
-        !flags.GetDoubleList("time", 2, &time)) {
+    bool has_box =
+        flags.GetDoubleList("mbr", 4, &mbr) && flags.GetDoubleList("time", 2, &time);
+    if (has_box) {
+      request.AddRaw("mbr", NumberArray(mbr));
+      request.AddRaw("time", NumberArray(time));
+    } else if (verb != "lookup_id") {
       return Usage();
     }
-    request.Add("dir", dir);
-    request.AddRaw("mbr", NumberArray(mbr));
-    request.AddRaw("time", NumberArray(time));
-    if (verb == "select" && flags.Has("limit")) {
+    std::vector<int64_t> ids;
+    bool has_ids = flags.GetIntList("ids", &ids);
+    if (has_ids) request.AddRaw("ids", IntArray(ids));
+    if (verb == "lookup_id" && !has_ids) return Usage();
+    if (verb != "extract" && flags.Has("limit")) {
       request.Add("limit", flags.GetInt("limit", 100));
     }
     if (verb == "extract" && flags.Has("interval")) {

@@ -7,9 +7,11 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "pipeline/session.h"
+#include "selection/select_query.h"
 
 namespace st4ml {
 namespace tools {
@@ -58,6 +60,23 @@ class Flags {
     return out->size() == expected;
   }
 
+  /// Splits a `1,2,3,...` flag value into int64s (any count >= 1); returns
+  /// false when the flag is absent or any piece fails to parse completely.
+  bool GetIntList(const std::string& name, std::vector<int64_t>* out) const {
+    std::string value = GetString(name, "");
+    if (value.empty()) return false;
+    out->clear();
+    std::stringstream stream(value);
+    std::string piece;
+    while (std::getline(stream, piece, ',')) {
+      char* end = nullptr;
+      long long parsed = std::strtoll(piece.c_str(), &end, 10);
+      if (end == piece.c_str() || *end != '\0') return false;
+      out->push_back(static_cast<int64_t>(parsed));
+    }
+    return !out->empty();
+  }
+
  private:
   std::vector<std::string> args_;
 };
@@ -87,6 +106,56 @@ inline ToolOptions ToolOptionsFromFlags(const Flags& flags) {
   options.num_workers = static_cast<int>(flags.GetInt("workers", 0));
   options.backend = flags.GetString("backend", "");
   return options;
+}
+
+/// The CLI spelling of the unified SelectQuery (the same predicate the
+/// server's select/lookup_id verbs parse from JSON):
+///   --mbr=x1,y1,x2,y2 --time=start,end   the ST box (both or neither;
+///                                        omitted means span-everything)
+///   --ids=1,2,3                          restrict to these record ids
+///   --limit=N                            cap PRINTED rows (count is exact)
+///   --count-only                         print only the match count
+/// At least one predicate (a box or an id list) is required — an
+/// unconstrained full dump stays an explicit choice, not a typo. Returns
+/// false on a usage error, with the malformed flag named on stderr.
+inline bool SelectQueryFromFlags(const Flags& flags, const char* tool,
+                                 SelectQuery* query) {
+  *query = SelectQuery();
+  bool has_mbr = flags.Has("mbr");
+  bool has_time = flags.Has("time");
+  if (has_mbr || has_time) {
+    std::vector<double> mbr;
+    std::vector<double> time;
+    if (!flags.GetDoubleList("mbr", 4, &mbr) ||
+        !flags.GetDoubleList("time", 2, &time)) {
+      std::fprintf(stderr,
+                   "%s: --mbr=x1,y1,x2,y2 and --time=start,end must be "
+                   "given together\n",
+                   tool);
+      return false;
+    }
+    query->box = STBox(Mbr(mbr[0], mbr[1], mbr[2], mbr[3]),
+                       Duration(static_cast<int64_t>(time[0]),
+                                static_cast<int64_t>(time[1])));
+  } else {
+    query->box = SelectQuery::EverythingBox();
+  }
+  if (flags.Has("ids")) {
+    std::vector<int64_t> ids;
+    if (!flags.GetIntList("ids", &ids)) {
+      std::fprintf(stderr, "%s: --ids must be a comma-separated id list\n",
+                   tool);
+      return false;
+    }
+    query->SetIds(std::move(ids));
+  }
+  if (!has_mbr && !has_time && !query->has_ids) {
+    std::fprintf(stderr, "%s: give --mbr/--time and/or --ids\n", tool);
+    return false;
+  }
+  query->limit = flags.GetInt("limit", -1);
+  query->count_only = flags.Has("count-only");
+  return true;
 }
 
 /// Post-construction check the Session-backed tools share: a bad engine
