@@ -45,6 +45,7 @@ if [ $# -eq 0 ]; then
   run_one "$repo_root/build/bench/bench_serve"
   run_one "$repo_root/build/bench/bench_simd"
   run_one "$repo_root/build/bench/bench_coldstart"
+  run_one "$repo_root/build/bench/bench_ingest"
 else
   run_one "$@"
 fi

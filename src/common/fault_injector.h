@@ -24,6 +24,15 @@ inline constexpr const char* kStpqRead = "stpq/read";
 /// Checked on entry to the STPQ writers (PersistDataset / BuildOnDiskIndex
 /// go through them).
 inline constexpr const char* kStpqWrite = "stpq/write";
+/// Checked before a WAL frame write — a fired fault means the record was
+/// NEVER acked and must not appear after replay.
+inline constexpr const char* kWalAppend = "wal/append";
+/// Checked at the start of a segment seal (fsync + rename): a fired fault
+/// leaves the segment `.open`, still replayable.
+inline constexpr const char* kWalSeal = "wal/seal";
+/// Checked at the start of a compaction cycle: a fired fault leaves every
+/// sealed segment in place for the next cycle to retry.
+inline constexpr const char* kIngestCompact = "ingest/compact";
 }  // namespace fault_site
 
 /// Deterministic fault injection for robustness tests and chaos runs

@@ -15,6 +15,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "storage/atomic_publish.h"
+
 namespace st4ml {
 namespace {
 
@@ -173,15 +175,34 @@ std::string StixPathFor(const std::string& stpq_path) {
   return fs::path(stpq_path).replace_extension(".stix").string();
 }
 
-int64_t FileMtimeStamp(const std::string& path) {
+StatusOr<int64_t> FileMtimeStamp(const std::string& path) {
   std::error_code ec;
   auto mtime = fs::last_write_time(path, ec);
-  return ec ? 0 : static_cast<int64_t>(mtime.time_since_epoch().count());
+  if (ec) return Status::IOError("cannot stat mtime of " + path);
+  return static_cast<int64_t>(mtime.time_since_epoch().count());
+}
+
+StatusOr<uint64_t> StpqHeaderFingerprint(const std::string& stpq_path) {
+  std::ifstream in(stpq_path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot read stpq header of " + stpq_path);
+  }
+  char header[kStpqHeaderBytes];
+  in.read(header, sizeof(header));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(header))) {
+    return Status::IOError("cannot read stpq header of " + stpq_path);
+  }
+  uint64_t hash = 14695981039346656037ull;  // FNV-1a offset basis
+  for (char c : header) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ull;  // FNV-1a prime
+  }
+  return hash;
 }
 
 Status WriteStixFile(const std::string& stix_path, const StixBuildInput& input,
                      uint64_t source_size, int64_t source_mtime,
-                     uint64_t* io_bytes) {
+                     uint64_t source_fingerprint, uint64_t* io_bytes) {
   const uint64_t n = input.boxes.size();
   if (input.ids.size() != n || input.offsets.size() != n + 1) {
     return Status::InvalidArgument("stix build input arrays disagree for " +
@@ -276,6 +297,7 @@ Status WriteStixFile(const std::string& stix_path, const StixBuildInput& input,
   header.id_count = id_dir.size();
   header.source_size = source_size;
   header.source_mtime = source_mtime;
+  header.source_fingerprint = source_fingerprint;
   header.file_bytes = layout.total;
   for (uint32_t s = 0; s < kStixNumSections; ++s) {
     header.section_off[s] = layout.off[s];
@@ -284,7 +306,10 @@ Status WriteStixFile(const std::string& stix_path, const StixBuildInput& input,
   std::error_code ec;
   fs::path parent = fs::path(stix_path).parent_path();
   if (!parent.empty()) fs::create_directories(parent, ec);
-  std::ofstream out(stix_path, std::ios::binary | std::ios::trunc);
+  // Staged write + atomic publish, like every persistent writer: a reader
+  // racing a rebuild sees the old sidecar or the new one, never a torn one.
+  std::string tmp = TmpPathFor(stix_path);
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
   if (!out.is_open()) {
     return Status::IOError("cannot open for writing: " + stix_path);
   }
@@ -321,9 +346,17 @@ Status WriteStixFile(const std::string& stix_path, const StixBuildInput& input,
   // Same explicit flush/close epilogue as the STPQ writers: the
   // destructor's flush is too late to report an error from.
   out.flush();
-  if (!out.good()) return Status::IOError("short write to " + stix_path);
+  if (!out.good()) {
+    out.close();
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + stix_path);
+  }
   out.close();
-  if (out.fail()) return Status::IOError("failed to close " + stix_path);
+  if (out.fail()) {
+    std::remove(tmp.c_str());
+    return Status::IOError("failed to close " + stix_path);
+  }
+  ST4ML_RETURN_IF_ERROR(PublishFileAtomic(tmp, stix_path));
   if (io_bytes != nullptr) *io_bytes += pos;
   return Status::Ok();
 }
@@ -522,11 +555,17 @@ Status StixIndex::Validate(const std::string& stix_path,
     return Status::InvalidArgument("stix postings do not cover records in " +
                                    stix_path);
   }
-  // Staleness: the sidecar must describe the CURRENT source file. Same
-  // size|mtime key as the dataset cache, so a rewritten partition
-  // invalidates both in the same breath.
-  if (FileSizeBytes(stpq_path) != header_.source_size ||
-      FileMtimeStamp(stpq_path) != header_.source_mtime) {
+  // Staleness: the sidecar must describe the CURRENT source file. The
+  // size|mtime pair is the dataset cache's key; the header fingerprint
+  // additionally catches a same-size rewrite within one mtime tick. An
+  // unreadable stat or header on the source is treated as stale — serving
+  // index hits for a file we cannot even inspect would be worse.
+  StatusOr<int64_t> mtime = FileMtimeStamp(stpq_path);
+  StatusOr<uint64_t> fingerprint = StpqHeaderFingerprint(stpq_path);
+  if (!mtime.ok() || !fingerprint.ok() ||
+      FileSizeBytes(stpq_path) != header_.source_size ||
+      *mtime != header_.source_mtime ||
+      *fingerprint != header_.source_fingerprint) {
     return Status::InvalidArgument("stale stix sidecar for " + stpq_path);
   }
   return Status::Ok();

@@ -13,9 +13,10 @@
 // in-memory cached index (DatasetCache); the QueryPlanner picks per file.
 //
 // Invalidation: the header embeds the source file's size and mtime — the
-// same key the dataset cache uses — so a rewritten partition invalidates
-// its sidecar and the planner falls back to a linear scan instead of
-// serving stale hits.
+// same key the dataset cache uses — PLUS a fingerprint of the source's
+// STPQ header, so even a same-size rewrite landing within one mtime tick
+// invalidates the sidecar and the planner falls back to a linear scan
+// instead of serving stale hits.
 //
 // File layout (native-endian, like STPQ — never leaves the machine):
 //   StixHeader | 64-byte-aligned sections:
@@ -46,7 +47,7 @@
 namespace st4ml {
 
 inline constexpr char kStixMagic[4] = {'S', 'T', 'I', 'X'};
-inline constexpr uint32_t kStixVersion = 1;
+inline constexpr uint32_t kStixVersion = 2;
 /// The transfer unit kIndexPagesRead counts: 4 KiB, the mmap page size.
 inline constexpr uint64_t kStixPageBytes = 4096;
 /// STR fan-out, matching the in-memory RTree so both halves of the index
@@ -104,10 +105,14 @@ struct StixHeader {
   uint64_t id_count = 0;
   uint64_t source_size = 0;   // .stpq size at build time (invalidation key)
   int64_t source_mtime = 0;   // .stpq mtime at build time (invalidation key)
+  // FNV-1a of the source's STPQ header bytes: catches a same-size rewrite
+  // that lands within one mtime tick (count or kind changed), which the
+  // size|mtime pair alone cannot.
+  uint64_t source_fingerprint = 0;
   uint64_t file_bytes = 0;    // total .stix size the layout implies
   uint64_t section_off[kStixNumSections] = {};
 };
-static_assert(sizeof(StixHeader) == 144, "StixHeader must pack to 144 bytes");
+static_assert(sizeof(StixHeader) == 152, "StixHeader must pack to 152 bytes");
 
 /// Sidecar path for an STPQ partition: the extension swapped to `.stix`.
 std::string StixPathFor(const std::string& stpq_path);
@@ -126,16 +131,24 @@ struct StixBuildInput {
   std::vector<uint64_t> offsets;  // n + 1 byte offsets into the .stpq
 };
 
-/// Serializes `input` as a v1 sidecar at `stix_path`, keyed to a source
-/// file of `source_size` bytes / `source_mtime`. When non-null, `io_bytes`
-/// accumulates the bytes written (the STPQ writer convention).
+/// Serializes `input` as a sidecar at `stix_path`, keyed to a source file
+/// of `source_size` bytes / `source_mtime` / `source_fingerprint`. The file
+/// is staged under `<stix_path>.tmp` and published by atomic rename. When
+/// non-null, `io_bytes` accumulates the bytes written (the STPQ writer
+/// convention).
 Status WriteStixFile(const std::string& stix_path, const StixBuildInput& input,
                      uint64_t source_size, int64_t source_mtime,
-                     uint64_t* io_bytes = nullptr);
+                     uint64_t source_fingerprint, uint64_t* io_bytes = nullptr);
 
 /// Stat-based invalidation stamp of one file, matching what WriteStixFile
-/// embeds and what StixIndex::Open re-checks; 0 when unreadable.
-int64_t FileMtimeStamp(const std::string& path);
+/// embeds and what StixIndex::Open re-checks. An unreadable mtime is an
+/// ERROR, never stamp 0 — a zero stamp would validate against any sidecar
+/// built from an equally unreadable state.
+StatusOr<int64_t> FileMtimeStamp(const std::string& path);
+
+/// FNV-1a over the first kStpqHeaderBytes of `stpq_path` — the content half
+/// of the sidecar invalidation key. Errors if the header can't be read.
+StatusOr<uint64_t> StpqHeaderFingerprint(const std::string& stpq_path);
 
 /// The STR bulk loader for one just-written partition: computes envelopes,
 /// ids and record byte offsets from `records` (which must be exactly the
@@ -157,8 +170,12 @@ Status BuildStixForStpq(const std::string& stpq_path,
     offset += StpqRecordBytes(r);
     input.offsets.push_back(offset);
   }
+  StatusOr<int64_t> mtime = FileMtimeStamp(stpq_path);
+  if (!mtime.ok()) return mtime.status();
+  StatusOr<uint64_t> fingerprint = StpqHeaderFingerprint(stpq_path);
+  if (!fingerprint.ok()) return fingerprint.status();
   return WriteStixFile(StixPathFor(stpq_path), input, FileSizeBytes(stpq_path),
-                       FileMtimeStamp(stpq_path), io_bytes);
+                       *mtime, *fingerprint, io_bytes);
 }
 
 /// Per-query index observability, fed into kIndexPagesRead / kPostingsHits.

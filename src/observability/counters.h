@@ -43,6 +43,11 @@ namespace st4ml {
 ///  - kPlanner{MmapIndex,CachedIndex,LinearScan} count the per-file plan the
 ///    QueryPlanner actually EXECUTED: an intended mmap plan whose sidecar
 ///    fails validation falls back to — and is counted as — a linear scan.
+///  - kWalSegmentsScanned counts `.stwal` staging segments a merged Select
+///    served records from (the kWalScan plan); kWalReplayedRecords counts
+///    records recovered from WAL segments when an Ingestor reopens a
+///    directory after a crash; kCompactionsRun counts background compaction
+///    cycles that published at least one partition (DESIGN.md §13).
 enum class Counter : uint32_t {
   kShuffleRecords = 0,
   kShuffleBytes,
@@ -83,6 +88,9 @@ enum class Counter : uint32_t {
   kPlannerMmapIndex,
   kPlannerCachedIndex,
   kPlannerLinearScan,
+  kWalSegmentsScanned,
+  kWalReplayedRecords,
+  kCompactionsRun,
   kNumCounters,
 };
 
@@ -131,6 +139,9 @@ inline const char* CounterName(Counter c) {
       "planner_mmap_index",
       "planner_cached_index",
       "planner_linear_scan",
+      "wal_segments_scanned",
+      "wal_replayed_records",
+      "compactions_run",
   };
   return kNames[static_cast<size_t>(c)];
 }

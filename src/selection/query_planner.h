@@ -10,12 +10,14 @@
 
 namespace st4ml {
 
-/// How one STPQ file is served by a Select (DESIGN.md §12 decision tree).
+/// How one file is served by a Select (DESIGN.md §12 decision tree).
 enum class FilePlan : uint8_t {
   kLinearScan = 0,   // parse the whole file, filter in memory (seed path)
   kCachedIndex = 1,  // in-memory cached index: hit, or miss-load-and-admit
   kMmapIndex = 2,    // mmap the .stix sidecar, read only matching bytes
+  kWalScan = 3,      // staged `.stwal` segment: frame-parse + filter
 };
+inline constexpr size_t kNumFilePlans = 4;
 
 inline const char* FilePlanName(FilePlan plan) {
   switch (plan) {
@@ -25,36 +27,54 @@ inline const char* FilePlanName(FilePlan plan) {
       return "cached";
     case FilePlan::kMmapIndex:
       return "mmap";
+    case FilePlan::kWalScan:
+      return "wal";
   }
   return "unknown";
 }
 
-/// Picks, PER FILE, which of the three plans a Select executes. Precedence:
+/// Picks, PER FILE, which plan a Select executes. Precedence:
 ///
-///  1. An enabled DatasetCache always wins (kCachedIndex) — on a hit the
+///  1. A `.stwal` staging segment can ONLY be frame-scanned (kWalScan):
+///     WAL segments carry no sidecar and are too short-lived to cache —
+///     the compactor retires them into indexed partitions.
+///  2. An enabled DatasetCache always wins (kCachedIndex) — on a hit the
 ///     warm in-memory index answers with zero I/O, and on a miss the file
 ///     is loaded ONCE and admitted so every later query is warm. That is
 ///     the daemon's reason to exist; the mmap index must not starve it.
-///  2. Otherwise, with the disk index enabled and a sidecar present,
+///  3. Otherwise, with the disk index enabled and a sidecar present,
 ///     kMmapIndex: cold selection becomes an index-page walk plus ranged
 ///     record reads.
-///  3. Otherwise kLinearScan — the seed behavior, and the fallback a
+///  4. Otherwise kLinearScan — the seed behavior, and the fallback a
 ///     corrupt or stale sidecar demotes an intended kMmapIndex to at
 ///     execution time (the planner's stat cannot see bad bytes).
 ///
 /// The plan here is INTENT (one existence stat, no parsing); the Selector
 /// records the plan each file was actually served by into the
-/// kPlanner{MmapIndex,CachedIndex,LinearScan} counters.
+/// kPlanner{MmapIndex,CachedIndex,LinearScan} / kWalSegmentsScanned
+/// counters.
 class QueryPlanner {
  public:
   QueryPlanner(DatasetCache* cache, bool use_disk_index)
       : cache_(cache), use_disk_index_(use_disk_index) {}
 
-  FilePlan Plan(const std::string& stpq_path) const {
+  /// True for WAL staging segments, sealed (`.stwal`) or active
+  /// (`.stwal.open`) — the suffixes src/ingest/wal.h writes.
+  static bool IsWalSegmentPath(const std::string& path) {
+    auto ends_with = [&](const char* suffix) {
+      size_t n = std::char_traits<char>::length(suffix);
+      return path.size() >= n &&
+             path.compare(path.size() - n, n, suffix) == 0;
+    };
+    return ends_with(".stwal") || ends_with(".stwal.open");
+  }
+
+  FilePlan Plan(const std::string& path) const {
+    if (IsWalSegmentPath(path)) return FilePlan::kWalScan;
     if (cache_ != nullptr) return FilePlan::kCachedIndex;
     if (use_disk_index_) {
       std::error_code ec;
-      if (std::filesystem::exists(StixPathFor(stpq_path), ec)) {
+      if (std::filesystem::exists(StixPathFor(path), ec)) {
         return FilePlan::kMmapIndex;
       }
     }
@@ -63,12 +83,14 @@ class QueryPlanner {
 
   /// Folds per-file EXECUTED plans into the planner counters.
   static void CountExecuted(CounterRegistry& counters, uint64_t mmap_files,
-                            uint64_t cached_files, uint64_t scan_files) {
+                            uint64_t cached_files, uint64_t scan_files,
+                            uint64_t wal_files = 0) {
     if (mmap_files > 0) counters.Add(Counter::kPlannerMmapIndex, mmap_files);
     if (cached_files > 0) {
       counters.Add(Counter::kPlannerCachedIndex, cached_files);
     }
     if (scan_files > 0) counters.Add(Counter::kPlannerLinearScan, scan_files);
+    if (wal_files > 0) counters.Add(Counter::kWalSegmentsScanned, wal_files);
   }
 
  private:

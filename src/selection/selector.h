@@ -18,11 +18,13 @@
 #include "engine/dataset.h"
 #include "index/rtree.h"
 #include "index/stix.h"
+#include "ingest/wal.h"
 #include "partition/partitioner.h"
 #include "partition/st_partition_ops.h"
 #include "partition/str_partitioner.h"
 #include "selection/query_planner.h"
 #include "selection/select_query.h"
+#include "storage/ingest_manifest.h"
 #include "storage/stpq.h"
 
 namespace st4ml {
@@ -176,6 +178,49 @@ class Selector {
     return LoadAndFilter(paths);
   }
 
+  /// Merged selection over a streaming-ingest directory (DESIGN.md §13):
+  /// ONE SelectQuery is answered from the compacted partitions the
+  /// `ingest.manifest` lists PLUS the staged WAL tail — every acked record
+  /// exactly once, mid-stream. Segments are listed BEFORE the manifest is
+  /// read, so a segment consumed between the two steps is both skipped (the
+  /// newer manifest marks it consumed) and covered (the same manifest lists
+  /// its partition). A directory with no manifest and no segments selects
+  /// an empty dataset, not NotFound — "nothing ingested yet" is an answer.
+  StatusOr<Dataset<RecordT>> SelectIngest(const std::string& dir) {
+    std::vector<std::string> segments = ListWalSegments(dir + "/wal");
+    IngestManifest manifest;
+    auto read = ReadIngestManifest(IngestManifestPath(dir));
+    if (read.ok()) {
+      manifest = std::move(*read);
+    } else if (read.status().code() != Status::Code::kNotFound) {
+      return read.status();
+    }
+    std::vector<std::string> paths;
+    for (const StpqPartMeta& part : manifest.parts) {
+      if (part.box.Intersects(query_.box)) {
+        paths.push_back(dir + "/" + part.file);
+      }
+    }
+    internal::Counters(*ctx_).Add(Counter::kPartitionsPruned,
+                                  manifest.parts.size() - paths.size());
+    std::vector<std::string> consumed(manifest.consumed);
+    std::sort(consumed.begin(), consumed.end());
+    for (const std::string& segment : segments) {
+      std::string name = std::filesystem::path(segment).filename().string();
+      // A consumed segment's records already live in a listed partition;
+      // its not-yet-deleted file must not be double counted. An active
+      // `.open` segment is consulted under its sealed name too, in case a
+      // rename committed between the listing and this check.
+      if (name.size() > 5 && name.compare(name.size() - 5, 5, ".open") == 0) {
+        name.resize(name.size() - 5);
+      }
+      if (!std::binary_search(consumed.begin(), consumed.end(), name)) {
+        paths.push_back(segment);
+      }
+    }
+    return LoadAndFilter(paths);
+  }
+
   const SelectorStats& stats() const { return stats_; }
   const SelectQuery& query() const { return query_; }
 
@@ -225,6 +270,25 @@ class Selector {
     auto load_task = [&](size_t i) -> Status {
       ScopedSpan io(tracer, span_category::kIo, "stpq_read", op_span);
       const FilePlan plan = planner.Plan(paths[i]);
+      if (plan == FilePlan::kWalScan) {
+        plan_run[i] = static_cast<uint8_t>(FilePlan::kWalScan);
+        io.AddArg("plan_wal", 1);
+        if constexpr (std::is_same_v<RecordT, EventRecord>) {
+          // Tolerant read: a merged Select may race the live appender, and
+          // the only incomplete frame a segment can legally carry is the
+          // in-flight tail — unacked by definition, so correct to exclude.
+          auto result = ReadWalSegment(paths[i], /*strict=*/false);
+          if (!result.ok()) return result.status();
+          read_bytes[i] = result->good_bytes;
+          file_read[i] = 1;
+          parts[i] =
+              FilterRecords(std::move(result->records), &selected_bytes[i]);
+          return Status::Ok();
+        } else {
+          return Status::InvalidArgument("WAL staging holds event records: " +
+                                         paths[i]);
+        }
+      }
       if (plan == FilePlan::kCachedIndex) {
         plan_run[i] = static_cast<uint8_t>(FilePlan::kCachedIndex);
         io.AddArg("plan_cached", 1);
@@ -301,7 +365,7 @@ class Selector {
     uint64_t loaded_bytes = 0;
     uint64_t kept_bytes = 0;
     uint64_t files_read = 0;
-    uint64_t plan_counts[3] = {0, 0, 0};
+    uint64_t plan_counts[kNumFilePlans] = {};
     uint64_t files_mmapped = 0;
     uint64_t pages_total = 0;
     uint64_t postings_total = 0;
@@ -327,7 +391,8 @@ class Selector {
     QueryPlanner::CountExecuted(
         counters, plan_counts[static_cast<size_t>(FilePlan::kMmapIndex)],
         plan_counts[static_cast<size_t>(FilePlan::kCachedIndex)],
-        plan_counts[static_cast<size_t>(FilePlan::kLinearScan)]);
+        plan_counts[static_cast<size_t>(FilePlan::kLinearScan)],
+        plan_counts[static_cast<size_t>(FilePlan::kWalScan)]);
     if (files_mmapped > 0) {
       counters.Add(Counter::kIndexFilesMmapped, files_mmapped);
     }

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <shared_mutex>
 #include <utility>
 
 #include "accel/kernels.h"
@@ -24,6 +25,7 @@
 #include "selection/select_query.h"
 #include "selection/selector.h"
 #include "server/frame.h"
+#include "storage/ingest_manifest.h"
 #include "storage/json.h"
 
 namespace st4ml {
@@ -77,6 +79,9 @@ std::string MetricsJson(const MetricsSnapshot& m) {
 /// Largest id list a lookup_id/select request may carry — bounds the memory
 /// one frame can pin before any work starts.
 constexpr size_t kMaxRequestIds = 65536;
+
+/// Largest record batch one append frame may carry, for the same reason.
+constexpr size_t kMaxAppendRecords = 65536;
 
 /// Parses the shared job-verb query fields into the ONE SelectQuery type.
 /// `require_box` is set for select/extract (mbr+time mandatory, unchanged
@@ -310,7 +315,10 @@ std::string Server::HandleRequest(const std::string& payload,
     return obj.Str();
   }
 
-  if (verb == "select" || verb == "lookup_id" || verb == "extract") {
+  if (verb == "ingest_status") return HandleIngestStatus(*parsed);
+
+  if (verb == "select" || verb == "lookup_id" || verb == "extract" ||
+      verb == "append" || verb == "flush") {
     if (!rate_limiter_.TryAcquire()) {
       return ErrorResponse(
           Status::ResourceExhausted("request rate limit exceeded"));
@@ -318,6 +326,8 @@ std::string Server::HandleRequest(const std::string& payload,
     AdmissionTicket ticket(&admission_);
     if (!ticket.admitted()) return ErrorResponse(ticket.status());
     if (verb == "extract") return HandleExtract(*parsed);
+    if (verb == "append") return HandleAppend(*parsed);
+    if (verb == "flush") return HandleFlush(*parsed);
     return HandleSelect(*parsed, /*lookup_by_id=*/verb == "lookup_id");
   }
 
@@ -388,6 +398,133 @@ std::string Server::HandleStats() {
   return obj.Str();
 }
 
+Ingestor* Server::FindIngestor(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  auto it = ingestors_.find(dir);
+  return it == ingestors_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<Ingestor*> Server::IngestorFor(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  auto it = ingestors_.find(dir);
+  if (it != ingestors_.end()) return it->second.get();
+  auto opened =
+      Ingestor::Open(dir, IngestorOptions{}, session_->context().get());
+  if (!opened.ok()) return opened.status();
+  Ingestor* raw = opened->get();
+  ingestors_.emplace(dir, std::move(*opened));
+  return raw;
+}
+
+std::string Server::HandleAppend(const JsonValue& request) {
+  auto start = std::chrono::steady_clock::now();
+  std::string dir = request.GetString("dir", "");
+  if (dir.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing required field 'dir'"));
+  }
+  const JsonValue* records = request.Find("records");
+  if (records == nullptr || !records->IsArray() || records->array.empty()) {
+    return ErrorResponse(Status::InvalidArgument(
+        "'records' must be a non-empty array of record objects"));
+  }
+  if (records->array.size() > kMaxAppendRecords) {
+    return ErrorResponse(Status::InvalidArgument(
+        "'records' exceeds the per-request limit of " +
+        std::to_string(kMaxAppendRecords)));
+  }
+  std::vector<EventRecord> batch;
+  batch.reserve(records->array.size());
+  for (const JsonValue& row : records->array) {
+    if (!row.IsObject()) {
+      return ErrorResponse(
+          Status::InvalidArgument("each record must be a JSON object"));
+    }
+    EventRecord r;
+    Status status = row.GetCheckedInt("id", 0, INT64_MIN, INT64_MAX, &r.id);
+    if (status.ok() && row.Find("id") == nullptr) {
+      status = Status::InvalidArgument("record missing required field 'id'");
+    }
+    if (status.ok()) {
+      status = row.GetCheckedInt("time", 0, INT64_MIN, INT64_MAX, &r.time);
+    }
+    if (status.ok() && row.Find("time") == nullptr) {
+      status = Status::InvalidArgument("record missing required field 'time'");
+    }
+    if (!status.ok()) return ErrorResponse(status);
+    const JsonValue* x = row.Find("x");
+    const JsonValue* y = row.Find("y");
+    if (x == nullptr || !x->IsNumber() || y == nullptr || !y->IsNumber()) {
+      return ErrorResponse(
+          Status::InvalidArgument("record fields 'x' and 'y' must be numbers"));
+    }
+    r.x = x->number_value;
+    r.y = y->number_value;
+    r.attr = row.GetString("attr", "");
+    batch.push_back(std::move(r));
+  }
+  RecordServedDir(dir);
+  auto ingestor = IngestorFor(dir);
+  if (!ingestor.ok()) return ErrorResponse(ingestor.status());
+  // An append error means NONE of the failed write's records were acked —
+  // the client retries the whole batch (replay is idempotent per record
+  // only via the client resending; the WAL itself never double-acks).
+  Status appended = (*ingestor)->AppendBatch(batch);
+  if (!appended.ok()) return ErrorResponse(appended);
+  JsonObject obj;
+  obj.Add("ok", true)
+      .Add("verb", "append")
+      .Add("appended", static_cast<uint64_t>(batch.size()))
+      .Add("elapsed_us", ElapsedUs(start));
+  return obj.Str();
+}
+
+std::string Server::HandleFlush(const JsonValue& request) {
+  auto start = std::chrono::steady_clock::now();
+  std::string dir = request.GetString("dir", "");
+  if (dir.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing required field 'dir'"));
+  }
+  auto ingestor = IngestorFor(dir);
+  if (!ingestor.ok()) return ErrorResponse(ingestor.status());
+  Status flushed = (*ingestor)->Flush();
+  if (!flushed.ok()) return ErrorResponse(flushed);
+  IngestorStats stats = (*ingestor)->Stats();
+  JsonObject obj;
+  obj.Add("ok", true)
+      .Add("verb", "flush")
+      .Add("compacted", stats.compacted)
+      .Add("generation", stats.generation)
+      .Add("elapsed_us", ElapsedUs(start));
+  return obj.Str();
+}
+
+std::string Server::HandleIngestStatus(const JsonValue& request) {
+  std::string dir = request.GetString("dir", "");
+  if (dir.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing required field 'dir'"));
+  }
+  auto ingestor = IngestorFor(dir);
+  if (!ingestor.ok()) return ErrorResponse(ingestor.status());
+  IngestorStats stats = (*ingestor)->Stats();
+  JsonObject obj;
+  obj.Add("ok", true)
+      .Add("verb", "ingest_status")
+      .Add("appended", stats.appended)
+      .Add("replayed", stats.replayed)
+      .Add("staged", stats.staged)
+      .Add("compacted", stats.compacted)
+      .Add("compactions", stats.compactions)
+      .Add("wal_segments", stats.wal_segments)
+      .Add("generation", stats.generation)
+      // What a crash-recovery check wants in ONE number: every record this
+      // directory must serve right now.
+      .Add("total", stats.staged + stats.compacted);
+  return obj.Str();
+}
+
 std::string Server::HandleSelect(const JsonValue& request, bool lookup_by_id) {
   auto start = std::chrono::steady_clock::now();
   const char* verb = lookup_by_id ? "lookup_id" : "select";
@@ -407,11 +544,30 @@ std::string Server::HandleSelect(const JsonValue& request, bool lookup_by_id) {
   query.count_only = limit == 0;
   RecordServedDir(dir);
 
+  // An ingest directory — one with a live Ingestor, or streaming state on
+  // disk — is served from the MERGED view: compacted partitions + staged
+  // WAL tail. The ingestor's snapshot lock (shared) spans the whole
+  // selection so the compactor cannot delete a listed segment mid-read.
+  Ingestor* live = FindIngestor(dir);
+  std::error_code ec;
+  bool ingest_dir =
+      live != nullptr ||
+      std::filesystem::exists(IngestManifestPath(dir), ec) ||
+      std::filesystem::exists(dir + "/wal", ec);
+
   Job job = session_->StartJob(lookup_by_id ? "serve/lookup_id"
                                             : "serve/select");
   Selector<EventRecord> selector(session_->context(), query);
-  auto selected = job.pipeline().Run(
-      "selection", [&] { return selector.Select(dir, dir + "/index.meta"); });
+  auto selected = job.pipeline().Run("selection", [&] {
+    if (ingest_dir) {
+      if (live != nullptr) {
+        std::shared_lock<std::shared_mutex> snapshot(live->snapshot_mu());
+        return selector.SelectIngest(dir);
+      }
+      return selector.SelectIngest(dir);
+    }
+    return selector.Select(dir, dir + "/index.meta");
+  });
   job.Finish();
   if (!job.ok()) return ErrorResponse(job.status());
 
@@ -570,6 +726,13 @@ void Server::Shutdown() {
   }
   for (std::thread& t : threads) {
     if (t.joinable()) t.join();
+  }
+  // Graceful stop drains the streaming side too: seal + compact every open
+  // ingest directory so a clean restart replays nothing. (A SIGKILL skips
+  // this, of course — that is exactly what WAL recovery is for.)
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    for (auto& [dir, ingestor] : ingestors_) ingestor->Flush();
   }
   for (int i = 0; i < 2; ++i) {
     if (wake_pipe_[i] >= 0) {

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "ingest/ingestor.h"
 #include "pipeline/session.h"
 #include "server/admission.h"
 #include "server/json.h"
@@ -53,7 +55,17 @@ struct ServerOptions {
 ///              [,"mbr":[4],"time":[2]][,"limit":N]}
 ///   extract   {"verb":"extract","dir":D,"mbr":[4],"time":[2]
 ///              [,"interval":S]}
+///   append    {"verb":"append","dir":D,"records":[{"id":I,"x":X,"y":Y,
+///              "time":T[,"attr":S]},...]}       streaming WAL ingestion
+///   flush     {"verb":"flush","dir":D}    seal + compact everything staged
+///   ingest_status {"verb":"ingest_status","dir":D}     Ingestor counters
 ///   shutdown  {"verb":"shutdown"}                         graceful stop
+///
+/// append/flush/ingest_status serve a per-dir Ingestor (lazily opened, with
+/// crash recovery, on first use); a select against an ingest directory is
+/// answered from the MERGED view — compacted partitions plus the staged WAL
+/// tail — under the ingestor's snapshot lock, so every acked record appears
+/// exactly once even mid-compaction (DESIGN.md §13).
 ///
 /// select/lookup_id/extract all parse into the ONE SelectQuery type; a
 /// lookup_id with no mbr/time spans everything and lets the id postings
@@ -116,7 +128,17 @@ class Server {
   /// mandatory and mbr/time optional.
   std::string HandleSelect(const JsonValue& request, bool lookup_by_id);
   std::string HandleExtract(const JsonValue& request);
+  std::string HandleAppend(const JsonValue& request);
+  std::string HandleFlush(const JsonValue& request);
+  std::string HandleIngestStatus(const JsonValue& request);
   std::string HandleStats();
+  /// The lazily-opened Ingestor serving `dir` (crash recovery runs on first
+  /// open). One Ingestor per directory for the daemon's lifetime.
+  StatusOr<Ingestor*> IngestorFor(const std::string& dir);
+  /// The live ingestor for `dir` when one is already open, else nullptr —
+  /// the select path uses this to decide merged vs batch serving without
+  /// opening one as a side effect.
+  Ingestor* FindIngestor(const std::string& dir);
   /// Remembers a dataset dir a job verb touched, so stats can report each
   /// one's on-disk index coverage.
   void RecordServedDir(const std::string& dir);
@@ -148,6 +170,11 @@ class Server {
   /// Dataset dirs served so far (guarded by mu_); stats walks each one to
   /// report how many .stpq files have a .stix sidecar next to them.
   std::unordered_set<std::string> served_dirs_;
+
+  /// Streaming ingestion state, its own lock: opening an Ingestor runs
+  /// recovery I/O and must not stall connection bookkeeping under mu_.
+  std::mutex ingest_mu_;
+  std::map<std::string, std::unique_ptr<Ingestor>> ingestors_;
 };
 
 }  // namespace server

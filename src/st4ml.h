@@ -55,11 +55,18 @@
 #include "pipeline/session.h"
 
 // Storage: records, the STPQ on-disk format, text import/export.
+#include "storage/atomic_publish.h"
 #include "storage/csv.h"
+#include "storage/ingest_manifest.h"
 #include "storage/json.h"
 #include "storage/records.h"
 #include "storage/stpq.h"
 #include "storage/text_import.h"
+
+// Streaming ingestion: crash-safe WAL staging + background compaction
+// (DESIGN.md §13); SelectIngest serves the merged staged+compacted view.
+#include "ingest/ingestor.h"
+#include "ingest/wal.h"
 
 // ST instances (Table 1) and the collective structures they convert into.
 #include "instances/instances.h"

@@ -50,6 +50,36 @@ Status WriteCsv(const std::string& path, const std::vector<std::string>& header,
   return Status::Ok();
 }
 
+std::vector<std::string> SplitCsvLine(const std::string& raw) {
+  std::string line = raw;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::vector<std::string> row;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+        field += '"';
+        ++i;
+      } else if (c == '"') {
+        quoted = false;
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  row.push_back(std::move(field));
+  return row;
+}
+
 StatusOr<std::vector<std::vector<std::string>>> ReadCsv(
     const std::string& path) {
   std::ifstream in(path);
@@ -57,32 +87,7 @@ StatusOr<std::vector<std::vector<std::string>>> ReadCsv(
   std::vector<std::vector<std::string>> rows;
   std::string line;
   while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    std::vector<std::string> row;
-    std::string field;
-    bool quoted = false;
-    for (size_t i = 0; i < line.size(); ++i) {
-      char c = line[i];
-      if (quoted) {
-        if (c == '"' && i + 1 < line.size() && line[i + 1] == '"') {
-          field += '"';
-          ++i;
-        } else if (c == '"') {
-          quoted = false;
-        } else {
-          field += c;
-        }
-      } else if (c == '"' && field.empty()) {
-        quoted = true;
-      } else if (c == ',') {
-        row.push_back(std::move(field));
-        field.clear();
-      } else {
-        field += c;
-      }
-    }
-    row.push_back(std::move(field));
-    rows.push_back(std::move(row));
+    rows.push_back(SplitCsvLine(line));
   }
   return rows;
 }

@@ -18,6 +18,11 @@ Status WriteCsv(const std::string& path, const std::vector<std::string>& header,
 StatusOr<std::vector<std::vector<std::string>>> ReadCsv(
     const std::string& path);
 
+/// Splits ONE CSV line (no trailing newline; a trailing '\r' is tolerated)
+/// into fields with the same double-quote handling as ReadCsv — the
+/// line-at-a-time entry point streaming tools use on live stdin.
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
 }  // namespace st4ml
 
 #endif  // ST4ML_STORAGE_CSV_H_

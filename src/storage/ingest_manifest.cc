@@ -1,0 +1,99 @@
+#include "storage/ingest_manifest.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "geometry/mbr.h"
+#include "storage/atomic_publish.h"
+#include "temporal/duration.h"
+
+namespace st4ml {
+
+namespace fs = std::filesystem;
+
+Status WriteIngestManifest(const std::string& path,
+                           const IngestManifest& manifest) {
+  std::error_code ec;
+  fs::path parent = fs::path(path).parent_path();
+  if (!parent.empty()) fs::create_directories(parent, ec);
+  std::string tmp = TmpPathFor(path);
+  std::ofstream out(tmp, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  out << "st4ml-ingest v1\n";
+  out << "gen " << manifest.generation << "\n";
+  char line[512];
+  for (const StpqPartMeta& p : manifest.parts) {
+    std::snprintf(line, sizeof(line),
+                  "part %s %.17g %.17g %.17g %.17g %" PRId64 " %" PRId64
+                  " %" PRIu64 "\n",
+                  p.file.c_str(), p.box.mbr.x_min, p.box.mbr.y_min,
+                  p.box.mbr.x_max, p.box.mbr.y_max, p.box.time.start(),
+                  p.box.time.end(), p.count);
+    out << line;
+  }
+  for (const std::string& name : manifest.consumed) {
+    out << "consumed " << name << "\n";
+  }
+  out.flush();
+  if (!out.good()) {
+    out.close();
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + path);
+  }
+  out.close();
+  if (out.fail()) {
+    std::remove(tmp.c_str());
+    return Status::IOError("failed to close " + path);
+  }
+  return PublishFileAtomic(tmp, path);
+}
+
+StatusOr<IngestManifest> ReadIngestManifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("no such manifest: " + path);
+  std::string header;
+  std::getline(in, header);
+  if (header != "st4ml-ingest v1") {
+    return Status::Corruption("bad ingest manifest header in " + path);
+  }
+  IngestManifest manifest;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "gen") {
+      if (!(fields >> manifest.generation)) {
+        return Status::Corruption("bad gen line in " + path + ": " + line);
+      }
+    } else if (tag == "part") {
+      StpqPartMeta p;
+      double x_min, y_min, x_max, y_max;
+      int64_t t_start, t_end;
+      if (!(fields >> p.file >> x_min >> y_min >> x_max >> y_max >> t_start >>
+            t_end >> p.count)) {
+        return Status::Corruption("bad part line in " + path + ": " + line);
+      }
+      p.box = STBox(Mbr(x_min, y_min, x_max, y_max), Duration(t_start, t_end));
+      manifest.parts.push_back(std::move(p));
+    } else if (tag == "consumed") {
+      std::string name;
+      if (!(fields >> name)) {
+        return Status::Corruption("bad consumed line in " + path + ": " + line);
+      }
+      manifest.consumed.push_back(std::move(name));
+    } else {
+      return Status::Corruption("unknown manifest tag in " + path + ": " +
+                                line);
+    }
+  }
+  return manifest;
+}
+
+}  // namespace st4ml

@@ -1,0 +1,50 @@
+#ifndef ST4ML_STORAGE_INGEST_MANIFEST_H_
+#define ST4ML_STORAGE_INGEST_MANIFEST_H_
+
+// The single commit point of streaming ingestion (DESIGN.md §13). One text
+// file per ingest directory, replaced atomically (temp + fsync + rename),
+// carries BOTH sides of a compaction's effect:
+//   - the cumulative list of published `ingest-*.stpq` partitions, and
+//   - the names of every WAL segment those partitions absorbed ("consumed").
+// Because a reader obtains the partition list and the consumed-segment skip
+// set from ONE atomically-replaced file, it can never double-count a record
+// (partition listed + segment still on disk) or miss one (segment deleted
+// before its partition is visible). Consumed segment FILES outlive the
+// manifest by one compaction cycle before deletion, giving concurrent
+// cross-process readers a grace window.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/stpq.h"
+
+namespace st4ml {
+
+struct IngestManifest {
+  /// Monotonic publish count; bumped by every successful compaction.
+  uint64_t generation = 0;
+  /// Every live compacted partition, file names relative to the directory.
+  std::vector<StpqPartMeta> parts;
+  /// WAL segment file names (not paths) already folded into `parts`;
+  /// readers and replay must skip these even if the files still exist.
+  std::vector<std::string> consumed;
+};
+
+inline std::string IngestManifestPath(const std::string& dir) {
+  return dir + "/ingest.manifest";
+}
+
+/// Atomically replaces the manifest at `path` (write tmp, fsync, rename,
+/// fsync dir). Returning Ok IS the compaction commit.
+Status WriteIngestManifest(const std::string& path,
+                           const IngestManifest& manifest);
+
+/// NotFound when no manifest exists yet (a fresh or batch-only directory);
+/// Corruption on any malformed line.
+StatusOr<IngestManifest> ReadIngestManifest(const std::string& path);
+
+}  // namespace st4ml
+
+#endif  // ST4ML_STORAGE_INGEST_MANIFEST_H_

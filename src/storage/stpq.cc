@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "common/fault_injector.h"
+#include "storage/atomic_publish.h"
 
 namespace st4ml {
 namespace {
@@ -33,6 +34,9 @@ bool ReadRaw(std::ifstream& in, T* value) {
   return in.gcount() == static_cast<std::streamsize>(sizeof(*value));
 }
 
+// Writers stage under `<path>.tmp` and only FinishWrite publishes the
+// final name (atomic_publish.h), so a crash mid-write can never leave a
+// truncated file where a reader expects a complete one.
 Status OpenForWrite(const std::string& path, uint8_t kind, uint64_t count,
                     std::ofstream* out) {
   ST4ML_RETURN_IF_ERROR(
@@ -40,7 +44,7 @@ Status OpenForWrite(const std::string& path, uint8_t kind, uint64_t count,
   std::error_code ec;
   fs::path parent = fs::path(path).parent_path();
   if (!parent.empty()) fs::create_directories(parent, ec);
-  out->open(path, std::ios::binary | std::ios::trunc);
+  out->open(TmpPathFor(path), std::ios::binary | std::ios::trunc);
   if (!out->is_open()) {
     return Status::IOError("cannot open for writing: " + path);
   }
@@ -55,14 +59,24 @@ Status OpenForWrite(const std::string& path, uint8_t kind, uint64_t count,
 /// return could make — so a disk-full error on the last buffer used to be
 /// reported as Ok. Flush and close explicitly, re-checking after each, and
 /// only trust tellp() when it is non-negative (it returns -1 on a failed
-/// stream, which would wrap an unsigned io_bytes accumulator).
+/// stream, which would wrap an unsigned io_bytes accumulator). Then fsync
+/// the staged bytes and rename them onto `path`.
 Status FinishWrite(std::ofstream& out, const std::string& path,
                    uint64_t* io_bytes) {
+  std::string tmp = TmpPathFor(path);
   out.flush();
-  if (!out.good()) return Status::IOError("short write to " + path);
+  if (!out.good()) {
+    out.close();
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + path);
+  }
   std::streamoff pos = static_cast<std::streamoff>(out.tellp());
   out.close();
-  if (out.fail()) return Status::IOError("failed to close " + path);
+  if (out.fail()) {
+    std::remove(tmp.c_str());
+    return Status::IOError("failed to close " + path);
+  }
+  ST4ML_RETURN_IF_ERROR(PublishFileAtomic(tmp, path));
   if (io_bytes != nullptr && pos >= 0) {
     *io_bytes += static_cast<uint64_t>(pos);
   }
@@ -324,7 +338,10 @@ Status WriteStpqMeta(const std::string& path,
   std::error_code ec;
   fs::path parent = fs::path(path).parent_path();
   if (!parent.empty()) fs::create_directories(parent, ec);
-  std::ofstream out(path, std::ios::trunc);
+  // Staged like the record writers: live index.meta files are re-published
+  // under readers by the compactor, which must never expose a torn list.
+  std::string tmp = TmpPathFor(path);
+  std::ofstream out(tmp, std::ios::trunc);
   if (!out.is_open()) return Status::IOError("cannot open for writing: " + path);
   out << "stpq-meta v1\n";
   char line[512];
@@ -340,10 +357,17 @@ Status WriteStpqMeta(const std::string& path,
   // Same explicit flush/close as FinishWrite: the destructor's flush is too
   // late to report an error from.
   out.flush();
-  if (!out.good()) return Status::IOError("short write to " + path);
+  if (!out.good()) {
+    out.close();
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + path);
+  }
   out.close();
-  if (out.fail()) return Status::IOError("failed to close " + path);
-  return Status::Ok();
+  if (out.fail()) {
+    std::remove(tmp.c_str());
+    return Status::IOError("failed to close " + path);
+  }
+  return PublishFileAtomic(tmp, path);
 }
 
 StatusOr<std::vector<StpqPartMeta>> ReadStpqMeta(const std::string& path) {

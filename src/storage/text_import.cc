@@ -35,6 +35,18 @@ Status ParseNumericFields(const std::vector<std::string>& row,
 
 }  // namespace
 
+StatusOr<EventRecord> ParseEventCsvRow(const std::vector<std::string>& row,
+                                       const std::string& context) {
+  if (row.size() < 4) {
+    return Status::Corruption("event row needs id,x,y,time in " + context);
+  }
+  EventRecord r;
+  ST4ML_RETURN_IF_ERROR(
+      ParseNumericFields(row, context, &r.id, &r.x, &r.y, &r.time));
+  if (row.size() > 4) r.attr = row[4];
+  return r;
+}
+
 StatusOr<std::vector<EventRecord>> ImportEventsCsv(const std::string& path) {
   auto rows = ReadCsv(path);
   if (!rows.ok()) return rows.status();
@@ -45,14 +57,9 @@ StatusOr<std::vector<EventRecord>> ImportEventsCsv(const std::string& path) {
       first = false;
       continue;
     }
-    if (row.size() < 4) {
-      return Status::Corruption("event row needs id,x,y,time in " + path);
-    }
-    EventRecord r;
-    ST4ML_RETURN_IF_ERROR(
-        ParseNumericFields(row, path, &r.id, &r.x, &r.y, &r.time));
-    if (row.size() > 4) r.attr = row[4];
-    records.push_back(std::move(r));
+    auto record = ParseEventCsvRow(row, path);
+    if (!record.ok()) return record.status();
+    records.push_back(std::move(*record));
   }
   return records;
 }

@@ -14,6 +14,12 @@ namespace st4ml {
 /// Expects header `id,x,y,time,attr` (attr optional), one event per row.
 StatusOr<std::vector<EventRecord>> ImportEventsCsv(const std::string& path);
 
+/// Parses ONE already-split event row (SplitCsvLine output) — the
+/// line-at-a-time form streaming ingestion uses on live stdin. `context`
+/// names the source in error messages the way a path would.
+StatusOr<EventRecord> ParseEventCsvRow(const std::vector<std::string>& row,
+                                       const std::string& context);
+
 /// Expects header `id,x,y,time`, one trajectory POINT per row; rows are
 /// grouped by id and time-sorted into one TrajRecord per id.
 StatusOr<std::vector<TrajRecord>> ImportTrajsCsv(const std::string& path);

@@ -290,6 +290,56 @@ TEST_F(StixCorruptionTest, RejectsStaleSidecar) {
             std::string::npos);
 }
 
+TEST_F(StixCorruptionTest, RejectsSameSizeSameMtimeRewriteByFingerprint) {
+  // The adversarial rewrite size|mtime alone cannot catch: replace the
+  // source with a file of the SAME byte size and restore its mtime. The
+  // record count changes (2 fat-attr events -> 3 empty-attr events, equal
+  // total bytes), so the stpq-header fingerprint in the staleness key must
+  // still flag the sidecar as stale.
+  std::string dir = TempDir("fingerprint");
+  std::string path = dir + "/part-00000.stpq";
+  std::vector<EventRecord> two(2);
+  two[0].id = 1;
+  two[0].attr = std::string(18, 'a');
+  two[1].id = 2;
+  two[1].attr = std::string(18, 'b');
+  ASSERT_TRUE(WriteStpqFile(path, two).ok());
+  ASSERT_TRUE(BuildStixForStpq(path, two).ok());
+  uint64_t size_before = fs::file_size(path);
+  fs::file_time_type mtime_before = fs::last_write_time(path);
+
+  std::vector<EventRecord> three(3);  // empty attrs: 3*36 == 2*36 + 2*18
+  three[0].id = 7;
+  three[1].id = 8;
+  three[2].id = 9;
+  ASSERT_TRUE(WriteStpqFile(path, three).ok());
+  ASSERT_EQ(fs::file_size(path), size_before);
+  fs::last_write_time(path, mtime_before);
+
+  auto index = StixIndex::Open(StixPathFor(path), path);
+  ASSERT_FALSE(index.ok())
+      << "same-size same-mtime rewrite accepted: the fingerprint is dead";
+  EXPECT_NE(index.status().message().find("stale stix sidecar"),
+            std::string::npos)
+      << index.status().ToString();
+}
+
+TEST_F(StixCorruptionTest, MtimeStampOfMissingFileIsAnError) {
+  // FileMtimeStamp used to swallow stat failures into a 0 stamp, which made
+  // "source vanished" indistinguishable from a real epoch mtime. It must
+  // propagate the error.
+  auto stamp = FileMtimeStamp(dir_ + "/does-not-exist.stpq");
+  ASSERT_FALSE(stamp.ok());
+  auto fingerprint = StpqHeaderFingerprint(dir_ + "/does-not-exist.stpq");
+  ASSERT_FALSE(fingerprint.ok());
+}
+
+TEST_F(StixCorruptionTest, BuildStixPropagatesUnreadableSource) {
+  Status built =
+      BuildStixForStpq(dir_ + "/missing-source.stpq", events_);
+  ASSERT_FALSE(built.ok());
+}
+
 TEST_F(StixCorruptionTest, MissingSidecarIsNotFound) {
   fs::remove(stix_);
   auto index = StixIndex::Open(stix_, stpq_);

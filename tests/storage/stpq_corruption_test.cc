@@ -230,6 +230,57 @@ TEST(StpqCorruptionTest, BadMetaLineIsCorruption) {
   EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
 }
 
+// ---- atomic publish: writers stage into `<path>.tmp` and rename into
+// place, so a torn write can never leave a half-written file under the
+// final name.
+
+TEST(StpqCorruptionTest, TornPublishLeavesOriginalIntact) {
+  std::string dir = TempDir("tornpub");
+  std::string path = dir + "/part.stpq";
+  auto original = SomeEvents(5);
+  ASSERT_TRUE(WriteStpqFile(path, original).ok());
+  std::string before = Slurp(path);
+
+  // Sabotage the staging path: a DIRECTORY at `<path>.tmp` makes the tmp
+  // open fail, simulating a publish torn before the rename.
+  fs::create_directories(path + ".tmp");
+  Status rewrite = WriteStpqFile(path, SomeEvents(50));
+  ASSERT_FALSE(rewrite.ok());
+  // The previously published file is byte-identical and still loads: a
+  // failed publish must be invisible to readers.
+  EXPECT_EQ(Slurp(path), before);
+  auto loaded = ReadStpqEvents(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), original.size());
+  fs::remove_all(path + ".tmp");
+}
+
+TEST(StpqCorruptionTest, SuccessfulPublishLeavesNoTmpDebris) {
+  std::string dir = TempDir("pubclean");
+  std::string path = dir + "/part.stpq";
+  ASSERT_TRUE(WriteStpqFile(path, SomeEvents(5)).ok());
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  ASSERT_TRUE(BuildStixForStpq(path, SomeEvents(5)).ok());
+  EXPECT_FALSE(fs::exists(StixPathFor(path) + ".tmp"));
+}
+
+TEST(StpqCorruptionTest, TornStixPublishLeavesOldSidecarIntact) {
+  std::string dir = TempDir("tornstix");
+  std::string path = dir + "/part.stpq";
+  auto events = SomeEvents(50);
+  ASSERT_TRUE(WriteStpqFile(path, events).ok());
+  ASSERT_TRUE(BuildStixForStpq(path, events).ok());
+  std::string stix = StixPathFor(path);
+  std::string before = Slurp(stix);
+
+  fs::create_directories(stix + ".tmp");
+  ASSERT_FALSE(BuildStixForStpq(path, events).ok());
+  EXPECT_EQ(Slurp(stix), before);
+  // The surviving sidecar still validates against its source.
+  EXPECT_TRUE(StixIndex::Open(stix, path).ok());
+  fs::remove_all(stix + ".tmp");
+}
+
 // ---- ranged reads: a sidecar that disagrees with its file must surface as
 // Corruption from ReadRecordsAt, never as silently wrong records.
 

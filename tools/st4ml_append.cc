@@ -1,0 +1,140 @@
+// st4ml_append: streams an event CSV (id,x,y,time,attr) from stdin into a
+// running st4mld daemon as batched `append` verbs. The daemon stages each
+// batch in the directory's write-ahead log before answering, so a batch the
+// tool reports as acked survives a daemon SIGKILL and is replayed on
+// restart. With --flush the staged tail is compacted into indexed
+// partitions at EOF; without it the tail stays in the WAL and is still
+// served by mid-stream selects.
+//
+//   st4ml_datagen | st4ml_append --port=7878 --dir=stpq_store
+//       [--batch=512] [--flush]
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+#include "storage/csv.h"
+#include "storage/json.h"
+#include "storage/text_import.h"
+#include "tool_flags.h"
+#include "tool_main.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: st4ml_append --port=PORT --dir=DIR [--batch=512] "
+               "[--flush] < events.csv\n");
+  return 2;
+}
+
+std::string RecordJson(const st4ml::EventRecord& record) {
+  st4ml::JsonObject row;
+  row.Add("id", record.id);
+  row.Add("x", record.x);
+  row.Add("y", record.y);
+  row.Add("time", record.time);
+  if (!record.attr.empty()) row.Add("attr", record.attr);
+  return row.Str();
+}
+
+// One framed round trip; exits non-zero unless the daemon answered ok. The
+// daemon only acks an append after the records hit the WAL, so a true
+// return here IS the durability ack for the whole batch.
+bool CallOk(st4ml::server::Client& client, const std::string& request,
+            std::string* response_out) {
+  auto response = client.Call(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "st4ml_append: %s\n",
+                 response.status().ToString().c_str());
+    return false;
+  }
+  if (response->rfind("{\"ok\":true", 0) != 0) {
+    std::fprintf(stderr, "st4ml_append: daemon refused: %s\n",
+                 response->c_str());
+    return false;
+  }
+  if (response_out != nullptr) *response_out = *response;
+  return true;
+}
+
+bool SendBatch(st4ml::server::Client& client, const std::string& dir,
+               std::vector<std::string>& rows) {
+  if (rows.empty()) return true;
+  std::string array = "[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) array += ",";
+    array += rows[i];
+  }
+  array += "]";
+  st4ml::JsonObject request;
+  request.Add("verb", "append").Add("dir", dir);
+  request.AddRaw("records", array);
+  if (!CallOk(client, request.Str(), nullptr)) return false;
+  rows.clear();
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  st4ml::tools::Flags flags(argc, argv);
+  int port = static_cast<int>(flags.GetInt("port", 0));
+  std::string dir = flags.GetString("dir", "");
+  int64_t batch = flags.GetInt("batch", 512);
+  if (!st4ml::tools::CheckIntFlags(flags, "st4ml_append")) return 2;
+  if (port <= 0 || dir.empty() || batch <= 0) return Usage();
+
+  auto client = st4ml::server::Client::Connect(port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "st4ml_append: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::string> rows;
+  rows.reserve(static_cast<size_t>(batch));
+  uint64_t appended = 0;
+  std::string line;
+  bool first = true;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (first && line.rfind("id,", 0) == 0) {
+      first = false;
+      continue;
+    }
+    first = false;
+    auto record = st4ml::ParseEventCsvRow(st4ml::SplitCsvLine(line), "stdin");
+    if (!record.ok()) {
+      std::fprintf(stderr, "st4ml_append: %s\n",
+                   record.status().ToString().c_str());
+      return 1;
+    }
+    rows.push_back(RecordJson(*record));
+    if (rows.size() >= static_cast<size_t>(batch)) {
+      if (!SendBatch(*client, dir, rows)) return 1;
+      appended += static_cast<uint64_t>(batch);
+    }
+  }
+  uint64_t tail = rows.size();
+  if (!SendBatch(*client, dir, rows)) return 1;
+  appended += tail;
+
+  if (flags.Has("flush")) {
+    st4ml::JsonObject request;
+    request.Add("verb", "flush").Add("dir", dir);
+    std::string response;
+    if (!CallOk(*client, request.Str(), &response)) return 1;
+    std::fprintf(stderr, "st4ml_append: flushed: %s\n", response.c_str());
+  }
+  std::fprintf(stderr, "st4ml_append: appended %llu events to %s\n",
+               static_cast<unsigned long long>(appended), dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return st4ml::tools::ToolMain("st4ml_append",
+                                [&] { return Run(argc, argv); });
+}

@@ -35,6 +35,8 @@ int Usage() {
                "[--mbr=x1,y1,x2,y2 --time=s,e] [--limit=N]\n"
                "  extract   --dir=DIR --mbr=x1,y1,x2,y2 --time=s,e "
                "[--interval=SECONDS]\n"
+               "  flush         --dir=DIR\n"
+               "  ingest_status --dir=DIR\n"
                "  shutdown\n");
   return 2;
 }
@@ -104,9 +106,14 @@ int Run(int argc, char** argv) {
     if (verb == "extract" && flags.Has("interval")) {
       request.Add("interval", flags.GetInt("interval", 3600));
     }
+  } else if (verb == "flush" || verb == "ingest_status") {
+    std::string dir = flags.GetString("dir", "");
+    if (dir.empty()) return Usage();
+    request.Add("dir", dir);
   } else if (verb != "stats" && verb != "shutdown") {
     return Usage();
   }
+  if (!st4ml::tools::CheckIntFlags(flags, "st4ml_client")) return 2;
 
   auto client = st4ml::server::Client::Connect(port);
   if (!client.ok()) {

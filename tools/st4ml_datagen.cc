@@ -17,6 +17,7 @@ int Run(int argc, char** argv) {
   st4ml::NycEventOptions options;
   options.count = flags.GetInt("count", 20000);
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  if (!st4ml::tools::CheckIntFlags(flags, "st4ml_datagen")) return 2;
 
   std::printf("id,x,y,time,attr\n");
   for (const st4ml::EventRecord& r : st4ml::GenerateNycEvents(options)) {

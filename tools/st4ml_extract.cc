@@ -30,6 +30,8 @@ namespace {
 int Run(int argc, char** argv) {
   st4ml::tools::Flags flags(argc, argv);
   int64_t interval_s = flags.GetInt("interval", 3600);
+  st4ml::ToolOptions options = st4ml::tools::ToolOptionsFromFlags(flags);
+  if (!st4ml::tools::CheckIntFlags(flags, "st4ml_extract")) return 2;
 
   std::string spool =
       (fs::temp_directory_path() / "st4ml_extract_input.csv").string();
@@ -49,7 +51,7 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
-  st4ml::Session session(st4ml::tools::ToolOptionsFromFlags(flags));
+  st4ml::Session session(options);
   if (!st4ml::tools::CheckSessionConfig(session, "st4ml_extract")) return 2;
   auto data = st4ml::Dataset<st4ml::EventRecord>::Parallelize(
       session.context(), *records, 4);

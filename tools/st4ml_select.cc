@@ -35,7 +35,9 @@ int Run(int argc, char** argv) {
     return 2;
   }
 
-  st4ml::Session session(st4ml::tools::ToolOptionsFromFlags(flags));
+  st4ml::ToolOptions options = st4ml::tools::ToolOptionsFromFlags(flags);
+  if (!st4ml::tools::CheckIntFlags(flags, "st4ml_select")) return 2;
+  st4ml::Session session(options);
   if (!st4ml::tools::CheckSessionConfig(session, "st4ml_select")) return 2;
   st4ml::Selector<st4ml::EventRecord> selector(session.context(), query);
   st4ml::Job job = session.StartJob("st4ml_select");

@@ -54,6 +54,7 @@ int Run(int argc, char** argv) {
       static_cast<double>(flags.GetInt("rate-burst", 8));
   server_options.max_connections =
       static_cast<size_t>(flags.GetInt("max-connections", 64));
+  if (!st4ml::tools::CheckIntFlags(flags, "st4mld")) return 2;
   // Frame writes already use MSG_NOSIGNAL, but a daemon must never die of
   // SIGPIPE from any write path a disconnected client can reach.
   std::signal(SIGPIPE, SIG_IGN);

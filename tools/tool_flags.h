@@ -2,6 +2,8 @@
 #define ST4ML_TOOLS_TOOL_FLAGS_H_
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -32,10 +34,27 @@ class Flags {
     return default_value;
   }
 
+  /// Strict integer flag: the whole value must parse (same rule as
+  /// GetIntList), so `--limit=10x` or `--cache-budget=abc` is a usage
+  /// error, never a silent 10 or 0. A malformed value is recorded against
+  /// the flag name; tools surface it through CheckIntFlags before acting.
   int64_t GetInt(const std::string& name, int64_t default_value) const {
     std::string value = GetString(name, "");
-    return value.empty() ? default_value : std::strtoll(value.c_str(), nullptr, 10);
+    if (value.empty()) return default_value;
+    char* end = nullptr;
+    errno = 0;
+    long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+      errors_.push_back("--" + name + "=" + value +
+                        " is not a valid integer");
+      return default_value;
+    }
+    return static_cast<int64_t>(parsed);
   }
+
+  /// True when every integer flag read so far parsed cleanly.
+  bool ok() const { return errors_.empty(); }
+  const std::vector<std::string>& errors() const { return errors_; }
 
   bool Has(const std::string& name) const {
     return !GetString(name, "").empty() ||
@@ -79,7 +98,21 @@ class Flags {
 
  private:
   std::vector<std::string> args_;
+  // GetInt is a const accessor on a parse-once view, so the malformed-flag
+  // record is the one mutable bit of state.
+  mutable std::vector<std::string> errors_;
 };
+
+/// The usage-error gate every tool runs after its last integer flag read:
+/// prints each malformed flag by name and returns false so the tool exits
+/// with a usage error instead of acting on a half-parsed number.
+inline bool CheckIntFlags(const Flags& flags, const char* tool) {
+  if (flags.ok()) return true;
+  for (const std::string& error : flags.errors()) {
+    std::fprintf(stderr, "%s: %s\n", tool, error.c_str());
+  }
+  return false;
+}
 
 /// The engine flag set every Session-backed entry point shares, parsed ONCE:
 ///   --cache-budget=BYTES   explicit dataset-cache budget (negative means
@@ -133,6 +166,19 @@ inline bool SelectQueryFromFlags(const Flags& flags, const char* tool,
                    "given together\n",
                    tool);
       return false;
+    }
+    // The same integral-int64 rule the server's select verb applies
+    // (ParseQuery): casting an out-of-range double to int64_t is UB, so
+    // `--time=0,1e300` must die as a usage error, not as whatever the
+    // hardware truncates it to.
+    for (double t : time) {
+      if (t < -9223372036854775808.0 || t >= 9223372036854775808.0 ||
+          t != std::floor(t)) {
+        std::fprintf(stderr,
+                     "%s: --time endpoints must be integral int64 seconds\n",
+                     tool);
+        return false;
+      }
     }
     query->box = STBox(Mbr(mbr[0], mbr[1], mbr[2], mbr[3]),
                        Duration(static_cast<int64_t>(time[0]),
