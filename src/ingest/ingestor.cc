@@ -53,6 +53,24 @@ void RemoveFile(const std::string& path) {
   fs::remove(path, ec);
 }
 
+/// True once the file is confirmed gone (unlinked now or already absent).
+bool RemoveFileChecked(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  return !ec || !fs::exists(path);
+}
+
+/// The name a segment is recorded under in the manifest's consumed set:
+/// always the SEALED name. A parked `.open` straggler drops its suffix so
+/// Recover and SelectIngest (which both compare sealed names) find it.
+std::string ConsumedName(const std::string& path) {
+  std::string name = fs::path(path).filename().string();
+  if (EndsWith(name, kWalOpenSuffix)) {
+    name.resize(name.size() - std::strlen(kWalOpenSuffix));
+  }
+  return name;
+}
+
 }  // namespace
 
 Ingestor::Ingestor(std::string dir, const IngestorOptions& options,
@@ -107,6 +125,14 @@ Status Ingestor::Recover() {
   }
   std::set<std::string> consumed(manifest_.consumed.begin(),
                                  manifest_.consumed.end());
+  // Consumed names stay live in the manifest after their files are deleted,
+  // so their sequence numbers must stay reserved: a reused name would sit
+  // in the skip set (acked records invisible to reads) and be deleted as
+  // consumed by the next recovery.
+  for (const std::string& name : manifest_.consumed) {
+    uint64_t seq = 0;
+    if (ParseSegmentSeq(name, &seq) && seq >= next_seq_) next_seq_ = seq + 1;
+  }
   std::set<std::string> live_parts;
   compacted_records_ = 0;
   for (const StpqPartMeta& p : manifest_.parts) {
@@ -146,17 +172,26 @@ Status Ingestor::Recover() {
     std::string sealed_name =
         is_open ? name.substr(0, name.size() - std::strlen(kWalOpenSuffix))
                 : name;
-    if (consumed.count(sealed_name)) {
-      RemoveFile(path);
-      continue;
-    }
+    // Reserve the sequence number BEFORE any skip: even a consumed or
+    // headerless segment's name must never be minted again.
     uint64_t seq = 0;
     if (ParseSegmentSeq(sealed_name, &seq) && seq >= next_seq_) {
       next_seq_ = seq + 1;
     }
+    if (consumed.count(sealed_name)) {
+      RemoveFile(path);
+      continue;
+    }
     StatusOr<WalReadResult> result = ReadWalSegment(path, /*strict=*/!is_open);
     if (!result.ok()) return result.status();
     std::string sealed_path = wal_dir_ + "/" + sealed_name;
+    if (is_open && result->good_bytes < kWalHeaderBytes) {
+      // Torn before the header completed: no append against this segment
+      // was ever acked, and truncate-and-re-seal would publish a sealed
+      // file the strict parser rejects. Remove the debris instead.
+      RemoveFile(path);
+      continue;
+    }
     if (is_open) {
       if (result->torn_tail &&
           ::truncate(path.c_str(), static_cast<off_t>(result->good_bytes)) !=
@@ -214,13 +249,14 @@ void Ingestor::SealLocked(int64_t bucket) {
 // arrival the oldest bucket is the one least likely to see more appends. A
 // seal that fails without closing its fd leaves the writer active for
 // retry; skip past it rather than spin.
-void Ingestor::ReserveWriterSlotLocked() {
+void Ingestor::ReserveWriterSlotLocked(const std::set<int64_t>* protect) {
   size_t attempts = writers_.size();
   auto it = writers_.begin();
   while (writers_.size() >= options_.max_open_buckets && attempts-- > 0 &&
          it != writers_.end()) {
     int64_t bucket = it->first;
     ++it;  // advance first: SealLocked erases on success
+    if (protect != nullptr && protect->count(bucket)) continue;
     SealLocked(bucket);
   }
 }
@@ -253,21 +289,60 @@ Status Ingestor::AppendBatch(const std::vector<EventRecord>& records) {
     AppendWalFrame(&entry.first, r);
     ++entry.second;
   }
+  std::set<int64_t> touched;
+  for (const auto& [bucket, batch] : frames) touched.insert(bucket);
   std::lock_guard<std::mutex> lock(mu_);
+  // All-or-nothing: stage every bucket's frames first, recording each
+  // writer's pre-batch watermark, and only ack + seal once all succeeded.
+  // A failure on any bucket truncates the earlier buckets back to their
+  // watermarks, so an errored batch leaves NOTHING staged and the client
+  // can resend the whole batch without duplicating records. The batch's
+  // own buckets are protected from the fd-cap seal (and sealing is
+  // deferred to after the last write) because a sealed segment's frames
+  // could no longer be rolled back.
+  struct Watermark {
+    WalWriter* writer;
+    uint64_t bytes;
+    uint64_t records;
+  };
+  std::vector<Watermark> written;
+  written.reserve(frames.size());
+  Status staged = Status::Ok();
   for (auto& [bucket, batch] : frames) {
     auto it = writers_.find(bucket);
     if (it == writers_.end()) {
-      ReserveWriterSlotLocked();
+      ReserveWriterSlotLocked(&touched);
       StatusOr<WalWriter> writer =
           WalWriter::Create(SegmentPath(next_seq_, bucket));
-      if (!writer.ok()) return writer.status();
+      if (!writer.ok()) {
+        staged = writer.status();
+        break;
+      }
       ++next_seq_;
       it = writers_.emplace(bucket, std::move(*writer)).first;
     }
-    ST4ML_RETURN_IF_ERROR(it->second.AppendFrames(batch.first, batch.second));
+    written.push_back(
+        {&it->second, it->second.byte_count(), it->second.record_count()});
+    staged = it->second.AppendFrames(batch.first, batch.second);
+    if (!staged.ok()) break;
+  }
+  if (!staged.ok()) {
+    // Includes the failing bucket itself: a partial write(2) left bytes
+    // past its watermark too. Rollback also rewinds the file offset, so a
+    // retried batch appends exactly at the watermark.
+    for (const Watermark& w : written) {
+      w.writer->TruncateTo(w.bytes, w.records);
+    }
+    return staged;
+  }
+  for (const auto& [bucket, batch] : frames) {
     appended_.fetch_add(batch.second, std::memory_order_relaxed);
     staged_records_ += batch.second;
-    if (it->second.record_count() >= options_.seal_records) SealLocked(bucket);
+    auto it = writers_.find(bucket);
+    if (it != writers_.end() &&
+        it->second.record_count() >= options_.seal_records) {
+      SealLocked(bucket);
+    }
   }
   return Status::Ok();
 }
@@ -337,14 +412,14 @@ Status Ingestor::CompactNow() {
     next.parts.push_back(std::move(meta));
   }
   for (const std::string& path : segments) {
-    next.consumed.push_back(fs::path(path).filename().string());
+    next.consumed.push_back(ConsumedName(path));
   }
   std::vector<std::string> old_pending;
   {
     std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
     old_pending = pending_delete_;
     for (const std::string& path : old_pending) {
-      next.consumed.push_back(fs::path(path).filename().string());
+      next.consumed.push_back(ConsumedName(path));
     }
   }
 
@@ -373,9 +448,14 @@ Status Ingestor::CompactNow() {
     staged_records_ -= absorbed;
     for (const StpqPartMeta& p : published) compacted_records_ += p.count;
     // Deferred by one cycle: cross-process readers that listed these
-    // segments just before the commit can still open them.
-    for (const std::string& path : old_pending) RemoveFile(path);
+    // segments just before the commit can still open them. A file whose
+    // unlink fails stays pending — and therefore stays in the NEXT
+    // cycle's consumed list — so it is retried, never replayed as
+    // duplicates.
     pending_delete_ = segments;
+    for (const std::string& path : old_pending) {
+      if (!RemoveFileChecked(path)) pending_delete_.push_back(path);
+    }
   }
   compactions_.fetch_add(1, std::memory_order_relaxed);
   if (ctx_ != nullptr) {

@@ -30,6 +30,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <thread>
@@ -100,7 +101,10 @@ class Ingestor {
   /// IS the ack (see wal.h for the durability ladder).
   Status Append(const EventRecord& r);
 
-  /// Batched append: one write(2) per touched bucket.
+  /// Batched append: one write(2) per touched bucket. All-or-nothing: an
+  /// error means NO record of the batch was staged or acked (frames written
+  /// to earlier buckets are rolled back), so a client may retry the whole
+  /// batch without duplicating records.
   Status AppendBatch(const std::vector<EventRecord>& records);
 
   /// Graceful drain: seals every active segment, then compacts everything
@@ -134,8 +138,11 @@ class Ingestor {
   /// segment the compactor reads tolerantly.
   void SealLocked(int64_t bucket);
   /// Seals oldest open buckets until a new writer fits under
-  /// `max_open_buckets` (fd budget).
-  void ReserveWriterSlotLocked();
+  /// `max_open_buckets` (fd budget). Buckets in `protect` are never sealed:
+  /// a mid-batch seal would make an earlier bucket's frames irrevocable and
+  /// break AppendBatch's rollback, so a batch spanning more buckets than
+  /// the cap may briefly exceed the fd budget by its own bucket count.
+  void ReserveWriterSlotLocked(const std::set<int64_t>* protect = nullptr);
   std::string SegmentPath(uint64_t seq, int64_t bucket) const;
 
   const std::string dir_;

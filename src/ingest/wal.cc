@@ -161,6 +161,20 @@ Status WalWriter::AppendFrames(const std::string& frames, uint64_t n) {
   return Status::Ok();
 }
 
+Status WalWriter::TruncateTo(uint64_t byte_count, uint64_t record_count) {
+  if (fd_ < 0) return Status::Internal("wal segment closed: " + open_path_);
+  // ftruncate alone is not enough: the fd's offset sits past the staged
+  // frames, and a later append there would leave a hole of zeros replay
+  // would read as a torn frame mid-segment.
+  if (::ftruncate(fd_, static_cast<off_t>(byte_count)) != 0 ||
+      ::lseek(fd_, static_cast<off_t>(byte_count), SEEK_SET) < 0) {
+    return Status::IOError("cannot roll back wal segment " + open_path_);
+  }
+  byte_count_ = byte_count;
+  record_count_ = record_count;
+  return Status::Ok();
+}
+
 Status WalWriter::Seal() {
   ST4ML_RETURN_IF_ERROR(
       GlobalFaultInjector().MaybeFail(fault_site::kWalSeal, sealed_path_));
@@ -181,12 +195,20 @@ StatusOr<WalReadResult> ReadWalSegment(const std::string& path, bool strict) {
   if (!in.is_open()) return Status::NotFound("no such wal segment: " + path);
   char header[kWalHeaderBytes];
   in.read(header, sizeof(header));
-  if (in.gcount() != static_cast<std::streamsize>(sizeof(header)) ||
-      std::memcmp(header, kWalMagic, sizeof(kWalMagic)) != 0) {
-    return Status::Corruption("bad wal magic in " + path);
-  }
-  if (header[sizeof(kWalMagic)] != static_cast<char>(kStpqKindEvent)) {
-    return Status::Corruption("unknown wal record kind in " + path);
+  bool bad_header =
+      in.gcount() != static_cast<std::streamsize>(sizeof(header)) ||
+      std::memcmp(header, kWalMagic, sizeof(kWalMagic)) != 0 ||
+      header[sizeof(kWalMagic)] != static_cast<char>(kStpqKindEvent);
+  if (bad_header) {
+    if (strict) return Status::Corruption("bad wal header in " + path);
+    // A crash between open(2) and the header hitting disk leaves a 0-byte
+    // or short-headered `.open` file in which no append was ever acked:
+    // report it as one fully-torn empty segment so recovery can remove it
+    // instead of failing the whole directory open.
+    WalReadResult torn;
+    torn.torn_tail = true;
+    torn.good_bytes = 0;
+    return torn;
   }
 
   WalReadResult result;

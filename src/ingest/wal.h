@@ -73,6 +73,13 @@ class WalWriter {
   /// the batched append path. `n` is how many records `frames` holds.
   Status AppendFrames(const std::string& frames, uint64_t n);
 
+  /// Rolls the segment back to an earlier watermark: ftruncate to
+  /// `byte_count`, rewind the file offset there, and reset the counters.
+  /// The batched append path uses this to un-stage a batch's frames when a
+  /// later bucket of the same batch fails, keeping AppendBatch
+  /// all-or-nothing.
+  Status TruncateTo(uint64_t byte_count, uint64_t record_count);
+
   /// fsync + rename to the sealed name + fsync the directory. Fires the
   /// wal/seal fault site first; on any failure the segment simply stays
   /// `.open` (still replayable, still appendable). After Ok the writer is
@@ -113,7 +120,11 @@ struct WalReadResult {
 /// Reads every complete frame of `path`. `strict` (sealed segments) turns
 /// any torn or CRC-failing frame into Corruption; tolerant mode (active
 /// `.open` tails, and reads racing a live appender) stops at the first bad
-/// frame and reports it via `torn_tail`.
+/// frame and reports it via `torn_tail`. A short or invalid HEADER — what a
+/// crash between creating the file and flushing its header leaves — is
+/// Corruption when strict, but in tolerant mode it is one fully-torn empty
+/// segment (`torn_tail=true`, `good_bytes=0`) so recovery can clean it up
+/// instead of refusing to open the directory.
 StatusOr<WalReadResult> ReadWalSegment(const std::string& path, bool strict);
 
 /// Paths of every WAL segment directly inside `wal_dir` — sealed `.stwal`

@@ -466,9 +466,9 @@ std::string Server::HandleAppend(const JsonValue& request) {
   RecordServedDir(dir);
   auto ingestor = IngestorFor(dir);
   if (!ingestor.ok()) return ErrorResponse(ingestor.status());
-  // An append error means NONE of the failed write's records were acked —
-  // the client retries the whole batch (replay is idempotent per record
-  // only via the client resending; the WAL itself never double-acks).
+  // AppendBatch is all-or-nothing: an error means NO record of the batch
+  // was staged or acked (earlier buckets' frames are rolled back), so the
+  // client can resend the whole batch without duplicating records.
   Status appended = (*ingestor)->AppendBatch(batch);
   if (!appended.ok()) return ErrorResponse(appended);
   JsonObject obj;

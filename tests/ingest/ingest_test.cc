@@ -402,6 +402,153 @@ TEST_F(IngestTest, MaxOpenBucketsCapsWriterFds) {
   EXPECT_EQ(SelectAll(dir_).size(), 12u);
 }
 
+// REVIEW regression: after a flush left EVERY on-disk segment consumed, a
+// reopened ingestor must not mint a sequence number whose name is still in
+// the manifest's consumed set — a reused name is invisible to reads and the
+// next recovery deletes it, permanently losing acked records.
+TEST_F(IngestTest, ReopenAfterFullCompactionDoesNotReuseConsumedNames) {
+  std::multiset<int64_t> expected;
+  {
+    auto ingestor = Ingestor::Open(dir_, ScriptedOptions());
+    ASSERT_TRUE(ingestor.ok()) << ingestor.status().ToString();
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE((*ingestor)->Append(MakeEvent(i, 0)).ok());
+      expected.insert(i);
+    }
+    ASSERT_TRUE((*ingestor)->Flush().ok());
+    // Consumed files sit in the grace window; the manifest carries their
+    // names into the next process.
+  }
+  {
+    auto reopened = Ingestor::Open(dir_, ScriptedOptions());
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ((*reopened)->Stats().replayed, 0u);
+    ASSERT_TRUE((*reopened)->Append(MakeEvent(100, 0)).ok());
+    expected.insert(100);
+    // The fresh segment must be visible mid-stream despite the consumed
+    // set still naming the same bucket's earlier segments.
+    EXPECT_EQ(Ids(SelectAll(dir_)), expected);
+    // Crash without flushing.
+  }
+  auto again = Ingestor::Open(dir_, ScriptedOptions());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ((*again)->Stats().replayed, 1u);  // record 100 survives recovery
+  EXPECT_EQ(Ids(SelectAll(dir_)), expected);
+}
+
+// REVIEW regression: a parked `.open` straggler (fsync succeeded, seal
+// rename failed) is recorded in the consumed set under its SEALED name, so
+// the grace-window read and the next recovery both treat it as consumed —
+// exactly once, not replayed.
+TEST_F(IngestTest, ParkedOpenSegmentIsConsumedExactlyOnce) {
+  std::string sealed_path = dir_ + "/wal/s00000000-b0.stwal";
+  std::multiset<int64_t> expected = {1};
+  {
+    auto ingestor = Ingestor::Open(dir_, ScriptedOptions());
+    ASSERT_TRUE(ingestor.ok());
+    ASSERT_TRUE((*ingestor)->Append(MakeEvent(1, 0)).ok());
+    // A directory squatting on the sealed name makes the seal's rename
+    // fail AFTER its fsync+close: the segment is parked `.open` and the
+    // flush's compaction consumes it tolerantly.
+    fs::create_directories(sealed_path);
+    ASSERT_TRUE((*ingestor)->Flush().ok());
+    fs::remove_all(sealed_path);
+    IngestorStats stats = (*ingestor)->Stats();
+    EXPECT_EQ(stats.compacted, 1u);
+    EXPECT_EQ(stats.staged, 0u);
+    // Grace window: the `.open` file is still on disk but consumed — a
+    // merged read must not double-count it.
+    ASSERT_TRUE(fs::exists(sealed_path + ".open"));
+    EXPECT_EQ(Ids(SelectAll(dir_)), expected);
+    // Crash before the deferred delete.
+  }
+  auto reopened = Ingestor::Open(dir_, ScriptedOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->Stats().replayed, 0u);  // consumed, not replayed
+  EXPECT_FALSE(fs::exists(sealed_path + ".open"));
+  EXPECT_EQ(Ids(SelectAll(dir_)), expected);
+}
+
+// REVIEW regression: a batch failing on its SECOND bucket must roll the
+// first bucket's frames back — nothing staged, so the advertised
+// retry-the-whole-batch contract cannot duplicate records.
+TEST_F(IngestTest, AppendBatchPartialFailureStagesNothing) {
+  std::multiset<int64_t> expected = {1};
+  std::string blocked = dir_ + "/wal/s00000001-b5.stwal.open";
+  {
+    auto ingestor = Ingestor::Open(dir_, ScriptedOptions());
+    ASSERT_TRUE(ingestor.ok());
+    ASSERT_TRUE((*ingestor)->Append(MakeEvent(1, 0)).ok());  // bucket 0
+    // Squat on the name the batch's SECOND bucket (time 500 → bucket 5,
+    // seq 1) would create: bucket 0's frames write first, then bucket 5's
+    // writer creation fails.
+    fs::create_directories(blocked);
+    std::vector<EventRecord> batch = {MakeEvent(2, 0), MakeEvent(3, 500)};
+    ASSERT_FALSE((*ingestor)->AppendBatch(batch).ok());
+    EXPECT_EQ((*ingestor)->Stats().staged, 1u);  // only the pre-batch record
+    EXPECT_EQ(Ids(SelectAll(dir_)), expected);
+
+    fs::remove_all(blocked);
+    ASSERT_TRUE((*ingestor)->AppendBatch(batch).ok());  // whole-batch retry
+    expected = {1, 2, 3};
+    EXPECT_EQ((*ingestor)->Stats().staged, 3u);
+    EXPECT_EQ(Ids(SelectAll(dir_)), expected);
+    // Crash without flushing.
+  }
+  auto reopened = Ingestor::Open(dir_, ScriptedOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->Stats().replayed, 3u);
+  // Flush strict-parses the re-sealed segments: the rolled-back-then-
+  // rewritten bucket must frame cleanly end to end.
+  ASSERT_TRUE((*reopened)->Flush().ok());
+  EXPECT_EQ(Ids(SelectAll(dir_)), expected);
+}
+
+// REVIEW regression: a crash between creating a segment and flushing its
+// header leaves a 0-byte or short-headered `.open` file; recovery must
+// clean it up (nothing in it was ever acked) instead of refusing to open
+// the directory — while still reserving its sequence number.
+TEST_F(IngestTest, HeaderlessOpenSegmentIsCleanedUpNotFatal) {
+  // Direct reader contract first, on a scratch file outside the wal dir.
+  std::string scratch = dir_ + "/zero.stwal";
+  { std::ofstream f(scratch, std::ios::binary); }
+  auto strict = ReadWalSegment(scratch, /*strict=*/true);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), Status::Code::kCorruption);
+  auto tolerant = ReadWalSegment(scratch, /*strict=*/false);
+  ASSERT_TRUE(tolerant.ok()) << tolerant.status().ToString();
+  EXPECT_TRUE(tolerant->torn_tail);
+  EXPECT_EQ(tolerant->good_bytes, 0u);
+  EXPECT_TRUE(tolerant->records.empty());
+
+  {
+    auto ingestor = Ingestor::Open(dir_, ScriptedOptions());
+    ASSERT_TRUE(ingestor.ok());
+    ASSERT_TRUE((*ingestor)->Append(MakeEvent(1, 0)).ok());
+  }
+  { std::ofstream f(dir_ + "/wal/s00000007-b0.stwal.open"); }  // 0 bytes
+  {
+    std::ofstream f(dir_ + "/wal/s00000008-b0.stwal.open", std::ios::binary);
+    f.write("STW", 3);  // torn mid-header
+  }
+  auto reopened = Ingestor::Open(dir_, ScriptedOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->Stats().replayed, 1u);
+  EXPECT_EQ(Ids(SelectAll(dir_)), std::multiset<int64_t>{1});
+  // The headerless debris is gone...
+  EXPECT_EQ(ListWalSegments(dir_ + "/wal").size(), 1u);
+  // ...but its sequence numbers stay reserved: the next new segment mints
+  // seq 9, not a recycled 7 or 8.
+  ASSERT_TRUE((*reopened)->Append(MakeEvent(2, 500)).ok());
+  bool minted_past_debris = false;
+  for (const std::string& segment : ListWalSegments(dir_ + "/wal")) {
+    if (segment.find("s00000009") != std::string::npos) {
+      minted_past_debris = true;
+    }
+  }
+  EXPECT_TRUE(minted_past_debris);
+}
+
 TEST_F(IngestTest, RecoveryTruncatesTornTailAndReseals) {
   {
     auto ingestor = Ingestor::Open(dir_, ScriptedOptions());
