@@ -1,0 +1,117 @@
+#include "engine/executor_backend.h"
+
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "common/env.h"
+#include "engine/execution_context.h"
+
+namespace st4ml {
+namespace {
+
+/// Parses the ST4ML_MP_KILL chaos knob ("<slot>:<grant>" / "all:<grant>")
+/// into the scripted kill fields. Unparsable values leave the kill unarmed —
+/// the knob is test-only and must never break a production run.
+void ApplyEnvKillScript(MpOptions* mp) {
+  std::string spec = GetEnvString("ST4ML_MP_KILL", "");
+  if (spec.empty()) return;
+  size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size()) return;
+  std::string slot = spec.substr(0, colon);
+  char* end = nullptr;
+  long grant = std::strtol(spec.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || grant < 0) return;
+  if (slot == "all") {
+    mp->kill_worker = MpOptions::kEveryWorker;
+    mp->kill_once = false;
+  } else {
+    char* slot_end = nullptr;
+    long index = std::strtol(slot.c_str(), &slot_end, 10);
+    if (slot_end == nullptr || *slot_end != '\0' || index < 0) return;
+    mp->kill_worker = static_cast<int>(index);
+  }
+  mp->kill_after_grants = static_cast<int>(grant);
+}
+
+StatusOr<int> ParseWorkerCount(const std::string& text, size_t at) {
+  if (at >= text.size()) {
+    return Status::InvalidArgument("executor spec missing worker count: " +
+                                   text);
+  }
+  char* end = nullptr;
+  long n = std::strtol(text.c_str() + at, &end, 10);
+  if (end == nullptr || *end != '\0' || n < 1 || n > 1024) {
+    return Status::InvalidArgument("bad executor worker count in spec: " +
+                                   text);
+  }
+  return static_cast<int>(n);
+}
+
+class LocalExecutorBackend : public ExecutorBackend {
+ public:
+  const char* name() const override { return "local"; }
+  bool distributed() const override { return false; }
+
+  Status RunSerialized(ExecutionContext& ctx, const char* job_name,
+                       size_t count, const ProduceFn& produce,
+                       const ConsumeFn& consume) override {
+    // Produce fans out on the pool; results land index-addressed so the
+    // consume pass below is deterministic regardless of completion order —
+    // the exact contract the multiprocess backend honors over sockets.
+    std::vector<std::string> results(count);
+    ST4ML_RETURN_IF_ERROR(
+        ctx.TryRunParallel(job_name, count, [&](size_t i) -> Status {
+          StatusOr<std::string> bytes = produce(i);
+          if (!bytes.ok()) return bytes.status();
+          results[i] = std::move(bytes).value();
+          return Status::Ok();
+        }));
+    for (size_t i = 0; i < count; ++i) {
+      ST4ML_RETURN_IF_ERROR(consume(i, std::move(results[i])));
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+StatusOr<ExecutorSpec> ExecutorSpec::Parse(const std::string& text) {
+  ExecutorSpec spec;
+  if (text.empty() || text == "local") return spec;
+  if (text.rfind("local:", 0) == 0) {
+    StatusOr<int> n = ParseWorkerCount(text, 6);
+    if (!n.ok()) return n.status();
+    spec.workers = *n;
+    return spec;
+  }
+  if (text == "mp" || text.rfind("mp:", 0) == 0) {
+    spec.kind = Kind::kMultiProcess;
+    if (text == "mp") {
+      spec.workers = spec.mp.num_workers;
+    } else {
+      StatusOr<int> n = ParseWorkerCount(text, 3);
+      if (!n.ok()) return n.status();
+      spec.workers = *n;
+    }
+    spec.mp.num_workers = spec.workers;
+    ApplyEnvKillScript(&spec.mp);
+    return spec;
+  }
+  return Status::InvalidArgument(
+      "unknown executor spec \"" + text +
+      "\" (expected local, local:<N>, or mp:<N>)");
+}
+
+std::string ExecutorSpec::ToString() const {
+  if (kind == Kind::kLocal) {
+    return workers == 0 ? "local" : "local:" + std::to_string(workers);
+  }
+  return "mp:" + std::to_string(workers);
+}
+
+std::unique_ptr<ExecutorBackend> MakeLocalExecutorBackend() {
+  return std::make_unique<LocalExecutorBackend>();
+}
+
+}  // namespace st4ml

@@ -1,0 +1,105 @@
+#ifndef ST4ML_ENGINE_EXECUTOR_BACKEND_H_
+#define ST4ML_ENGINE_EXECUTOR_BACKEND_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/retry.h"
+#include "common/status.h"
+
+namespace st4ml {
+
+class ExecutionContext;
+
+/// Knobs of the multiprocess executor (DESIGN.md §14). Everything except
+/// num_workers is fault-tolerance machinery: `retry.max_attempts` bounds how
+/// often one task grant may be re-issued after worker deaths, max_respawns
+/// bounds replacement forks, and the kill_* fields script the
+/// `mp/worker_kill` fault site (worker_death_test, chaos runs): the matching
+/// worker raises SIGKILL on receipt of its kill_after_grants-th grant, after
+/// sending kill_after_results results of it.
+struct MpOptions {
+  static constexpr int kNoKill = -1;
+  static constexpr int kEveryWorker = -2;
+
+  int num_workers = 2;
+  /// max_attempts bounds grant attempts per chunk (initial issue counts as
+  /// attempt 1); the backoff fields are unused — a re-grant goes out as soon
+  /// as a survivor is idle.
+  RetryPolicy retry;
+  /// Replacement workers forked after deaths, per job, beyond the initial N.
+  int max_respawns = 2;
+
+  int kill_worker = kNoKill;   ///< slot to kill, or kEveryWorker
+  int kill_after_grants = 0;   ///< 0-based index of the fatal grant
+  int kill_after_results = 0;  ///< results sent inside the fatal grant first
+  /// Disarm the scripted kill after the first death the driver observes, so
+  /// a multi-job pipeline loses exactly one worker overall (and respawned
+  /// workers in the same slot survive).
+  bool kill_once = true;
+};
+
+/// Parsed `--executor=` / `ST4ML_EXECUTOR` value: which executor backend an
+/// ExecutionContext runs on. Mirrors the accel BackendRegistry selection
+/// shape (spec string, env override, per-tool flag).
+struct ExecutorSpec {
+  enum class Kind { kLocal, kMultiProcess };
+
+  Kind kind = Kind::kLocal;
+  /// kLocal: thread-pool size, 0 = hardware concurrency.
+  /// kMultiProcess: worker process count (>= 1).
+  int workers = 0;
+  /// Multiprocess knobs. Parse() fills the kill script from ST4ML_MP_KILL
+  /// ("<slot>:<grant>" or "all:<grant>") so CLI chaos runs can script a
+  /// worker death without code changes; tests set the fields directly.
+  MpOptions mp;
+
+  /// Accepts "local", "local:<N>" and "mp:<N>" (N >= 1). Empty input means
+  /// "local". Anything else is InvalidArgument naming the bad spec.
+  static StatusOr<ExecutorSpec> Parse(const std::string& text);
+
+  std::string ToString() const;
+};
+
+/// How an ExecutionContext executes jobs. The seam is intentionally narrow:
+/// generic RunParallel closures mutate driver memory and cannot cross a
+/// process boundary, so backends only implement the SERIALIZED task path —
+/// an index-addressed job whose per-index work yields bytes (`produce`) that
+/// the driver integrates in index order (`consume`). The local backend runs
+/// produce on the thread pool and consume inline; the multiprocess backend
+/// runs produce in forked worker processes and ships the bytes over
+/// sockets. Operators that cannot serialize their task results simply stay
+/// on RunParallel/TryRunParallel, which every backend supports via the
+/// context's own pool.
+class ExecutorBackend {
+ public:
+  using ProduceFn = std::function<StatusOr<std::string>(size_t)>;
+  using ConsumeFn = std::function<Status(size_t, std::string)>;
+
+  virtual ~ExecutorBackend() = default;
+
+  virtual const char* name() const = 0;
+
+  /// True when produce runs in another process: operators must not rely on
+  /// produce-side writes to driver memory (caches, tracers, slot arrays)
+  /// being visible — everything comes back through the returned bytes.
+  virtual bool distributed() const = 0;
+
+  /// Runs produce(0..count-1) on the backend's executors and feeds every
+  /// result to consume exactly once, in arbitrary completion order but
+  /// index-addressed. Blocks until all indices are consumed or the job
+  /// fails; first error wins, remaining work is dropped (claim-and-drop,
+  /// DESIGN.md §8). `name` labels the operation span.
+  virtual Status RunSerialized(ExecutionContext& ctx, const char* name,
+                               size_t count, const ProduceFn& produce,
+                               const ConsumeFn& consume) = 0;
+};
+
+/// The in-process backend: produce on the context's thread pool, consume on
+/// the driver thread after the job drains.
+std::unique_ptr<ExecutorBackend> MakeLocalExecutorBackend();
+
+}  // namespace st4ml
+
+#endif  // ST4ML_ENGINE_EXECUTOR_BACKEND_H_

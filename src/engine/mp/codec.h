@@ -1,0 +1,218 @@
+#ifndef ST4ML_ENGINE_MP_CODEC_H_
+#define ST4ML_ENGINE_MP_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "ingest/wal.h"
+#include "storage/records.h"
+
+namespace st4ml {
+namespace mp {
+
+/// Lossless byte codecs for the values the multiprocess shuffle ships
+/// between driver and workers (DESIGN.md §14). Decode(Encode(x)) == x
+/// EXACTLY — doubles are memcpy'd bit patterns, strings are raw bytes — so
+/// a distributed shuffle's Collect() output can be byte-identical to the
+/// in-process run. Every Decode is bounds-checked against the payload and
+/// length-plausibility-checked before allocating (the stpq reader's
+/// discipline): corrupt bytes surface as Corruption, never as wrong
+/// records or giant allocations.
+///
+/// Coverage is deliberately partial: operators whose element types carry no
+/// codec (arbitrary user structs with pointers, closures) simply stay on
+/// the in-process path — kHasWireCodec below is the compile-time gate.
+
+/// A bounds-checked read cursor over one decoded payload.
+struct WireCursor {
+  const char* p = nullptr;
+  const char* end = nullptr;
+
+  size_t remaining() const { return static_cast<size_t>(end - p); }
+};
+
+template <typename T>
+Status ReadRaw(WireCursor* cur, T* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (cur->remaining() < sizeof(T)) {
+    return Status::Corruption("mp payload truncated mid-field");
+  }
+  std::memcpy(out, cur->p, sizeof(T));
+  cur->p += sizeof(T);
+  return Status::Ok();
+}
+
+template <typename T>
+void AppendRaw(std::string* out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+namespace codec_internal {
+template <typename T>
+struct IsStdPair : std::false_type {};
+template <typename A, typename B>
+struct IsStdPair<std::pair<A, B>> : std::true_type {};
+}  // namespace codec_internal
+
+/// Primary template is undefined: a type is shippable iff one of the
+/// specializations below matches (detected via kHasWireCodec).
+template <typename T, typename Enable = void>
+struct WireCodec;
+
+namespace codec_internal {
+template <typename T, typename Enable = void>
+struct HasWireCodec : std::false_type {};
+template <typename T>
+struct HasWireCodec<
+    T, std::void_t<decltype(WireCodec<T>::Encode(
+           std::declval<const T&>(), std::declval<std::string*>()))>>
+    : std::true_type {};
+}  // namespace codec_internal
+
+template <typename T>
+inline constexpr bool kHasWireCodec = codec_internal::HasWireCodec<T>::value;
+
+/// Trivially copyable scalars and PODs: raw bytes. std::pair is excluded
+/// here so the recursive pair codec below is the unambiguous match.
+template <typename T>
+struct WireCodec<T, std::enable_if_t<std::is_trivially_copyable_v<T> &&
+                                     !codec_internal::IsStdPair<T>::value>> {
+  static void Encode(const T& v, std::string* out) { AppendRaw(out, v); }
+  static Status Decode(WireCursor* cur, T* out) { return ReadRaw(cur, out); }
+};
+
+template <>
+struct WireCodec<std::string> {
+  static void Encode(const std::string& v, std::string* out) {
+    AppendRaw(out, static_cast<uint32_t>(v.size()));
+    out->append(v.data(), v.size());
+  }
+  static Status Decode(WireCursor* cur, std::string* out) {
+    uint32_t len = 0;
+    ST4ML_RETURN_IF_ERROR(ReadRaw(cur, &len));
+    if (cur->remaining() < len) {
+      return Status::Corruption("mp payload declares oversized string");
+    }
+    out->assign(cur->p, len);
+    cur->p += len;
+    return Status::Ok();
+  }
+};
+
+template <typename A, typename B>
+struct WireCodec<std::pair<A, B>,
+                 std::enable_if_t<kHasWireCodec<A> && kHasWireCodec<B>>> {
+  static void Encode(const std::pair<A, B>& v, std::string* out) {
+    WireCodec<A>::Encode(v.first, out);
+    WireCodec<B>::Encode(v.second, out);
+  }
+  static Status Decode(WireCursor* cur, std::pair<A, B>* out) {
+    ST4ML_RETURN_IF_ERROR(WireCodec<A>::Decode(cur, &out->first));
+    return WireCodec<B>::Decode(cur, &out->second);
+  }
+};
+
+/// The STPQ event wire format (PR 9 WAL payloads) reused verbatim:
+/// id | x | y | time | u32 attr_len | attr.
+template <>
+struct WireCodec<EventRecord> {
+  static void Encode(const EventRecord& v, std::string* out) {
+    AppendEventWire(out, v);
+  }
+  static Status Decode(WireCursor* cur, EventRecord* out) {
+    ST4ML_RETURN_IF_ERROR(ReadRaw(cur, &out->id));
+    ST4ML_RETURN_IF_ERROR(ReadRaw(cur, &out->x));
+    ST4ML_RETURN_IF_ERROR(ReadRaw(cur, &out->y));
+    ST4ML_RETURN_IF_ERROR(ReadRaw(cur, &out->time));
+    return WireCodec<std::string>::Decode(cur, &out->attr);
+  }
+};
+
+template <typename T, typename Alloc>
+struct WireCodec<std::vector<T, Alloc>, std::enable_if_t<kHasWireCodec<T>>> {
+  static void Encode(const std::vector<T, Alloc>& v, std::string* out) {
+    AppendRaw(out, static_cast<uint64_t>(v.size()));
+    if constexpr (std::is_trivially_copyable_v<T> &&
+                  !codec_internal::IsStdPair<T>::value) {
+      out->append(reinterpret_cast<const char*>(v.data()),
+                  v.size() * sizeof(T));
+    } else {
+      for (const T& item : v) WireCodec<T>::Encode(item, out);
+    }
+  }
+  static Status Decode(WireCursor* cur, std::vector<T, Alloc>* out) {
+    uint64_t count = 0;
+    ST4ML_RETURN_IF_ERROR(ReadRaw(cur, &count));
+    // Plausibility before allocation: every element costs at least
+    // min_bytes on the wire, so a declared count the remaining payload
+    // cannot hold is corruption, not an allocation request. Only the
+    // memcpy'd layout pins the exact per-element size; field-encoded
+    // elements (pairs, strings, records) can be arbitrarily small, so 1
+    // byte is the safe floor there.
+    constexpr bool memcpy_layout = std::is_trivially_copyable_v<T> &&
+                                   !codec_internal::IsStdPair<T>::value;
+    constexpr uint64_t min_bytes = memcpy_layout ? sizeof(T) : 1;
+    if (count > cur->remaining() / min_bytes) {
+      return Status::Corruption("mp payload declares implausible count: " +
+                                std::to_string(count) + " elements in " +
+                                std::to_string(cur->remaining()) + " bytes");
+    }
+    out->clear();
+    if constexpr (std::is_trivially_copyable_v<T> &&
+                  !codec_internal::IsStdPair<T>::value) {
+      out->resize(static_cast<size_t>(count));
+      std::memcpy(out->data(), cur->p,
+                  static_cast<size_t>(count) * sizeof(T));
+      cur->p += count * sizeof(T);
+    } else {
+      out->resize(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        ST4ML_RETURN_IF_ERROR(WireCodec<T>::Decode(cur, &(*out)[i]));
+      }
+    }
+    return Status::Ok();
+  }
+};
+
+template <>
+struct WireCodec<TrajRecord> {
+  static void Encode(const TrajRecord& v, std::string* out) {
+    AppendRaw(out, v.id);
+    WireCodec<std::vector<TrajPointRecord>>::Encode(v.points, out);
+  }
+  static Status Decode(WireCursor* cur, TrajRecord* out) {
+    ST4ML_RETURN_IF_ERROR(ReadRaw(cur, &out->id));
+    return WireCodec<std::vector<TrajPointRecord>>::Decode(cur, &out->points);
+  }
+};
+
+/// Whole-payload entry points. DecodeFromString demands FULL consumption:
+/// trailing garbage after a well-formed value is Corruption, same as the
+/// stpq reader's trailing-bytes check.
+template <typename T>
+void EncodeToString(const T& v, std::string* out) {
+  WireCodec<T>::Encode(v, out);
+}
+
+template <typename T>
+Status DecodeFromString(std::string_view bytes, T* out) {
+  WireCursor cur{bytes.data(), bytes.data() + bytes.size()};
+  ST4ML_RETURN_IF_ERROR(WireCodec<T>::Decode(&cur, out));
+  if (cur.p != cur.end) {
+    return Status::Corruption("mp payload has trailing garbage: " +
+                              std::to_string(cur.remaining()) + " bytes");
+  }
+  return Status::Ok();
+}
+
+}  // namespace mp
+}  // namespace st4ml
+
+#endif  // ST4ML_ENGINE_MP_CODEC_H_

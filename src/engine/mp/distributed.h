@@ -1,0 +1,64 @@
+#ifndef ST4ML_ENGINE_MP_DISTRIBUTED_H_
+#define ST4ML_ENGINE_MP_DISTRIBUTED_H_
+
+#include <string>
+#include <utility>
+
+#include "engine/execution_context.h"
+#include "engine/mp/codec.h"
+
+namespace st4ml {
+namespace mp {
+
+/// Runs an index-addressed job whose per-index work yields a `Result`
+/// value, picking the path per backend:
+///  - local executor: plain TryRunParallel with a direct, zero-copy store —
+///    byte-for-byte the code path these operators always ran, so the local
+///    backend pays nothing for the mp seam existing;
+///  - distributed executor AND Result has a wire codec: the serialized
+///    produce/consume seam — compute+encode in a worker process, decode+
+///    store on the driver.
+/// A Result type without a codec always runs locally, so operator coverage
+/// degrades to in-process execution, never to a crash or a wrong answer.
+///
+/// `compute(i) -> StatusOr<Result>` must be self-contained under
+/// distribution: read inherited (copy-on-write) inputs, return everything
+/// through the Result — side effects on driver memory are invisible.
+/// `store(i, Result&&) -> Status` runs with exactly-once, index-addressed
+/// delivery and may reject a decoded Result whose SHAPE is wrong for the
+/// job (a bucket count that disagrees with the target count, say) — the
+/// codec can only prove a payload well-formed, not job-consistent. Under
+/// the local path store may run concurrently (distinct i), matching the
+/// slot-array discipline these operators already use.
+template <typename Result, typename Compute, typename Store>
+Status RunDistributed(ExecutionContext& ctx, const char* name, size_t count,
+                      Compute&& compute, Store&& store) {
+  if constexpr (kHasWireCodec<Result>) {
+    if (ctx.distributed()) {
+      return ctx.TryRunSerialized(
+          name, count,
+          [&](size_t i) -> StatusOr<std::string> {
+            StatusOr<Result> result = compute(i);
+            if (!result.ok()) return result.status();
+            std::string bytes;
+            EncodeToString(*result, &bytes);
+            return bytes;
+          },
+          [&](size_t i, std::string bytes) -> Status {
+            Result result{};
+            ST4ML_RETURN_IF_ERROR(DecodeFromString(bytes, &result));
+            return store(i, std::move(result));
+          });
+    }
+  }
+  return ctx.TryRunParallel(name, count, [&](size_t i) -> Status {
+    StatusOr<Result> result = compute(i);
+    if (!result.ok()) return result.status();
+    return store(i, std::move(result).value());
+  });
+}
+
+}  // namespace mp
+}  // namespace st4ml
+
+#endif  // ST4ML_ENGINE_MP_DISTRIBUTED_H_

@@ -1,0 +1,503 @@
+#include "engine/mp/mp_backend.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "engine/execution_context.h"
+#include "engine/mp/codec.h"
+#include "engine/mp/wire.h"
+
+namespace st4ml {
+namespace mp {
+namespace {
+
+/// One contiguous index range of the job. `attempts` counts how many times
+/// it has been granted — the RetryPolicy bound on re-claims after deaths.
+struct TaskGrant {
+  size_t start = 0;
+  size_t end = 0;
+  int attempts = 0;
+};
+
+struct WorkerSlot {
+  pid_t pid = -1;
+  int fd = -1;  ///< driver end of the socketpair; -1 once the worker is gone
+  bool busy = false;
+  TaskGrant grant;
+  /// First index of the outstanding grant whose kResult has NOT arrived.
+  /// Results come back in ascending order, so on death the unfinished
+  /// remainder is exactly [next_index, grant.end).
+  size_t next_index = 0;
+  uint64_t span = 0;  ///< open per-grant tracer span, 0 when none
+};
+
+Status StatusFromWire(uint32_t code, std::string message) {
+  switch (static_cast<Status::Code>(code)) {
+    case Status::Code::kOk:
+      return Status::Ok();
+    case Status::Code::kNotFound:
+      return Status::NotFound(std::move(message));
+    case Status::Code::kCorruption:
+      return Status::Corruption(std::move(message));
+    case Status::Code::kIOError:
+      return Status::IOError(std::move(message));
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case Status::Code::kInternal:
+      return Status::Internal(std::move(message));
+    case Status::Code::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+  }
+  return Status::Internal("mp task error with unknown code: " +
+                          std::move(message));
+}
+
+StatusOr<std::string> RunProduceGuarded(
+    const ExecutorBackend::ProduceFn& produce, size_t index) {
+  try {
+    return produce(index);
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("task threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("task threw a non-std exception");
+  }
+}
+
+/// The scripted `mp/worker_kill` death: SIGKILL, exactly what a crashed or
+/// OOM-killed worker looks like to the driver (no unwind, no flush).
+[[noreturn]] void DieHard() {
+  ::raise(SIGKILL);
+  ::_exit(137);  // unreachable unless SIGKILL is somehow masked
+}
+
+/// The forked worker's whole life: read grants, produce, stream results,
+/// report counter deltas, _exit. Single-threaded by construction; never
+/// unwinds into the inherited driver state (every exit is _exit, skipping
+/// static destructors and stdio flushes the driver still owns).
+[[noreturn]] void WorkerMain(ExecutionContext& ctx, int fd, int slot,
+                             const MpOptions& opts, bool kill_armed,
+                             const ExecutorBackend::ProduceFn& produce) {
+  MetricsSnapshot base = ctx.MetricsSnapshot();
+  int grants_seen = 0;
+  for (;;) {
+    StatusOr<MpFrame> frame = ReadMpFrame(fd, nullptr);
+    if (!frame.ok()) _exit(2);  // driver went away or stream corrupt
+    if (frame->type == MpFrameType::kShutdown) _exit(0);
+    if (frame->type != MpFrameType::kGrant) _exit(2);
+    WireCursor cur{frame->payload.data(),
+                   frame->payload.data() + frame->payload.size()};
+    uint64_t start = 0;
+    uint64_t end = 0;
+    if (!ReadRaw(&cur, &start).ok() || !ReadRaw(&cur, &end).ok()) _exit(2);
+
+    // The mp/worker_kill fault site, in both spellings: the injector (for
+    // chaos runs — the armed state is inherited across fork) and the
+    // deterministic MpOptions script (worker_death_test).
+    if (!GlobalFaultInjector().MaybeFail(fault_site::kMpWorkerKill).ok()) {
+      DieHard();
+    }
+    const bool fatal_grant =
+        kill_armed &&
+        (opts.kill_worker == slot ||
+         opts.kill_worker == MpOptions::kEveryWorker) &&
+        grants_seen == opts.kill_after_grants;
+    ++grants_seen;
+    if (fatal_grant && opts.kill_after_results <= 0) DieHard();
+
+    int results_sent = 0;
+    bool failed = false;
+    std::string payload;
+    for (uint64_t i = start; i < end; ++i) {
+      // Same engine-boundary fault site the in-process chunk runner checks.
+      Status injected = GlobalFaultInjector().MaybeFail(fault_site::kTaskRun);
+      StatusOr<std::string> result =
+          injected.ok() ? RunProduceGuarded(produce, i)
+                        : StatusOr<std::string>(injected);
+      if (!injected.ok()) {
+        internal::Counters(ctx).Add(Counter::kFaultsInjected, 1);
+      }
+      if (!result.ok()) {
+        payload.clear();
+        AppendRaw(&payload, i);
+        AppendRaw(&payload, static_cast<uint32_t>(result.status().code()));
+        WireCodec<std::string>::Encode(result.status().message(), &payload);
+        if (!WriteMpFrame(fd, MpFrameType::kTaskError, payload, nullptr)
+                 .ok()) {
+          _exit(2);
+        }
+        failed = true;
+        break;
+      }
+      payload.clear();
+      payload.reserve(sizeof(i) + result->size());
+      AppendRaw(&payload, i);
+      payload.append(*result);
+      if (!WriteMpFrame(fd, MpFrameType::kResult, payload, nullptr).ok()) {
+        _exit(2);
+      }
+      ++results_sent;
+      if (fatal_grant && results_sent >= opts.kill_after_results) DieHard();
+    }
+    if (failed) continue;  // the driver will fail the job and shut us down
+
+    // kDone: the finished range plus this grant's counter deltas, so
+    // worker-side accounting (retries, injected faults) reaches the
+    // driver's registry — the record-flow counters themselves ride inside
+    // the result payloads and are folded driver-side, never here.
+    MetricsSnapshot now = ctx.MetricsSnapshot();
+    payload.clear();
+    AppendRaw(&payload, start);
+    AppendRaw(&payload, end);
+    uint32_t num_deltas = 0;
+    size_t num_at = payload.size();
+    AppendRaw(&payload, num_deltas);
+    for (size_t c = 0; c < kNumCounters; ++c) {
+      uint64_t delta = now.values[c] - base.values[c];
+      if (delta == 0) continue;
+      AppendRaw(&payload, static_cast<uint32_t>(c));
+      AppendRaw(&payload, delta);
+      ++num_deltas;
+    }
+    std::memcpy(payload.data() + num_at, &num_deltas, sizeof(num_deltas));
+    base = now;
+    if (!WriteMpFrame(fd, MpFrameType::kDone, payload, nullptr).ok()) {
+      _exit(2);
+    }
+  }
+}
+
+class MpExecutorBackend : public ExecutorBackend {
+ public:
+  explicit MpExecutorBackend(MpOptions options)
+      : options_(std::move(options)) {}
+
+  const char* name() const override { return "mp"; }
+  bool distributed() const override { return true; }
+
+  Status RunSerialized(ExecutionContext& ctx, const char* job_name,
+                       size_t count, const ProduceFn& produce,
+                       const ConsumeFn& consume) override;
+
+ private:
+  Status SpawnWorker(ExecutionContext& ctx, std::vector<WorkerSlot>* slots,
+                     int slot_index, const ProduceFn& produce);
+
+  MpOptions options_;
+  /// kill_once: flips when the driver observes the scripted death, so later
+  /// jobs (and respawned workers) run unscripted.
+  bool kill_consumed_ = false;
+};
+
+Status MpExecutorBackend::SpawnWorker(ExecutionContext& ctx,
+                                      std::vector<WorkerSlot>* slots,
+                                      int slot_index,
+                                      const ProduceFn& produce) {
+  const bool kill_armed =
+      options_.kill_worker != MpOptions::kNoKill &&
+      !(options_.kill_once && kill_consumed_);
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    return Status::IOError(std::string("mp socketpair failed: ") +
+                           std::strerror(errno));
+  }
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    return Status::IOError(std::string("mp fork failed: ") +
+                           std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Worker. Drop every inherited driver-side socket — ours AND the other
+    // workers' — so a worker's death leaves its socketpair with no other
+    // holder and the driver's EOF detection is prompt and reliable.
+    ::close(sv[0]);
+    for (const WorkerSlot& other : *slots) {
+      if (other.fd >= 0) ::close(other.fd);
+    }
+    WorkerMain(ctx, sv[1], slot_index, options_, kill_armed, produce);
+  }
+  ::close(sv[1]);
+  WorkerSlot& slot = (*slots)[slot_index];
+  slot.pid = pid;
+  slot.fd = sv[0];
+  slot.busy = false;
+  slot.next_index = 0;
+  slot.span = 0;
+  internal::Counters(ctx).Add(Counter::kWorkersSpawned, 1);
+  return Status::Ok();
+}
+
+Status MpExecutorBackend::RunSerialized(ExecutionContext& ctx,
+                                        const char* job_name, size_t count,
+                                        const ProduceFn& produce,
+                                        const ConsumeFn& consume) {
+  CounterRegistry& counters = internal::Counters(ctx);
+  // One published job, like the in-process TryRunParallel path, so local
+  // and mp runs of the same pipeline agree on parallel_jobs.
+  counters.Add(Counter::kParallelJobs, 1);
+  Tracer* tracer = ctx.tracer();
+  ScopedSpan op(tracer, span_category::kOperation, job_name);
+
+  const int num_workers = std::max(1, options_.num_workers);
+  // ~4 grants per worker: a grant is a full network round trip, so coarser
+  // than the thread pool's ~8 chunks, but still fine enough that a death
+  // re-claims a fraction of the job and skew rebalances.
+  const size_t chunk = std::max<size_t>(
+      1, count / (static_cast<size_t>(num_workers) * 4));
+  std::deque<TaskGrant> pending;
+  for (size_t s = 0; s < count; s += chunk) {
+    pending.push_back({s, std::min(s + chunk, count), 0});
+  }
+
+  std::vector<WorkerSlot> slots(static_cast<size_t>(num_workers));
+  int respawns_left = std::max(0, options_.max_respawns);
+  const int max_attempts = std::max(1, options_.retry.max_attempts);
+  uint64_t net_bytes = 0;
+  size_t consumed = 0;
+  Status job_status;
+  auto fail = [&](Status status) {
+    if (job_status.ok() && !status.ok()) job_status = std::move(status);
+  };
+
+  for (int i = 0; i < num_workers && job_status.ok(); ++i) {
+    fail(SpawnWorker(ctx, &slots, i, produce));
+  }
+
+  // Reclaims a dead worker's unfinished indices and (budget permitting)
+  // forks a replacement into the same slot.
+  auto handle_death = [&](WorkerSlot& w) {
+    counters.Add(Counter::kWorkersLost, 1);
+    if (tracer != nullptr && w.span != 0) {
+      tracer->EndSpan(w.span);
+      w.span = 0;
+    }
+    ::close(w.fd);
+    w.fd = -1;
+    int wstatus = 0;
+    while (::waitpid(w.pid, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+    w.pid = -1;
+    if (options_.kill_once) kill_consumed_ = true;
+    if (w.busy) {
+      w.busy = false;
+      if (w.next_index < w.grant.end) {
+        TaskGrant remaining{w.next_index, w.grant.end, w.grant.attempts};
+        if (remaining.attempts >= max_attempts) {
+          fail(Status::IOError(
+              "mp grant [" + std::to_string(remaining.start) + ", " +
+              std::to_string(remaining.end) + ") lost " +
+              std::to_string(remaining.attempts) +
+              " times; giving up (RetryPolicy bound)"));
+          return;
+        }
+        counters.Add(Counter::kChunksReclaimed, 1);
+        pending.push_front(remaining);
+      }
+    }
+    int slot_index = static_cast<int>(&w - slots.data());
+    if (job_status.ok() && consumed < count && respawns_left > 0) {
+      --respawns_left;
+      fail(SpawnWorker(ctx, &slots, slot_index, produce));
+    }
+  };
+
+  while (job_status.ok()) {
+    // Issue one grant to every idle survivor.
+    for (WorkerSlot& w : slots) {
+      if (w.fd < 0 || w.busy || pending.empty()) continue;
+      TaskGrant g = pending.front();
+      pending.pop_front();
+      g.attempts += 1;
+      std::string payload;
+      AppendRaw(&payload, static_cast<uint64_t>(g.start));
+      AppendRaw(&payload, static_cast<uint64_t>(g.end));
+      w.busy = true;
+      w.grant = g;
+      w.next_index = g.start;
+      counters.Add(Counter::kChunkClaims, 1);
+      if (tracer != nullptr) {
+        w.span = tracer->BeginSpan(span_category::kTask, "grant", op.id());
+        tracer->AddSpanArg(w.span, "worker",
+                           static_cast<uint64_t>(&w - slots.data()));
+        tracer->AddSpanArg(w.span, "first_index", g.start);
+        tracer->AddSpanArg(w.span, "num_indices", g.end - g.start);
+      }
+      Status sent = WriteMpFrame(w.fd, MpFrameType::kGrant, payload,
+                                 &net_bytes);
+      if (!sent.ok()) handle_death(w);  // reclaims the grant just issued
+      if (!job_status.ok()) break;
+    }
+    if (!job_status.ok()) break;
+
+    bool any_busy = false;
+    bool any_alive = false;
+    for (const WorkerSlot& w : slots) {
+      any_busy |= w.busy;
+      any_alive |= w.fd >= 0;
+    }
+    // Done only once every result is consumed AND every kDone is in, so
+    // final counter deltas are not dropped on the floor.
+    if (consumed == count && !any_busy) break;
+    if (!any_alive) {
+      fail(Status::IOError(
+          "all mp workers lost with work pending (spawned " +
+          std::to_string(
+              counters.value(Counter::kWorkersSpawned)) +
+          ", consumed " + std::to_string(consumed) + "/" +
+          std::to_string(count) + ")"));
+      break;
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<size_t> fd_slot;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].fd < 0) continue;
+      fds.push_back({slots[i].fd, POLLIN, 0});
+      fd_slot.push_back(i);
+    }
+    int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      fail(Status::IOError(std::string("mp poll failed: ") +
+                           std::strerror(errno)));
+      break;
+    }
+    for (size_t i = 0; i < fds.size() && job_status.ok(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      WorkerSlot& w = slots[fd_slot[i]];
+      if (w.fd < 0) continue;  // died while handling an earlier fd
+      StatusOr<MpFrame> frame = ReadMpFrame(w.fd, &net_bytes);
+      if (!frame.ok()) {
+        // NotFound is the worker's clean close, IOError a torn frame —
+        // both mean the worker is gone. Corruption means the stream
+        // itself is bad, which no respawn fixes: fail the job.
+        if (frame.status().code() == Status::Code::kCorruption) {
+          fail(frame.status());
+        } else {
+          handle_death(w);
+        }
+        continue;
+      }
+      WireCursor cur{frame->payload.data(),
+                     frame->payload.data() + frame->payload.size()};
+      switch (frame->type) {
+        case MpFrameType::kResult: {
+          uint64_t index = 0;
+          if (!ReadRaw(&cur, &index).ok() || !w.busy ||
+              index != w.next_index || index >= w.grant.end) {
+            fail(Status::Corruption("mp result frame out of order"));
+            break;
+          }
+          frame->payload.erase(0, sizeof(index));
+          Status integrated = consume(index, std::move(frame->payload));
+          if (!integrated.ok()) {
+            fail(std::move(integrated));
+            break;
+          }
+          ++w.next_index;
+          ++consumed;
+          break;
+        }
+        case MpFrameType::kDone: {
+          uint64_t start = 0;
+          uint64_t end = 0;
+          uint32_t num_deltas = 0;
+          if (!ReadRaw(&cur, &start).ok() || !ReadRaw(&cur, &end).ok() ||
+              !ReadRaw(&cur, &num_deltas).ok() || !w.busy ||
+              start != w.grant.start || end != w.grant.end ||
+              w.next_index != w.grant.end) {
+            fail(Status::Corruption("mp done frame disagrees with grant"));
+            break;
+          }
+          bool deltas_ok = true;
+          for (uint32_t d = 0; d < num_deltas && deltas_ok; ++d) {
+            uint32_t id = 0;
+            uint64_t delta = 0;
+            deltas_ok = ReadRaw(&cur, &id).ok() &&
+                        ReadRaw(&cur, &delta).ok() && id < kNumCounters;
+            if (deltas_ok) {
+              counters.Add(static_cast<Counter>(id), delta);
+            }
+          }
+          if (!deltas_ok) {
+            fail(Status::Corruption("mp done frame has bad counter deltas"));
+            break;
+          }
+          w.busy = false;
+          if (tracer != nullptr && w.span != 0) {
+            tracer->EndSpan(w.span);
+            w.span = 0;
+          }
+          break;
+        }
+        case MpFrameType::kTaskError: {
+          uint64_t index = 0;
+          uint32_t code = 0;
+          std::string message;
+          if (!ReadRaw(&cur, &index).ok() || !ReadRaw(&cur, &code).ok() ||
+              !WireCodec<std::string>::Decode(&cur, &message).ok()) {
+            fail(Status::Corruption("mp task-error frame malformed"));
+            break;
+          }
+          counters.Add(Counter::kTasksFailed, 1);
+          fail(StatusFromWire(code, std::move(message)));
+          break;
+        }
+        default:
+          fail(Status::Corruption("unexpected mp frame from worker"));
+          break;
+      }
+    }
+  }
+
+  // Teardown: polite shutdown on success so workers _exit(0); SIGKILL on
+  // failure so nobody blocks writing into a job the driver abandoned.
+  for (WorkerSlot& w : slots) {
+    if (w.fd < 0) continue;
+    if (job_status.ok()) {
+      WriteMpFrame(w.fd, MpFrameType::kShutdown, {}, &net_bytes)
+          .ok();  // best effort; a straggler death here is harmless
+    } else {
+      ::kill(w.pid, SIGKILL);
+    }
+    ::close(w.fd);
+    w.fd = -1;
+    int wstatus = 0;
+    while (::waitpid(w.pid, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+    w.pid = -1;
+    if (tracer != nullptr && w.span != 0) {
+      tracer->EndSpan(w.span);
+      w.span = 0;
+    }
+  }
+  counters.Add(Counter::kShuffleNetBytes, net_bytes);
+  if (!job_status.ok()) op.AddArg("failed", 1);
+  return job_status;
+}
+
+}  // namespace
+
+std::unique_ptr<ExecutorBackend> MakeMultiProcessExecutorBackend(
+    MpOptions options) {
+  return std::make_unique<MpExecutorBackend>(std::move(options));
+}
+
+}  // namespace mp
+}  // namespace st4ml

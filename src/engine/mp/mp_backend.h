@@ -1,0 +1,31 @@
+#ifndef ST4ML_ENGINE_MP_MP_BACKEND_H_
+#define ST4ML_ENGINE_MP_MP_BACKEND_H_
+
+#include <memory>
+
+#include "engine/executor_backend.h"
+
+namespace st4ml {
+namespace mp {
+
+/// The multiprocess executor (DESIGN.md §14): RunSerialized forks
+/// options.num_workers single-threaded worker processes per job (SPMD — the
+/// workers inherit every input partition copy-on-write, Thrill-style, so no
+/// closure ever crosses an exec boundary), drives them with task grants
+/// over per-worker AF_UNIX socketpairs, and integrates their serialized
+/// results on the driver in index order. Worker death (EOF/waitpid) is
+/// first-class: unfinished grant indices are re-granted to survivors or
+/// respawned replacements, bounded by options.retry.max_attempts per chunk
+/// and options.max_respawns per job; a fully-lost worker set fails the job
+/// with a clean Status.
+///
+/// The driver process must be effectively single-threaded while a job runs
+/// (fork would duplicate only the calling thread); ExecutionContext
+/// arranges this by pairing the backend with a pool of one.
+std::unique_ptr<ExecutorBackend> MakeMultiProcessExecutorBackend(
+    MpOptions options);
+
+}  // namespace mp
+}  // namespace st4ml
+
+#endif  // ST4ML_ENGINE_MP_MP_BACKEND_H_

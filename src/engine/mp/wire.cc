@@ -1,0 +1,122 @@
+#include "engine/mp/wire.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "ingest/wal.h"
+
+namespace st4ml {
+namespace mp {
+namespace {
+
+template <typename T>
+void AppendRaw(std::string* out, const T& value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+/// send(2) with MSG_NOSIGNAL so a vanished peer surfaces as EPIPE instead
+/// of killing the process — worker death is a first-class event here, not a
+/// crash. Falls back to write(2) for plain fds (tests feed pipes too).
+Status WriteAll(int fd, const char* data, size_t len, uint64_t* net_bytes) {
+  while (len > 0) {
+    ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("mp frame write failed: ") +
+                             std::strerror(errno));
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+    if (net_bytes != nullptr) *net_bytes += static_cast<uint64_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// Reads exactly `len` bytes. `*got` reports how many arrived before an
+/// EOF, so the caller can tell "clean close" from "torn frame".
+Status ReadAll(int fd, char* data, size_t len, size_t* got,
+               uint64_t* net_bytes) {
+  *got = 0;
+  while (*got < len) {
+    ssize_t n = ::read(fd, data + *got, len - *got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("mp frame read failed: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) return Status::Ok();  // EOF; *got says how far we came
+    *got += static_cast<size_t>(n);
+    if (net_bytes != nullptr) *net_bytes += static_cast<uint64_t>(n);
+  }
+  return Status::Ok();
+}
+
+bool ValidFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(MpFrameType::kGrant) &&
+         type <= static_cast<uint8_t>(MpFrameType::kShutdown);
+}
+
+}  // namespace
+
+void AppendMpFrame(std::string* out, MpFrameType type,
+                   std::string_view payload) {
+  AppendRaw(out, static_cast<uint8_t>(type));
+  AppendRaw(out, static_cast<uint32_t>(payload.size()));
+  AppendRaw(out, WalCrc32(payload.data(), payload.size()));
+  out->append(payload.data(), payload.size());
+}
+
+Status WriteMpFrame(int fd, MpFrameType type, std::string_view payload,
+                    uint64_t* net_bytes) {
+  char header[kMpFrameHeaderBytes];
+  header[0] = static_cast<char>(type);
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint32_t crc = WalCrc32(payload.data(), payload.size());
+  std::memcpy(header + 1, &len, sizeof(len));
+  std::memcpy(header + 5, &crc, sizeof(crc));
+  ST4ML_RETURN_IF_ERROR(WriteAll(fd, header, sizeof(header), net_bytes));
+  return WriteAll(fd, payload.data(), payload.size(), net_bytes);
+}
+
+StatusOr<MpFrame> ReadMpFrame(int fd, uint64_t* net_bytes) {
+  char header[kMpFrameHeaderBytes];
+  size_t got = 0;
+  ST4ML_RETURN_IF_ERROR(
+      ReadAll(fd, header, sizeof(header), &got, net_bytes));
+  if (got == 0) return Status::NotFound("mp peer closed");
+  if (got < sizeof(header)) {
+    return Status::IOError("truncated mp frame header");
+  }
+  uint8_t type = static_cast<uint8_t>(header[0]);
+  if (!ValidFrameType(type)) {
+    return Status::Corruption("unknown mp frame type " +
+                              std::to_string(static_cast<int>(type)));
+  }
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  std::memcpy(&len, header + 1, sizeof(len));
+  std::memcpy(&crc, header + 5, sizeof(crc));
+  if (len > kMaxMpFramePayload) {
+    return Status::Corruption("oversized mp frame payload: " +
+                              std::to_string(len) + " bytes declared");
+  }
+  MpFrame frame;
+  frame.type = static_cast<MpFrameType>(type);
+  frame.payload.resize(len);
+  if (len > 0) {
+    ST4ML_RETURN_IF_ERROR(
+        ReadAll(fd, frame.payload.data(), len, &got, net_bytes));
+    if (got < len) return Status::IOError("truncated mp frame payload");
+  }
+  if (WalCrc32(frame.payload.data(), frame.payload.size()) != crc) {
+    return Status::Corruption("mp frame crc mismatch");
+  }
+  return frame;
+}
+
+}  // namespace mp
+}  // namespace st4ml

@@ -1,0 +1,64 @@
+#ifndef ST4ML_ENGINE_MP_WIRE_H_
+#define ST4ML_ENGINE_MP_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace st4ml {
+namespace mp {
+
+/// Driver ↔ worker frame types of the multiprocess executor (DESIGN.md §14).
+/// The protocol is strictly request/response per worker: the driver sends
+/// one kGrant at a time; the worker answers with a kResult per index in
+/// ascending order, then one kDone carrying its counter deltas — or a
+/// kTaskError naming the first failed index. kShutdown ends a worker
+/// cleanly; an EOF at any other moment is a worker death.
+enum class MpFrameType : uint8_t {
+  kGrant = 1,
+  kResult = 2,
+  kDone = 3,
+  kTaskError = 4,
+  kShutdown = 5,
+};
+
+/// Frame layout, CRC-framed like a PR 9 WAL record but with a leading type
+/// byte: u8 type | u32 payload_len | u32 crc32(payload) | payload. All
+/// little-endian (driver and workers are forks of one process).
+inline constexpr size_t kMpFrameHeaderBytes = 1 + 4 + 4;
+
+/// Declared-length cap, validated BEFORE the payload is read so a corrupt
+/// length word can never drive a giant allocation. Shuffle buckets are the
+/// largest payloads; 1 GiB bounds them generously.
+inline constexpr uint32_t kMaxMpFramePayload = 1u << 30;
+
+struct MpFrame {
+  MpFrameType type = MpFrameType::kShutdown;
+  std::string payload;
+};
+
+/// Serializes one frame (header + CRC + payload) onto `out`.
+void AppendMpFrame(std::string* out, MpFrameType type,
+                   std::string_view payload);
+
+/// Writes one frame to `fd`, retrying short writes and EINTR. A peer that
+/// vanished (EPIPE/ECONNRESET) is an IOError — the caller treats it as a
+/// worker death, never a crash. When `net_bytes` is non-null it accumulates
+/// the frame bytes actually written (kShuffleNetBytes accounting).
+Status WriteMpFrame(int fd, MpFrameType type, std::string_view payload,
+                    uint64_t* net_bytes);
+
+/// Blocking read of exactly one frame from `fd`.
+///  - clean EOF before any header byte → NotFound (the peer closed between
+///    frames: a finished worker, or a driver done granting);
+///  - EOF mid-frame → IOError "truncated" (a death or torn write);
+///  - unknown type, oversized declared length, or CRC mismatch →
+///    Corruption. The oversized check fires before any payload allocation.
+StatusOr<MpFrame> ReadMpFrame(int fd, uint64_t* net_bytes);
+
+}  // namespace mp
+}  // namespace st4ml
+
+#endif  // ST4ML_ENGINE_MP_WIRE_H_

@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "engine/append_only_map.h"
 #include "engine/dataset.h"
+#include "engine/mp/distributed.h"
 
 namespace st4ml {
 
@@ -144,7 +145,69 @@ BucketedPartition<K, V> BucketByTarget(In&& input, size_t num_targets) {
   return out;
 }
 
+/// What one map-side shuffle task hands back: the bucketed partition plus
+/// its record/byte accounting, all of it in one value so a distributed run
+/// can ship the whole thing through the serialized seam and fold the
+/// counters driver-side exactly like the in-process run does.
+template <typename K, typename V>
+struct MapShuffleResult {
+  BucketedPartition<K, V> bucketed;
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+};
+
 }  // namespace internal
+
+namespace mp {
+
+/// Shuffle bucket wire format (DESIGN.md §14): the per-target buckets a map
+/// task produced, exactly as BucketByTarget laid them out — records then
+/// offsets. Decode re-validates the layout invariants (monotone offsets
+/// ending at the record count) so corrupt bytes can never drive bucket()
+/// out of bounds.
+template <typename K, typename V>
+struct WireCodec<st4ml::internal::BucketedPartition<K, V>,
+                 std::enable_if_t<kHasWireCodec<std::pair<K, V>>>> {
+  static void Encode(const st4ml::internal::BucketedPartition<K, V>& v,
+                     std::string* out) {
+    WireCodec<std::vector<std::pair<K, V>>>::Encode(v.records, out);
+    WireCodec<std::vector<size_t>>::Encode(v.offsets, out);
+  }
+  static Status Decode(WireCursor* cur,
+                       st4ml::internal::BucketedPartition<K, V>* out) {
+    using RecordVec = std::vector<std::pair<K, V>>;
+    ST4ML_RETURN_IF_ERROR(WireCodec<RecordVec>::Decode(cur, &out->records));
+    ST4ML_RETURN_IF_ERROR(
+        WireCodec<std::vector<size_t>>::Decode(cur, &out->offsets));
+    if (out->offsets.empty() || out->offsets.front() != 0 ||
+        out->offsets.back() != out->records.size() ||
+        !std::is_sorted(out->offsets.begin(), out->offsets.end())) {
+      return Status::Corruption("mp shuffle bucket offsets malformed");
+    }
+    return Status::Ok();
+  }
+};
+
+template <typename K, typename V>
+struct WireCodec<st4ml::internal::MapShuffleResult<K, V>,
+                 std::enable_if_t<kHasWireCodec<std::pair<K, V>>>> {
+  static void Encode(const st4ml::internal::MapShuffleResult<K, V>& v,
+                     std::string* out) {
+    AppendRaw(out, v.records);
+    AppendRaw(out, v.bytes);
+    WireCodec<st4ml::internal::BucketedPartition<K, V>>::Encode(v.bucketed,
+                                                                out);
+  }
+  static Status Decode(WireCursor* cur,
+                       st4ml::internal::MapShuffleResult<K, V>* out) {
+    ST4ML_RETURN_IF_ERROR(ReadRaw(cur, &out->records));
+    ST4ML_RETURN_IF_ERROR(ReadRaw(cur, &out->bytes));
+    return WireCodec<st4ml::internal::BucketedPartition<K, V>>::Decode(
+        cur, &out->bucketed);
+  }
+};
+
+}  // namespace mp
 
 /// Spark's reduceByKey: map-side combine inside each partition, then a hash
 /// shuffle of the combined pairs, then a target-side reduce. Only the
@@ -176,11 +239,14 @@ StatusOr<Dataset<std::pair<K, V>>> TryReduceByKey(
   const auto& ctx = ds.context();
   ScopedSpan op(ctx->tracer(), span_category::kOperation, "reduce_by_key");
 
-  // Map side: combine, bucket by target, and account shuffle volume.
+  // Map side: combine, bucket by target, and account shuffle volume. Under
+  // a distributed executor the whole MapShuffleResult (per-target buckets +
+  // accounting) crosses the socket; the local backend stores it directly.
+  using MapResult = internal::MapShuffleResult<K, V>;
   std::vector<internal::BucketedPartition<K, V>> bucketed(n);
   std::vector<uint64_t> partial_records(n, 0);
   std::vector<uint64_t> partial_bytes(n, 0);
-  auto map_task = [&](size_t p) -> Status {
+  auto map_task = [&](size_t p) -> StatusOr<MapResult> {
     const auto& part = ds.partition(p);
     std::vector<std::pair<K, V>> combined;
     if constexpr (internal::kOrderedKey<K>) {
@@ -201,14 +267,24 @@ StatusOr<Dataset<std::pair<K, V>>> TryReduceByKey(
       }
       combined.assign(acc.begin(), acc.end());
     }
-    uint64_t bytes = 0;
-    for (const auto& kv : combined) bytes += ApproxShuffleBytes(kv);
-    partial_records[p] = combined.size();
-    partial_bytes[p] = bytes;
-    bucketed[p] = internal::BucketByTarget<K, V, Hash>(std::move(combined), n);
+    MapResult result;
+    for (const auto& kv : combined) result.bytes += ApproxShuffleBytes(kv);
+    result.records = combined.size();
+    result.bucketed =
+        internal::BucketByTarget<K, V, Hash>(std::move(combined), n);
+    return result;
+  };
+  auto map_store = [&](size_t p, MapResult&& result) -> Status {
+    if (result.bucketed.offsets.size() != n + 1) {
+      return Status::Corruption("mp shuffle bucket count disagrees with job");
+    }
+    partial_records[p] = result.records;
+    partial_bytes[p] = result.bytes;
+    bucketed[p] = std::move(result.bucketed);
     return Status::Ok();
   };
-  ST4ML_RETURN_IF_ERROR(ctx->TryRunParallel("reduce_by_key/map", n, map_task));
+  ST4ML_RETURN_IF_ERROR(mp::RunDistributed<MapResult>(
+      *ctx, "reduce_by_key/map", n, map_task, map_store));
 
   uint64_t records = 0;
   uint64_t bytes = 0;
@@ -225,8 +301,10 @@ StatusOr<Dataset<std::pair<K, V>>> TryReduceByKey(
   // per source (the map side combined them), so each key's values combine
   // in source partition order — the same reduce sequence the rescan shuffle
   // produced — and the final key sort (unique keys) pins the output.
+  using MergeResult = std::vector<std::pair<K, V>>;
   typename Dataset<std::pair<K, V>>::Partitions out(n);
-  auto merge_task = [&](size_t target) -> Status {
+  auto merge_task = [&](size_t target) -> StatusOr<MergeResult> {
+    MergeResult merged;
     if constexpr (internal::kOrderedKey<K>) {
       size_t bound = 0;
       for (const auto& b : bucketed) bound += b.bucket_size(target);
@@ -237,8 +315,8 @@ StatusOr<Dataset<std::pair<K, V>>> TryReduceByKey(
           acc.InsertOrCombine(it->first, it->second, reduce);
         }
       }
-      out[target] = std::move(acc).TakeEntries();
-      internal::SortByKeyIfOrdered<K, V>(&out[target]);
+      merged = std::move(acc).TakeEntries();
+      internal::SortByKeyIfOrdered<K, V>(&merged);
     } else {
       std::unordered_map<K, V, Hash> acc;
       for (size_t p = 0; p < n; ++p) {
@@ -252,12 +330,16 @@ StatusOr<Dataset<std::pair<K, V>>> TryReduceByKey(
           }
         }
       }
-      out[target].assign(acc.begin(), acc.end());
+      merged.assign(acc.begin(), acc.end());
     }
+    return merged;
+  };
+  auto merge_store = [&](size_t target, MergeResult&& merged) -> Status {
+    out[target] = std::move(merged);
     return Status::Ok();
   };
-  ST4ML_RETURN_IF_ERROR(
-      ctx->TryRunParallel("reduce_by_key/merge", n, merge_task));
+  ST4ML_RETURN_IF_ERROR(mp::RunDistributed<MergeResult>(
+      *ctx, "reduce_by_key/merge", n, merge_task, merge_store));
   return Dataset<std::pair<K, V>>::FromPartitions(ctx, std::move(out));
 }
 
@@ -291,31 +373,44 @@ StatusOr<Dataset<std::pair<K, std::vector<V>>>> TryGroupByKey(
   if (n == 0) return Dataset<std::pair<K, std::vector<V>>>();
   ScopedSpan op(ctx->tracer(), span_category::kOperation, "group_by_key");
 
+  using MapResult = internal::MapShuffleResult<K, V>;
   std::vector<internal::BucketedPartition<K, V>> bucketed(n);
+  std::vector<uint64_t> partial_records(n, 0);
   std::vector<uint64_t> partial_bytes(n, 0);
-  auto bucket_task = [&](size_t p) -> Status {
+  auto bucket_task = [&](size_t p) -> StatusOr<MapResult> {
     const auto& part = ds.partition(p);
-    uint64_t bytes = 0;
-    for (const auto& kv : part) bytes += ApproxShuffleBytes(kv);
-    partial_bytes[p] = bytes;
-    bucketed[p] = internal::BucketByTarget<K, V, Hash>(part, n);
+    MapResult result;
+    for (const auto& kv : part) result.bytes += ApproxShuffleBytes(kv);
+    result.records = part.size();
+    result.bucketed = internal::BucketByTarget<K, V, Hash>(part, n);
+    return result;
+  };
+  auto bucket_store = [&](size_t p, MapResult&& result) -> Status {
+    if (result.bucketed.offsets.size() != n + 1) {
+      return Status::Corruption("mp shuffle bucket count disagrees with job");
+    }
+    partial_records[p] = result.records;
+    partial_bytes[p] = result.bytes;
+    bucketed[p] = std::move(result.bucketed);
     return Status::Ok();
   };
-  ST4ML_RETURN_IF_ERROR(
-      ctx->TryRunParallel("group_by_key/bucket", n, bucket_task));
+  ST4ML_RETURN_IF_ERROR(mp::RunDistributed<MapResult>(
+      *ctx, "group_by_key/bucket", n, bucket_task, bucket_store));
 
   uint64_t records = 0;
   uint64_t bytes = 0;
   for (size_t p = 0; p < n; ++p) {
-    records += ds.partition(p).size();
+    records += partial_records[p];
     bytes += partial_bytes[p];
   }
   internal::Counters(*ctx).AddShuffle(ShuffleOp::kGroupByKey, records, bytes);
   op.AddArg("records", records);
   op.AddArg("bytes", bytes);
 
+  using MergeResult = std::vector<std::pair<K, std::vector<V>>>;
   typename Dataset<std::pair<K, std::vector<V>>>::Partitions out(n);
-  auto merge_task = [&](size_t target) -> Status {
+  auto merge_task = [&](size_t target) -> StatusOr<MergeResult> {
+    MergeResult merged;
     if constexpr (internal::kOrderedKey<K>) {
       // Two passes so every group vector is allocated exactly once at its
       // final size: the first sweep maps keys to dense indices (insertion
@@ -339,20 +434,19 @@ StatusOr<Dataset<std::pair<K, std::vector<V>>>> TryGroupByKey(
         }
       }
       auto entries = std::move(keys).TakeEntries();
-      out[target].reserve(entries.size());
+      merged.reserve(entries.size());
       for (size_t k = 0; k < entries.size(); ++k) {
-        out[target].emplace_back(std::move(entries[k].first),
-                                 std::vector<V>());
-        out[target][k].second.reserve(counts[k]);
+        merged.emplace_back(std::move(entries[k].first), std::vector<V>());
+        merged[k].second.reserve(counts[k]);
       }
       r = 0;
       for (size_t p = 0; p < n; ++p) {
         auto [it, end] = bucketed[p].bucket(target);
         for (; it != end; ++it) {
-          out[target][rec_key[r++]].second.push_back(std::move(it->second));
+          merged[rec_key[r++]].second.push_back(std::move(it->second));
         }
       }
-      internal::SortByKeyIfOrdered<K, std::vector<V>>(&out[target]);
+      internal::SortByKeyIfOrdered<K, std::vector<V>>(&merged);
     } else {
       std::unordered_map<K, std::vector<V>, Hash> groups;
       for (size_t p = 0; p < n; ++p) {
@@ -361,12 +455,16 @@ StatusOr<Dataset<std::pair<K, std::vector<V>>>> TryGroupByKey(
           groups[it->first].push_back(std::move(it->second));
         }
       }
-      out[target].assign(groups.begin(), groups.end());
+      merged.assign(groups.begin(), groups.end());
     }
+    return merged;
+  };
+  auto merge_store = [&](size_t target, MergeResult&& merged) -> Status {
+    out[target] = std::move(merged);
     return Status::Ok();
   };
-  ST4ML_RETURN_IF_ERROR(
-      ctx->TryRunParallel("group_by_key/merge", n, merge_task));
+  ST4ML_RETURN_IF_ERROR(mp::RunDistributed<MergeResult>(
+      *ctx, "group_by_key/merge", n, merge_task, merge_store));
   return Dataset<std::pair<K, std::vector<V>>>::FromPartitions(ctx,
                                                                std::move(out));
 }

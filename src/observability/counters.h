@@ -48,6 +48,13 @@ namespace st4ml {
 ///    records recovered from WAL segments when an Ingestor reopens a
 ///    directory after a crash; kCompactionsRun counts background compaction
 ///    cycles that published at least one partition (DESIGN.md §13).
+///  - kWorkersSpawned / kWorkersLost count multiprocess-executor worker
+///    forks (including respawns) and workers that died before finishing;
+///    kChunksReclaimed counts task grants a dead worker left unfinished
+///    that the driver re-granted to survivors; kShuffleNetBytes counts
+///    frame bytes (headers + payloads) that actually crossed the driver ↔
+///    worker sockets (DESIGN.md §14). The local executor touches none of
+///    these.
 enum class Counter : uint32_t {
   kShuffleRecords = 0,
   kShuffleBytes,
@@ -91,6 +98,10 @@ enum class Counter : uint32_t {
   kWalSegmentsScanned,
   kWalReplayedRecords,
   kCompactionsRun,
+  kWorkersSpawned,
+  kWorkersLost,
+  kChunksReclaimed,
+  kShuffleNetBytes,
   kNumCounters,
 };
 
@@ -142,6 +153,10 @@ inline const char* CounterName(Counter c) {
       "wal_segments_scanned",
       "wal_replayed_records",
       "compactions_run",
+      "workers_spawned",
+      "workers_lost",
+      "chunks_reclaimed",
+      "shuffle_net_bytes",
   };
   return kNames[static_cast<size_t>(c)];
 }

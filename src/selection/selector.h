@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "engine/cached_dataset.h"
 #include "engine/dataset.h"
+#include "engine/mp/distributed.h"
 #include "index/rtree.h"
 #include "index/stix.h"
 #include "ingest/wal.h"
@@ -90,7 +91,58 @@ StatusOr<std::shared_ptr<const void>> ReloadIndexedFile(
       MakeIndexedFile<RecordT>(std::move(*loaded), /*build_tree=*/true));
 }
 
+/// One file's complete Select outcome: the selected records plus every
+/// per-file accounting slot LoadAndFilter folds after the join. Returning
+/// it by value (instead of writing slot arrays from the task) is what lets
+/// the load run in a forked worker — the whole outcome crosses the wire in
+/// one result frame and the driver does the folding, same as in-process.
+template <typename RecordT>
+struct FileLoadResult {
+  std::vector<RecordT> records;
+  uint64_t read_bytes = 0;
+  uint64_t selected_bytes = 0;
+  uint64_t pages_read = 0;
+  uint64_t postings_hits = 0;
+  uint8_t file_read = 0;
+  uint8_t plan_run = 0;  // FilePlan actually executed (kLinearScan default)
+  uint8_t mmapped = 0;
+};
+
 }  // namespace selection_internal
+
+namespace mp {
+
+/// Fixed-width stats first (cheap to reject on a torn payload), the record
+/// vector last. plan_run is range-checked by the store, not here: the codec
+/// proves the bytes well-formed, the job proves them consistent.
+template <typename RecordT>
+struct WireCodec<selection_internal::FileLoadResult<RecordT>,
+                 std::enable_if_t<kHasWireCodec<RecordT>>> {
+  static void Encode(const selection_internal::FileLoadResult<RecordT>& v,
+                     std::string* out) {
+    AppendRaw(out, v.read_bytes);
+    AppendRaw(out, v.selected_bytes);
+    AppendRaw(out, v.pages_read);
+    AppendRaw(out, v.postings_hits);
+    AppendRaw(out, v.file_read);
+    AppendRaw(out, v.plan_run);
+    AppendRaw(out, v.mmapped);
+    WireCodec<std::vector<RecordT>>::Encode(v.records, out);
+  }
+  static Status Decode(WireCursor* cur,
+                       selection_internal::FileLoadResult<RecordT>* out) {
+    ST4ML_RETURN_IF_ERROR(ReadRaw(cur, &out->read_bytes));
+    ST4ML_RETURN_IF_ERROR(ReadRaw(cur, &out->selected_bytes));
+    ST4ML_RETURN_IF_ERROR(ReadRaw(cur, &out->pages_read));
+    ST4ML_RETURN_IF_ERROR(ReadRaw(cur, &out->postings_hits));
+    ST4ML_RETURN_IF_ERROR(ReadRaw(cur, &out->file_read));
+    ST4ML_RETURN_IF_ERROR(ReadRaw(cur, &out->plan_run));
+    ST4ML_RETURN_IF_ERROR(ReadRaw(cur, &out->mmapped));
+    return WireCodec<std::vector<RecordT>>::Decode(cur, &out->records);
+  }
+};
+
+}  // namespace mp
 
 struct SelectorOptions {
   /// When set (and partition_after_select is true), the selected records are
@@ -252,13 +304,21 @@ class Selector {
     CounterRegistry& counters = internal::Counters(*ctx_);
     Tracer* tracer = ctx_->tracer();
     const uint64_t op_span = op.id();
+    // The DatasetCache lives in driver memory: a forked worker's Put is
+    // invisible and a Get would serve a stale copy-on-write snapshot, so a
+    // distributed executor plans as if the cache were disabled (workers
+    // serve files from the sidecar index or a linear scan instead).
     DatasetCache* cache =
-        options_.use_cache && ctx_->cache().enabled() ? &ctx_->cache()
-                                                      : nullptr;
+        options_.use_cache && !ctx_->distributed() && ctx_->cache().enabled()
+            ? &ctx_->cache()
+            : nullptr;
     QueryPlanner planner(cache, options_.use_disk_index);
     typename Dataset<RecordT>::Partitions parts(paths.size());
     // Per-file accounting slots, folded into stats_/counters on the driver
-    // after the join — worker tasks never touch shared mutable state.
+    // after the join. Tasks return everything through a FileLoadResult —
+    // the slots are filled only by the index-addressed store, which runs
+    // in-process whichever executor produced the result.
+    using FileLoad = selection_internal::FileLoadResult<RecordT>;
     std::vector<uint64_t> read_bytes(paths.size(), 0);
     std::vector<uint64_t> selected_bytes(paths.size(), 0);
     std::vector<uint8_t> file_read(paths.size(), 0);
@@ -267,11 +327,12 @@ class Selector {
     std::vector<uint8_t> mmapped(paths.size(), 0);
     std::vector<uint64_t> pages_read(paths.size(), 0);
     std::vector<uint64_t> postings_hits(paths.size(), 0);
-    auto load_task = [&](size_t i) -> Status {
+    auto load_task = [&](size_t i) -> StatusOr<FileLoad> {
+      FileLoad out;
       ScopedSpan io(tracer, span_category::kIo, "stpq_read", op_span);
       const FilePlan plan = planner.Plan(paths[i]);
       if (plan == FilePlan::kWalScan) {
-        plan_run[i] = static_cast<uint8_t>(FilePlan::kWalScan);
+        out.plan_run = static_cast<uint8_t>(FilePlan::kWalScan);
         io.AddArg("plan_wal", 1);
         if constexpr (std::is_same_v<RecordT, EventRecord>) {
           // Tolerant read: a merged Select may race the live appender, and
@@ -279,18 +340,20 @@ class Selector {
           // in-flight tail — unacked by definition, so correct to exclude.
           auto result = ReadWalSegment(paths[i], /*strict=*/false);
           if (!result.ok()) return result.status();
-          read_bytes[i] = result->good_bytes;
-          file_read[i] = 1;
-          parts[i] =
-              FilterRecords(std::move(result->records), &selected_bytes[i]);
-          return Status::Ok();
+          out.read_bytes = result->good_bytes;
+          out.file_read = 1;
+          out.records =
+              FilterRecords(std::move(result->records), &out.selected_bytes);
+          return out;
         } else {
           return Status::InvalidArgument("WAL staging holds event records: " +
                                          paths[i]);
         }
       }
       if (plan == FilePlan::kCachedIndex) {
-        plan_run[i] = static_cast<uint8_t>(FilePlan::kCachedIndex);
+        // Only planned when `cache` is non-null, which implies a
+        // non-distributed executor: this branch always runs in-process.
+        out.plan_run = static_cast<uint8_t>(FilePlan::kCachedIndex);
         io.AddArg("plan_cached", 1);
         uint64_t key = cache->InternDatasetId(FileCacheName(paths[i]));
         auto got = cache->Get(key, 0);
@@ -300,67 +363,81 @@ class Selector {
           // matching records; no file I/O, no parse, no tree build.
           auto file = std::static_pointer_cast<
               const selection_internal::IndexedStpqFile<RecordT>>(*got);
-          parts[i] = FilterIndexed(*file, &selected_bytes[i]);
-          return Status::Ok();
+          out.records = FilterIndexed(*file, &out.selected_bytes);
+          return out;
         }
         uint64_t attempts = 0;
         auto records = options_.retry.Run(
             [&]() -> StatusOr<std::vector<RecordT>> {
               uint64_t bytes = 0;
               auto loaded = ReadStpqFile<RecordT>(paths[i], &bytes);
-              if (loaded.ok()) read_bytes[i] = bytes;
+              if (loaded.ok()) out.read_bytes = bytes;
               return loaded;
             },
             &counters, &attempts);
-        io.AddArg("bytes", read_bytes[i]);
+        io.AddArg("bytes", out.read_bytes);
         if (attempts > 1) io.AddArg("attempts", attempts);
         if (!records.ok()) return records.status();
-        file_read[i] = 1;
+        out.file_read = 1;
         // Miss: admit the records (indexed, when this selector refines
         // through the tree), with the source file as the reload path —
         // eviction drops memory without writing anything.
         auto file = selection_internal::MakeIndexedFile<RecordT>(
             std::move(records).value(), options_.use_rtree);
-        cache->PutWithOrigin(key, 0, file, read_bytes[i], paths[i],
+        cache->PutWithOrigin(key, 0, file, out.read_bytes, paths[i],
                              &selection_internal::ReloadIndexedFile<RecordT>);
-        parts[i] = FilterIndexed(*file, &selected_bytes[i]);
-        return Status::Ok();
+        out.records = FilterIndexed(*file, &out.selected_bytes);
+        return out;
       }
       if (plan == FilePlan::kMmapIndex) {
-        auto served = ServeViaStix(paths[i], &parts[i], &read_bytes[i],
-                                   &selected_bytes[i], &file_read[i],
-                                   &pages_read[i], &postings_hits[i],
-                                   &mmapped[i], counters);
+        auto served = ServeViaStix(paths[i], &out.records, &out.read_bytes,
+                                   &out.selected_bytes, &out.file_read,
+                                   &out.pages_read, &out.postings_hits,
+                                   &out.mmapped, counters);
         if (!served.ok()) return served.status();  // hard I/O or corruption
         if (*served) {
-          plan_run[i] = static_cast<uint8_t>(FilePlan::kMmapIndex);
+          out.plan_run = static_cast<uint8_t>(FilePlan::kMmapIndex);
           io.AddArg("plan_mmap", 1);
-          io.AddArg("bytes", read_bytes[i]);
-          return Status::Ok();
+          io.AddArg("bytes", out.read_bytes);
+          return out;
         }
         // Invalid / stale sidecar: fall through to the linear scan.
       }
-      plan_run[i] = static_cast<uint8_t>(FilePlan::kLinearScan);
+      out.plan_run = static_cast<uint8_t>(FilePlan::kLinearScan);
       io.AddArg("plan_scan", 1);
       uint64_t attempts = 0;
       auto records = options_.retry.Run(
           [&]() -> StatusOr<std::vector<RecordT>> {
             uint64_t bytes = 0;
             auto loaded = ReadStpqFile<RecordT>(paths[i], &bytes);
-            if (loaded.ok()) read_bytes[i] = bytes;
+            if (loaded.ok()) out.read_bytes = bytes;
             return loaded;
           },
           &counters, &attempts);
-      io.AddArg("bytes", read_bytes[i]);
+      io.AddArg("bytes", out.read_bytes);
       if (attempts > 1) io.AddArg("attempts", attempts);
       if (!records.ok()) return records.status();
-      file_read[i] = 1;
-      parts[i] = FilterRecords(std::move(records).value(), &selected_bytes[i]);
+      out.file_read = 1;
+      out.records =
+          FilterRecords(std::move(records).value(), &out.selected_bytes);
+      return out;
+    };
+    auto load_store = [&](size_t i, FileLoad&& result) -> Status {
+      if (result.plan_run >= kNumFilePlans) {
+        return Status::Corruption("selection plan id out of range");
+      }
+      read_bytes[i] = result.read_bytes;
+      selected_bytes[i] = result.selected_bytes;
+      file_read[i] = result.file_read;
+      plan_run[i] = result.plan_run;
+      mmapped[i] = result.mmapped;
+      pages_read[i] = result.pages_read;
+      postings_hits[i] = result.postings_hits;
+      parts[i] = std::move(result.records);
       return Status::Ok();
     };
-    ST4ML_RETURN_IF_ERROR(
-        ctx_->TryRunParallel("selection/load_filter", paths.size(),
-                             load_task));
+    ST4ML_RETURN_IF_ERROR(mp::RunDistributed<FileLoad>(
+        *ctx_, "selection/load_filter", paths.size(), load_task, load_store));
     uint64_t records_out = 0;
     uint64_t loaded_bytes = 0;
     uint64_t kept_bytes = 0;

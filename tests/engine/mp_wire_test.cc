@@ -1,0 +1,235 @@
+// Wire-format hardening for the multiprocess executor (DESIGN.md §14), in
+// the stpq_corruption_test byte-mutation style: every truncation, CRC flip,
+// type-byte stomp and oversized declared length of a valid frame must
+// surface as Corruption or IOError when read back over a real socketpair —
+// never as a successfully parsed frame with different bytes, and never as
+// an allocation driven by a corrupt length word. The value codecs get the
+// same treatment: round-trips are byte-exact (including the zero-record
+// shuffle bucket), and mutated payloads fail closed.
+
+#include <unistd.h>
+
+#include <sys/socket.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/mp/codec.h"
+#include "engine/mp/wire.h"
+#include "engine/pair_ops.h"
+#include "storage/records.h"
+
+namespace st4ml {
+namespace mp {
+namespace {
+
+/// Feeds `bytes` to ReadMpFrame through a real socketpair (the transport
+/// the executor uses), closing the write end so a short feed reads as a
+/// peer death, exactly like a worker dying mid-frame.
+StatusOr<MpFrame> ReadFromBytes(const std::string& bytes) {
+  int sv[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(sv[0], bytes.data() + off, bytes.size() - off);
+    EXPECT_GT(n, 0);
+    off += static_cast<size_t>(n);
+  }
+  ::close(sv[0]);
+  auto frame = ReadMpFrame(sv[1], nullptr);
+  ::close(sv[1]);
+  return frame;
+}
+
+std::string ValidFrame(MpFrameType type, const std::string& payload) {
+  std::string bytes;
+  AppendMpFrame(&bytes, type, payload);
+  return bytes;
+}
+
+TEST(MpWireTest, RoundTripsEveryFrameType) {
+  for (MpFrameType type :
+       {MpFrameType::kGrant, MpFrameType::kResult, MpFrameType::kDone,
+        MpFrameType::kTaskError, MpFrameType::kShutdown}) {
+    std::string payload = "payload for type " +
+                          std::to_string(static_cast<int>(type));
+    auto frame = ReadFromBytes(ValidFrame(type, payload));
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->type, type);
+    EXPECT_EQ(frame->payload, payload);
+  }
+}
+
+TEST(MpWireTest, EmptyPayloadRoundTrips) {
+  auto frame = ReadFromBytes(ValidFrame(MpFrameType::kShutdown, ""));
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->payload, "");
+}
+
+TEST(MpWireTest, CleanEofIsNotFoundTornFrameIsIOError) {
+  auto eof = ReadFromBytes("");
+  EXPECT_EQ(eof.status().code(), Status::Code::kNotFound);
+
+  std::string valid = ValidFrame(MpFrameType::kResult, "some result bytes");
+  for (size_t cut = 1; cut < valid.size(); ++cut) {
+    auto torn = ReadFromBytes(valid.substr(0, cut));
+    ASSERT_FALSE(torn.ok()) << "cut at " << cut << " parsed";
+    EXPECT_EQ(torn.status().code(), Status::Code::kIOError)
+        << "cut at " << cut << ": " << torn.status().ToString();
+  }
+}
+
+TEST(MpWireTest, EveryCrcBitFlipIsCorruption) {
+  std::string valid = ValidFrame(MpFrameType::kResult, "checksummed");
+  // Header layout: u8 type | u32 len | u32 crc — CRC lives at bytes [5, 9).
+  for (size_t byte = 5; byte < 9; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = valid;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      auto frame = ReadFromBytes(mutated);
+      ASSERT_FALSE(frame.ok()) << "byte " << byte << " bit " << bit;
+      EXPECT_EQ(frame.status().code(), Status::Code::kCorruption)
+          << frame.status().ToString();
+    }
+  }
+}
+
+TEST(MpWireTest, EveryPayloadBitFlipIsCorruption) {
+  std::string valid = ValidFrame(MpFrameType::kDone, "abcd");
+  for (size_t byte = kMpFrameHeaderBytes; byte < valid.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = valid;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      auto frame = ReadFromBytes(mutated);
+      ASSERT_FALSE(frame.ok()) << "byte " << byte << " bit " << bit;
+      EXPECT_EQ(frame.status().code(), Status::Code::kCorruption)
+          << frame.status().ToString();
+    }
+  }
+}
+
+TEST(MpWireTest, UnknownTypeByteIsCorruption) {
+  std::string valid = ValidFrame(MpFrameType::kGrant, "grant");
+  for (uint8_t bad : {uint8_t{0}, uint8_t{6}, uint8_t{99}, uint8_t{255}}) {
+    std::string mutated = valid;
+    mutated[0] = static_cast<char>(bad);
+    auto frame = ReadFromBytes(mutated);
+    ASSERT_FALSE(frame.ok()) << "type byte " << static_cast<int>(bad);
+    EXPECT_EQ(frame.status().code(), Status::Code::kCorruption);
+  }
+}
+
+TEST(MpWireTest, OversizedDeclaredLengthRejectedBeforeAllocation) {
+  // A frame whose length word claims > kMaxMpFramePayload, with no payload
+  // behind it: the reader must reject on the declared length alone instead
+  // of trying to read (or reserve) a gigabyte.
+  std::string bytes = ValidFrame(MpFrameType::kResult, "x");
+  uint32_t huge = kMaxMpFramePayload + 1;
+  std::memcpy(&bytes[1], &huge, sizeof(huge));
+  auto frame = ReadFromBytes(bytes);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), Status::Code::kCorruption)
+      << frame.status().ToString();
+}
+
+TEST(MpWireTest, EventRecordVectorRoundTripIsByteExact) {
+  std::vector<EventRecord> records;
+  for (int i = 0; i < 20; ++i) {
+    EventRecord r;
+    r.id = i;
+    r.x = 1.5 * i;
+    r.y = -2.25 * i;
+    r.time = 1000 * i;
+    r.attr = std::string(static_cast<size_t>(i % 7), 'z');
+    records.push_back(std::move(r));
+  }
+  std::string bytes;
+  EncodeToString(records, &bytes);
+  std::vector<EventRecord> decoded;
+  ASSERT_TRUE(DecodeFromString(bytes, &decoded).ok());
+  ASSERT_EQ(decoded.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(decoded[i].id, records[i].id);
+    EXPECT_EQ(decoded[i].x, records[i].x);
+    EXPECT_EQ(decoded[i].y, records[i].y);
+    EXPECT_EQ(decoded[i].time, records[i].time);
+    EXPECT_EQ(decoded[i].attr, records[i].attr);
+  }
+}
+
+TEST(MpWireTest, TrailingGarbageAfterValidValueIsCorruption) {
+  std::string bytes;
+  EncodeToString(std::pair<int64_t, int64_t>(7, -3), &bytes);
+  bytes.push_back('\0');
+  std::pair<int64_t, int64_t> out;
+  Status status = DecodeFromString(bytes, &out);
+  EXPECT_EQ(status.code(), Status::Code::kCorruption) << status.ToString();
+}
+
+TEST(MpWireTest, ImplausibleVectorCountRejectedBeforeAllocation) {
+  std::string bytes;
+  EncodeToString(std::vector<int64_t>{1, 2, 3}, &bytes);
+  uint64_t huge = ~uint64_t{0} / 2;
+  std::memcpy(&bytes[0], &huge, sizeof(huge));
+  std::vector<int64_t> out;
+  Status status = DecodeFromString(bytes, &out);
+  EXPECT_EQ(status.code(), Status::Code::kCorruption) << status.ToString();
+}
+
+using Bucketed = internal::BucketedPartition<int64_t, int64_t>;
+
+Bucketed MakeBucketed() {
+  Bucketed b;
+  b.records = {{1, 10}, {2, 20}, {5, 50}};
+  b.offsets = {0, 1, 1, 3};  // target 1 is a zero-record bucket
+  return b;
+}
+
+TEST(MpWireTest, ZeroRecordBucketRoundTrips) {
+  Bucketed empty;
+  empty.offsets = {0, 0, 0, 0};  // 3 targets, nothing shuffled anywhere
+  std::string bytes;
+  EncodeToString(empty, &bytes);
+  Bucketed decoded;
+  ASSERT_TRUE(DecodeFromString(bytes, &decoded).ok());
+  EXPECT_TRUE(decoded.records.empty());
+  EXPECT_EQ(decoded.offsets, empty.offsets);
+
+  Bucketed mixed = MakeBucketed();
+  bytes.clear();
+  EncodeToString(mixed, &bytes);
+  ASSERT_TRUE(DecodeFromString(bytes, &decoded).ok());
+  EXPECT_EQ(decoded.records, mixed.records);
+  EXPECT_EQ(decoded.offsets, mixed.offsets);
+}
+
+TEST(MpWireTest, MalformedBucketOffsetsAreCorruption) {
+  // Each mutation produces structurally decodable vectors whose offsets
+  // violate the bucket invariants — exactly what a bit of luck with a CRC
+  // collision would have to produce to smuggle wrong records through.
+  std::vector<Bucketed> bad;
+  bad.push_back(MakeBucketed());
+  bad.back().offsets = {};  // no offsets at all
+  bad.push_back(MakeBucketed());
+  bad.back().offsets = {1, 2, 2, 3};  // does not start at 0
+  bad.push_back(MakeBucketed());
+  bad.back().offsets = {0, 1, 1, 2};  // does not end at records.size()
+  bad.push_back(MakeBucketed());
+  bad.back().offsets = {0, 2, 1, 3};  // not monotone
+  for (size_t i = 0; i < bad.size(); ++i) {
+    std::string bytes;
+    EncodeToString(bad[i], &bytes);
+    Bucketed decoded;
+    Status status = DecodeFromString(bytes, &decoded);
+    EXPECT_EQ(status.code(), Status::Code::kCorruption)
+        << "mutation " << i << ": " << status.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace mp
+}  // namespace st4ml

@@ -1,0 +1,67 @@
+// Cross-backend differential for the executor layer (DESIGN.md §14): 50
+// seeded random workloads each replay the full Selection → Repartition →
+// persist → extraction pipeline under the local executor (1 and 8 pool
+// threads) and the multiprocess executor (1, 2 and 4 forked workers). Every
+// run must Collect byte-identical output and agree with the single-threaded
+// local reference on every executor-invariant counter — record flow,
+// shuffle volume, pruning decisions and failure counts. Only the two
+// executor-shape counters may vary: chunk claims (a claim is a pool
+// artifact locally and a task grant under mp) and parallel jobs (a
+// one-worker non-distributed Repartition deals sequentially without
+// opening a job at all).
+//
+// Seeds divisible by 5 run with probabilistic faults armed on stpq/read,
+// so forked workers exercise the in-worker retry path mid-comparison (the
+// armed injector state is inherited across fork).
+//
+// The sweep is sharded into ranges of 10 so a regression names a small
+// seed set instead of one 50-seed monolith.
+
+#include "common/property.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace st4ml {
+namespace testing {
+namespace {
+
+void SweepSeeds(uint64_t begin, uint64_t end) {
+  for (uint64_t seed = begin; seed < end; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ExpectScaleoutIdentical(RandomCacheWorkload(seed));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ScaleoutPropertyTest, Seeds00Through09) { SweepSeeds(0, 10); }
+TEST(ScaleoutPropertyTest, Seeds10Through19) { SweepSeeds(10, 20); }
+TEST(ScaleoutPropertyTest, Seeds20Through29) { SweepSeeds(20, 30); }
+TEST(ScaleoutPropertyTest, Seeds30Through39) { SweepSeeds(30, 40); }
+TEST(ScaleoutPropertyTest, Seeds40Through49) { SweepSeeds(40, 50); }
+
+// The invariant list must be CacheInvariantCounters minus exactly the two
+// executor-shape counters — if someone adds a counter to one list and
+// forgets the other, the differential silently weakens.
+TEST(ScaleoutPropertyTest, InvariantCountersTrackCacheList) {
+  std::vector<Counter> expected = CacheInvariantCounters();
+  for (Counter shape : {Counter::kChunkClaims, Counter::kParallelJobs}) {
+    expected.erase(std::find(expected.begin(), expected.end(), shape));
+  }
+  EXPECT_EQ(ExecutorInvariantCounters(), expected);
+  EXPECT_EQ(ExecutorInvariantCounters().size(),
+            CacheInvariantCounters().size() - 2);
+  // The list still polices the counters that would catch a lost or
+  // double-consumed result frame.
+  const std::vector<Counter>& inv = ExecutorInvariantCounters();
+  for (Counter c : {Counter::kSelectionRecordsOut, Counter::kShuffleRecords,
+                    Counter::kTasksFailed}) {
+    EXPECT_NE(std::find(inv.begin(), inv.end(), c), inv.end())
+        << CounterName(c);
+  }
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace st4ml

@@ -1,0 +1,212 @@
+// Worker-death drills for the multiprocess executor (DESIGN.md §14): a
+// scripted SIGKILL (the mp/worker_kill site, driven deterministically via
+// MpOptions) murders a worker mid-shuffle and the job must still produce
+// byte-identical results — the driver detects the EOF, reclaims the dead
+// worker's unfinished grant, re-issues it to a survivor or a respawn, and
+// keeps every already-consumed result frame (delivery is exactly-once and
+// index-addressed, so a partially-reported grant resumes at the first
+// unreported index). A permanently-dying fleet must fail with a clean
+// Status — never a hang — once the RetryPolicy grant bound or the respawn
+// budget is exhausted.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/dataset.h"
+#include "engine/execution_context.h"
+#include "engine/pair_ops.h"
+
+namespace st4ml {
+namespace {
+
+using Pair = std::pair<int64_t, int64_t>;
+
+std::vector<Pair> RandomPairs(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Pair> pairs;
+  pairs.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pairs.emplace_back(rng.UniformInt(0, 60), rng.UniformInt(-9, 9));
+  }
+  return pairs;
+}
+
+// 16 partitions under 2 workers gives chunk = 16 / (2*4) = 2, i.e. 8
+// grants per phase — enough that every worker sees several grants and a
+// mid-job death always leaves reclaimable work.
+constexpr int kPartitions = 16;
+
+std::vector<Pair> LocalReference(const std::vector<Pair>& pairs) {
+  auto ctx = ExecutionContext::Create(2);
+  auto data = Dataset<Pair>::Parallelize(ctx, pairs, kPartitions);
+  auto reduced = TryReduceByKey<int64_t, int64_t>(data, std::plus<int64_t>());
+  ST4ML_CHECK(reduced.ok()) << reduced.status().ToString();
+  return reduced->Collect();
+}
+
+ExecutorSpec MpSpec(int workers) {
+  ExecutorSpec spec;
+  spec.kind = ExecutorSpec::Kind::kMultiProcess;
+  spec.workers = workers;
+  spec.mp.num_workers = workers;
+  return spec;
+}
+
+TEST(WorkerDeathTest, KillBeforeProducingStillByteIdentical) {
+  auto pairs = RandomPairs(4000, 11);
+  std::vector<Pair> reference = LocalReference(pairs);
+
+  ExecutorSpec spec = MpSpec(2);
+  spec.mp.kill_worker = 0;
+  spec.mp.kill_after_grants = 1;  // dies on its second grant, before work
+  auto ctx = ExecutionContext::Create(spec);
+  auto data = Dataset<Pair>::Parallelize(ctx, pairs, kPartitions);
+  auto reduced = TryReduceByKey<int64_t, int64_t>(data, std::plus<int64_t>());
+  ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+  EXPECT_EQ(reduced->Collect(), reference);
+
+  MetricsSnapshot metrics = ctx->MetricsSnapshot();
+  EXPECT_EQ(metrics[Counter::kWorkersLost], 1u);
+  EXPECT_GE(metrics[Counter::kChunksReclaimed], 1u);
+  // 2 initial forks for the map phase plus the respawn replacing the dead
+  // slot, plus 2 for the (kill-disarmed) merge phase.
+  EXPECT_GE(metrics[Counter::kWorkersSpawned], 3u);
+  EXPECT_GT(metrics[Counter::kShuffleNetBytes], 0u);
+}
+
+TEST(WorkerDeathTest, KillMidGrantResumesAtFirstUnreportedIndex) {
+  auto pairs = RandomPairs(4000, 29);
+  std::vector<Pair> reference = LocalReference(pairs);
+
+  ExecutorSpec spec = MpSpec(2);
+  spec.mp.kill_worker = 1;
+  spec.mp.kill_after_grants = 0;
+  spec.mp.kill_after_results = 1;  // one result frame escapes, then SIGKILL
+  auto ctx = ExecutionContext::Create(spec);
+  auto data = Dataset<Pair>::Parallelize(ctx, pairs, kPartitions);
+  auto reduced = TryReduceByKey<int64_t, int64_t>(data, std::plus<int64_t>());
+  ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+  EXPECT_EQ(reduced->Collect(), reference);
+
+  MetricsSnapshot metrics = ctx->MetricsSnapshot();
+  EXPECT_EQ(metrics[Counter::kWorkersLost], 1u);
+  EXPECT_GE(metrics[Counter::kChunksReclaimed], 1u);
+}
+
+// 50 rounds, each with a freshly scripted death at a varying point in the
+// grant schedule, must all complete correctly — the reclaim/respawn loop
+// can never deadlock, drop a bucket, or double-deliver one.
+TEST(WorkerDeathTest, FiftyFailingRoundsNeverDeadlock) {
+  auto pairs = RandomPairs(2000, 43);
+  std::vector<Pair> reference = LocalReference(pairs);
+
+  uint64_t deaths = 0;
+  uint64_t reclaims = 0;
+  for (int round = 0; round < 50; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    ExecutorSpec spec = MpSpec(2);
+    spec.mp.kill_worker = round % 2;
+    spec.mp.kill_after_grants = round % 4;
+    spec.mp.kill_after_results = round % 3;
+    auto ctx = ExecutionContext::Create(spec);
+    auto data = Dataset<Pair>::Parallelize(ctx, pairs, kPartitions);
+    auto reduced =
+        TryReduceByKey<int64_t, int64_t>(data, std::plus<int64_t>());
+    ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+    ASSERT_EQ(reduced->Collect(), reference);
+    MetricsSnapshot metrics = ctx->MetricsSnapshot();
+    EXPECT_LE(metrics[Counter::kWorkersLost], 1u);
+    deaths += metrics[Counter::kWorkersLost];
+    reclaims += metrics[Counter::kChunksReclaimed];
+  }
+  // Some scripts kill after the grant fully reported (nothing to reclaim)
+  // or name a grant index the schedule never reaches (nobody dies) — but
+  // across the sweep the kill must fire often, and many of those deaths
+  // must leave unfinished work behind.
+  EXPECT_GE(deaths, 25u);
+  EXPECT_GE(reclaims, 10u);
+}
+
+TEST(WorkerDeathTest, KillOnceDisarmsForLaterJobsOnTheSameBackend) {
+  auto pairs = RandomPairs(3000, 57);
+  std::vector<Pair> reference = LocalReference(pairs);
+
+  ExecutorSpec spec = MpSpec(2);
+  spec.mp.kill_worker = 0;
+  spec.mp.kill_after_grants = 0;
+  ASSERT_TRUE(spec.mp.kill_once);
+  auto ctx = ExecutionContext::Create(spec);
+  for (int job = 0; job < 3; ++job) {
+    SCOPED_TRACE("job " + std::to_string(job));
+    auto data = Dataset<Pair>::Parallelize(ctx, pairs, kPartitions);
+    auto reduced =
+        TryReduceByKey<int64_t, int64_t>(data, std::plus<int64_t>());
+    ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+    EXPECT_EQ(reduced->Collect(), reference);
+  }
+  // Exactly one death across the whole multi-job pipeline: the script
+  // disarmed itself the first time the driver observed the kill.
+  EXPECT_EQ(ctx->MetricsSnapshot()[Counter::kWorkersLost], 1u);
+}
+
+TEST(WorkerDeathTest, PermanentlyDyingFleetFailsCleanlyNeverHangs) {
+  auto pairs = RandomPairs(2000, 71);
+
+  ExecutorSpec spec = MpSpec(2);
+  spec.mp.kill_worker = MpOptions::kEveryWorker;
+  spec.mp.kill_after_grants = 0;
+  spec.mp.kill_once = false;  // respawns die too — nobody ever finishes
+  auto ctx = ExecutionContext::Create(spec);
+  auto data = Dataset<Pair>::Parallelize(ctx, pairs, kPartitions);
+  auto reduced = TryReduceByKey<int64_t, int64_t>(data, std::plus<int64_t>());
+  ASSERT_FALSE(reduced.ok());
+  EXPECT_EQ(reduced.status().code(), Status::Code::kIOError)
+      << reduced.status().ToString();
+
+  MetricsSnapshot metrics = ctx->MetricsSnapshot();
+  EXPECT_GE(metrics[Counter::kWorkersLost], 2u);
+  // The backend is not poisoned: disarm the script and the same context
+  // runs the job to completion with a fresh fleet.
+  spec.mp.kill_worker = MpOptions::kNoKill;
+  auto healthy_ctx = ExecutionContext::Create(spec);
+  auto healthy_data =
+      Dataset<Pair>::Parallelize(healthy_ctx, pairs, kPartitions);
+  auto healthy =
+      TryReduceByKey<int64_t, int64_t>(healthy_data, std::plus<int64_t>());
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_EQ(healthy->Collect(), LocalReference(pairs));
+}
+
+// GroupByKey ships variable-length value buckets (a different codec shape
+// than reduce's combined pairs); a death mid-shuffle must not corrupt them.
+TEST(WorkerDeathTest, GroupByKeySurvivesAKill) {
+  auto pairs = RandomPairs(3000, 83);
+  std::map<int64_t, std::vector<int64_t>> expected;
+  for (const auto& [k, v] : pairs) expected[k].push_back(v);
+  for (auto& [k, vs] : expected) std::sort(vs.begin(), vs.end());
+
+  ExecutorSpec spec = MpSpec(2);
+  spec.mp.kill_worker = 0;
+  spec.mp.kill_after_grants = 1;
+  auto ctx = ExecutionContext::Create(spec);
+  auto data = Dataset<Pair>::Parallelize(ctx, pairs, kPartitions);
+  auto grouped = TryGroupByKey<int64_t, int64_t>(data);
+  ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
+  auto collected = grouped->Collect();
+  ASSERT_EQ(collected.size(), expected.size());
+  for (auto& [k, vs] : collected) {
+    std::sort(vs.begin(), vs.end());
+    EXPECT_EQ(vs, expected.at(k)) << "key " << k;
+  }
+  EXPECT_EQ(ctx->MetricsSnapshot()[Counter::kWorkersLost], 1u);
+}
+
+}  // namespace
+}  // namespace st4ml

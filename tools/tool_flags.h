@@ -126,6 +126,11 @@ inline bool CheckIntFlags(const Flags& flags, const char* tool) {
 ///                          choice: ST4ML_BACKEND env, else widest ISA the
 ///                          CPU supports) — an invalid name surfaces on
 ///                          Session::configure_status()
+///   --executor=SPEC        executor backend: local, local:N, or mp:N
+///                          (N forked worker processes, DESIGN.md §14);
+///                          absent keeps the automatic choice
+///                          (ST4ML_EXECUTOR env, else local) — a malformed
+///                          spec surfaces on Session::configure_status()
 /// The batch CLIs and st4mld all feed the result to Session::Configure —
 /// one spelling of the plumbing instead of five.
 inline ToolOptions ToolOptionsFromFlags(const Flags& flags) {
@@ -138,6 +143,7 @@ inline ToolOptions ToolOptionsFromFlags(const Flags& flags) {
   options.metrics_json_path = flags.GetString("metrics-json", "");
   options.num_workers = static_cast<int>(flags.GetInt("workers", 0));
   options.backend = flags.GetString("backend", "");
+  options.executor = flags.GetString("executor", "");
   return options;
 }
 
